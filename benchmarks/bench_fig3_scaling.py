@@ -1,0 +1,73 @@
+"""Benchmark / reproduction of Figure 3: strong scaling of PPFL on Summit.
+
+Paper shape being reproduced (Section IV-C):
+
+* Figure 3a — near-ideal speedup at small process counts, with the speedup
+  falling increasingly short of ideal as the number of MPI processes grows;
+* Figure 3b — the percentage of the local-update time spent in MPI.gather()
+  grows with the number of processes (≈5% at 5 processes, tens of percent at
+  203), because the collective does not scale as well as the local compute;
+* the per-rank payload shrinks by >40x from 5 to 203 processes, but the
+  gather time shrinks by a much smaller factor.
+"""
+
+import pytest
+
+from repro.harness import ScalingSettings, run_scaling
+
+SETTINGS = ScalingSettings(num_rounds=3)
+
+
+@pytest.fixture(scope="module")
+def scaling_result():
+    return run_scaling(SETTINGS)
+
+
+def test_fig3_scaling_series(once):
+    result = once(run_scaling, SETTINGS)
+    print("\n" + result.render())
+    assert [p.num_processes for p in result.points] == list(SETTINGS.process_counts)
+
+
+def test_fig3a_speedup_monotone_but_subideal(scaling_result, once):
+    """Speedup grows with processes but falls short of ideal at high counts."""
+    procs, speedups = once(scaling_result.speedups)
+    assert all(b > a for a, b in zip(speedups, speedups[1:])), "speedup must increase with processes"
+    # Near-ideal at the second point (paper: 'almost perfect scaling with a
+    # smaller number of MPI processes').
+    p1 = scaling_result.points[1]
+    assert p1.speedup > 0.8 * p1.ideal_speedup
+    # Clearly sub-ideal at 203 processes.
+    p_last = scaling_result.points[-1]
+    assert p_last.speedup < 0.75 * p_last.ideal_speedup
+
+
+def test_fig3b_gather_percentage_grows(scaling_result, once):
+    """The MPI.gather share of the round grows as processes increase."""
+    once(scaling_result.gather_percentages)
+    first = scaling_result.points[0]
+    last = scaling_result.points[-1]
+    assert first.gather_percentage < 12.0
+    assert last.gather_percentage > 2 * first.gather_percentage
+
+
+def test_fig3_comm_shrinks_slower_than_payload(scaling_result, once):
+    """Paper: payload per rank shrinks >40x but gather time shrinks much less."""
+    once(scaling_result.point, 5)
+    first = scaling_result.point(5)
+    last = scaling_result.point(203)
+    payload_ratio = (203 / 5)  # clients per rank 41 -> 1
+    gather_ratio = first.avg_gather_seconds / last.avg_gather_seconds
+    assert payload_ratio > 40
+    assert gather_ratio < payload_ratio / 2, (
+        f"gather time ratio {gather_ratio:.1f} should be far below the payload ratio {payload_ratio:.1f}"
+    )
+
+
+def test_fig3_compute_scales_nearly_perfectly(scaling_result, once):
+    """Paper: 'the compute time shows perfect scaling'."""
+    once(scaling_result.point, 203)
+    first = scaling_result.point(5)
+    last = scaling_result.point(203)
+    compute_ratio = first.avg_compute_seconds / last.avg_compute_seconds
+    assert compute_ratio == pytest.approx(203 / 5, rel=0.15)

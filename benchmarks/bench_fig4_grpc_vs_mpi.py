@@ -1,0 +1,52 @@
+"""Benchmark / reproduction of Figure 4: gRPC vs MPI communication times.
+
+Paper shape being reproduced (Section IV-D):
+
+* Figure 4a — over 49 rounds, every client's cumulative gRPC communication
+  time is several times (up to ~10x) larger than its MPI time;
+* Figure 4b — per-round gRPC times vary wildly between rounds (a factor of
+  ~30 between the fastest and slowest round for a given client).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import CommCompareSettings, run_comm_compare
+
+SETTINGS = CommCompareSettings(num_clients=203, num_rounds=50)
+
+
+@pytest.fixture(scope="module")
+def comm_result():
+    return run_comm_compare(SETTINGS)
+
+
+def test_fig4_comparison_report(once):
+    result = once(run_comm_compare, CommCompareSettings(num_clients=60, num_rounds=50, seed=1))
+    print("\n" + result.render())
+    assert len(result.grpc_cumulative) == 60
+
+
+def test_fig4a_grpc_slower_than_mpi_for_every_client(comm_result, once):
+    factors = once(comm_result.slowdown_factors)
+    assert np.all(factors > 1.5), "every client should communicate slower over gRPC than MPI"
+    assert 3.0 < comm_result.median_slowdown() < 20.0, (
+        f"median gRPC/MPI slowdown {comm_result.median_slowdown():.1f} outside the paper's regime (up to ~10x)"
+    )
+
+
+def test_fig4b_round_to_round_spread(comm_result, once):
+    """Per-round gRPC times differ by a large factor between rounds (paper: ~30x)."""
+    once(comm_result.max_round_spread)
+    assert comm_result.max_round_spread() > 8.0
+    for box in comm_result.box_stats:
+        assert box.q3 > box.q1 > 0
+        assert box.maximum > 2 * box.median
+
+
+def test_fig4_mpi_times_are_consistent_across_rounds(comm_result, once):
+    """MPI (RDMA, dedicated fabric) does not show the gRPC jitter."""
+    # All MPI per-client cumulative times should be nearly identical.
+    once(comm_result.median_slowdown)
+    mpi = np.array(list(comm_result.mpi_cumulative.values()))
+    assert mpi.std() / mpi.mean() < 0.05

@@ -1,0 +1,12 @@
+"""Benchmark / reproduction of Table I: FL framework capability comparison."""
+
+from repro.harness import PAPER_TABLE1, render_table1, verify_appfl_column
+
+
+def test_table1_capability_matrix(once):
+    """Reproduce Table I and verify the APPFL column against this package."""
+    table = once(render_table1)
+    print("\n" + table)
+    observed = verify_appfl_column()
+    expected = PAPER_TABLE1["APPFL"]
+    assert observed == expected, f"APPFL capability column mismatch: {observed} vs {expected}"

@@ -1,0 +1,69 @@
+"""Cluster-scale simulation study: strong scaling and gRPC vs MPI (Figures 3 & 4).
+
+Drives the cluster/device simulator and the two communication cost models to
+reproduce the paper's Summit experiments, then prints the figure series as
+tables.  Also demonstrates running an actual (small) federation through the
+simulated MPI and gRPC communicators to compare end-to-end round times.
+
+Run:  python examples/cluster_scaling_study.py
+"""
+
+import numpy as np
+
+from repro.comm import GRPCSimCommunicator, MPISimCommunicator
+from repro.core import FLConfig, MLP, build_federation
+from repro.data import load_dataset
+from repro.harness import (
+    CommCompareSettings,
+    ScalingSettings,
+    run_comm_compare,
+    run_hetero,
+    run_scaling,
+)
+
+
+def figure3() -> None:
+    print("=" * 72)
+    result = run_scaling(ScalingSettings(num_rounds=3))
+    print(result.render())
+
+
+def figure4() -> None:
+    print("=" * 72)
+    result = run_comm_compare(CommCompareSettings(num_clients=60, num_rounds=50))
+    print(result.render())
+    print(f"median gRPC/MPI slowdown: {result.median_slowdown():.1f}x (paper: up to ~10x)")
+
+
+def heterogeneity() -> None:
+    print("=" * 72)
+    print(run_hetero().render())
+
+
+def end_to_end_with_simulated_transports() -> None:
+    """Train a real (small) federation over each simulated transport."""
+    print("=" * 72)
+    clients, test_data, spec = load_dataset("mnist", num_clients=8, train_size=400, test_size=100, seed=0)
+
+    def model_fn():
+        return MLP(28 * 28, spec.num_classes, hidden_sizes=(32,), rng=np.random.default_rng(5))
+
+    config = FLConfig(algorithm="iiadmm", num_rounds=3, local_steps=2, batch_size=64, rho=10.0, zeta=10.0, seed=0)
+    for name, comm in (
+        ("MPI (RDMA)", MPISimCommunicator(num_processes=8)),
+        ("gRPC (TCP)", GRPCSimCommunicator(rng=np.random.default_rng(0))),
+    ):
+        runner = build_federation(config, model_fn, clients, test_data, communicator=comm)
+        history = runner.run()
+        comm_s = sum(r.comm_seconds for r in history.rounds)
+        print(
+            f"{name:12s} accuracy={history.final_accuracy:.3f}  "
+            f"simulated comm time={comm_s:.3f}s  bytes={history.total_comm_bytes()/1e6:.1f} MB"
+        )
+
+
+if __name__ == "__main__":
+    figure3()
+    figure4()
+    heterogeneity()
+    end_to_end_with_simulated_transports()

@@ -1,0 +1,78 @@
+"""Plug-and-play extension: implement and register a custom FL algorithm.
+
+Section II-A of the paper: "Additional user-defined FL algorithms can be
+implemented by inheriting our Python class BaseServer and implementing the
+virtual function update()" (and likewise for BaseClient).  This example adds
+**FedProx** (Li et al., 2020) — FedAvg with a proximal term pulling the local
+model towards the global one — registers it under the name ``fedprox``, and
+compares it against the built-in algorithms on a label-skewed (non-IID)
+partition where the proximal term matters.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.core import FLConfig, MLP, build_federation, register_algorithm
+from repro.core.base import GLOBAL_KEY, PRIMAL_KEY
+from repro.core.fedavg import FedAvgClient, FedAvgServer
+from repro.data import dirichlet_partition, synthetic_mnist
+
+
+class FedProxClient(FedAvgClient):
+    """FedAvg client with a proximal penalty (mu/2)||z - w||^2 on the local loss."""
+
+    mu = 0.1
+
+    def update(self, global_payload: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        cfg = self.config
+        w = np.asarray(global_payload[GLOBAL_KEY])
+        z = np.array(w, copy=True)
+        velocity = np.zeros_like(z)
+        for _ in range(cfg.local_steps):
+            for batch_x, batch_y in self.loader:
+                grad = self.batch_gradient(z, batch_x, batch_y) + self.mu * (z - w)
+                grad = self.clip_gradient(grad)
+                if cfg.momentum:
+                    velocity = cfg.momentum * velocity + grad
+                    step = velocity
+                else:
+                    step = grad
+                z -= cfg.lr * step
+        return {PRIMAL_KEY: z}
+
+
+class FedProxServer(FedAvgServer):
+    """Aggregation is unchanged from FedAvg — only the client objective differs."""
+
+
+def main() -> None:
+    register_algorithm("fedprox", FedProxServer, FedProxClient)
+
+    train, test = synthetic_mnist(train_size=800, test_size=200, seed=0)
+    # A strongly non-IID split (Dirichlet alpha=0.2) across 6 clients.
+    clients = dirichlet_partition(train, num_clients=6, alpha=0.2, rng=np.random.default_rng(0))
+
+    def model_fn():
+        return MLP(28 * 28, 10, hidden_sizes=(64,), rng=np.random.default_rng(11))
+
+    print("Non-IID synthetic MNIST, 6 clients (Dirichlet alpha=0.2)\n")
+    for algorithm in ("fedavg", "fedprox", "iiadmm"):
+        config = FLConfig(
+            algorithm=algorithm,
+            num_rounds=8,
+            local_steps=3,
+            batch_size=64,
+            lr=0.03,
+            rho=10.0,
+            zeta=10.0,
+            seed=0,
+        )
+        history = build_federation(config, model_fn, clients, test).run()
+        print(f"{algorithm:8s} final accuracy = {history.final_accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

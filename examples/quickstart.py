@@ -1,0 +1,50 @@
+"""Quickstart: privacy-preserving federated learning in ~30 lines.
+
+Trains the paper's three FL algorithms (FedAvg, ICEADMM, IIADMM) on a
+synthetic MNIST-like dataset split across 4 clients, with and without
+differential privacy, and prints the resulting test accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.core import FLConfig, MLP, build_federation
+from repro.data import load_dataset
+
+
+def main() -> None:
+    # 1. Load a dataset already partitioned across 4 clients (Section II-A.5).
+    clients, test_data, spec = load_dataset("mnist", num_clients=4, train_size=800, test_size=200, seed=0)
+    print(f"dataset={spec.name}  clients={len(clients)}  classes={spec.num_classes}")
+
+    # 2. Define the model every client trains (any repro.nn.Module works).
+    def model_fn():
+        return MLP(28 * 28, spec.num_classes, hidden_sizes=(64,), rng=np.random.default_rng(42))
+
+    # 3. Run each algorithm, non-private (eps=inf) and private (eps=5).
+    for algorithm in ("fedavg", "iceadmm", "iiadmm"):
+        for epsilon in (math.inf, 5.0):
+            config = FLConfig(
+                algorithm=algorithm,
+                num_rounds=8,
+                local_steps=3,
+                batch_size=64,
+                lr=0.03,
+                rho=10.0,
+                zeta=10.0,
+                seed=0,
+            ).with_privacy(epsilon)
+            runner = build_federation(config, model_fn, clients, test_data)
+            history = runner.run()
+            eps_label = "inf" if math.isinf(epsilon) else f"{epsilon:g}"
+            print(
+                f"{algorithm:8s} eps={eps_label:>4s}  final accuracy={history.final_accuracy:.3f}  "
+                f"uplink+downlink={history.total_comm_bytes() / 1e6:.1f} MB"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — reproduction of APPFL (Argonne Privacy-Preserving Federated Learning).
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy-based autograd / neural-network substrate (replaces PyTorch).
+``repro.data``
+    Datasets, data loaders, client partitioners, and synthetic dataset
+    generators standing in for MNIST / CIFAR10 / FEMNIST / CoronaHack.
+``repro.comm``
+    Communication substrates: in-process serial, simulated MPI (InfiniBand +
+    RDMA cost model), and simulated gRPC (serialisation + TCP + jitter).
+``repro.simulator``
+    Cluster/device simulator (Summit V100 nodes, Swing A100 nodes).
+``repro.privacy``
+    Differential-privacy mechanisms (Laplace output perturbation), sensitivity
+    rules, clipping, and a privacy accountant.
+``repro.core``
+    The federated-learning framework itself: ``BaseServer``/``BaseClient``,
+    FedAvg, ICEADMM, and the paper's new IIADMM algorithm, plus configuration,
+    metrics, and runners.
+``repro.harness``
+    Experiment harnesses that regenerate each table/figure of the paper.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["nn", "data", "comm", "simulator", "privacy", "core", "harness", "__version__"]

@@ -1,0 +1,46 @@
+"""Communication substrates: serial, simulated MPI (RDMA), simulated gRPC (TCP)."""
+
+from .base import Communicator, client_endpoint, server_endpoint
+from .grpc_sim import GRPCSimCommunicator
+from .latency import (
+    GRPCChannelModel,
+    JitterModel,
+    LinkModel,
+    MPIChannelModel,
+    RDMALinkModel,
+    SerializationModel,
+    TCPLinkModel,
+)
+from .mpi_sim import MPISimCommunicator
+from .records import CommLog, CommRecord
+from .serial import SerialCommunicator
+from .serialization import (
+    decode_state_dict,
+    encode_state_dict,
+    flatten_state_dict,
+    state_dict_nbytes,
+    unflatten_state_dict,
+)
+
+__all__ = [
+    "Communicator",
+    "SerialCommunicator",
+    "MPISimCommunicator",
+    "GRPCSimCommunicator",
+    "client_endpoint",
+    "server_endpoint",
+    "CommLog",
+    "CommRecord",
+    "LinkModel",
+    "RDMALinkModel",
+    "TCPLinkModel",
+    "SerializationModel",
+    "JitterModel",
+    "MPIChannelModel",
+    "GRPCChannelModel",
+    "state_dict_nbytes",
+    "flatten_state_dict",
+    "unflatten_state_dict",
+    "encode_state_dict",
+    "decode_state_dict",
+]

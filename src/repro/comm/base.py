@@ -1,0 +1,94 @@
+"""Communicator interface used by the FL runners.
+
+A *communicator* moves model payloads (state dicts of numpy arrays) between
+the server endpoint and client endpoints, and charges *simulated* wall-clock
+seconds for each transfer into a :class:`repro.comm.records.CommLog`.
+
+The whole federation runs inside one Python process (that is how APPFL's MPI
+simulation mode works too — each MPI rank simulates many clients); what
+differs between communicator implementations is the *cost model* applied to
+each transfer, and whether payloads are deep-copied to emulate process
+isolation.
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from .records import CommLog, CommRecord
+from .serialization import state_dict_nbytes
+
+__all__ = ["Communicator", "server_endpoint", "client_endpoint"]
+
+SERVER = "server"
+
+
+def server_endpoint() -> str:
+    """Canonical name of the server endpoint."""
+    return SERVER
+
+
+def client_endpoint(client_id: int) -> str:
+    """Canonical name of a client endpoint."""
+    return f"client:{client_id}"
+
+
+class Communicator(ABC):
+    """Moves payloads between the server and clients under a timing model."""
+
+    #: human-readable protocol name ("serial", "mpi", "grpc")
+    protocol: str = "base"
+
+    def __init__(self) -> None:
+        self.log = CommLog()
+
+    # ------------------------------------------------------------------ hooks
+    @abstractmethod
+    def _downlink_time(self, nbytes: int, num_clients: int) -> float:
+        """Simulated seconds for one client to receive ``nbytes`` from the server."""
+
+    @abstractmethod
+    def _uplink_time(self, nbytes: int, num_clients: int) -> float:
+        """Simulated seconds for one client to send ``nbytes`` to the server."""
+
+    def _isolate(self, payload: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Copy a payload so sender and receiver cannot alias each other's arrays."""
+        return {k: np.array(v, copy=True) for k, v in payload.items()}
+
+    # ------------------------------------------------------------------- API
+    def broadcast(
+        self, round_idx: int, payload: Mapping[str, np.ndarray], client_ids: Sequence[int]
+    ) -> Dict[int, Dict[str, np.ndarray]]:
+        """Send the global model to every client; returns per-client copies."""
+        nbytes = state_dict_nbytes(payload)
+        out: Dict[int, Dict[str, np.ndarray]] = {}
+        for cid in client_ids:
+            seconds = self._downlink_time(nbytes, len(client_ids))
+            self.log.add(CommRecord(round_idx, client_endpoint(cid), "recv_global", nbytes, seconds))
+            out[cid] = self._isolate(payload)
+        return out
+
+    def collect(
+        self, round_idx: int, payloads: Mapping[int, Mapping[str, np.ndarray]]
+    ) -> Dict[int, Dict[str, np.ndarray]]:
+        """Send each client's local update to the server; returns server-side copies."""
+        out: Dict[int, Dict[str, np.ndarray]] = {}
+        for cid, payload in payloads.items():
+            nbytes = state_dict_nbytes(payload)
+            seconds = self._uplink_time(nbytes, len(payloads))
+            self.log.add(CommRecord(round_idx, client_endpoint(cid), "send_local", nbytes, seconds))
+            out[cid] = self._isolate(payload)
+        return out
+
+    # ------------------------------------------------------------- statistics
+    def client_comm_seconds(self, client_id: int, skip_rounds: Sequence[int] = ()) -> float:
+        """Total simulated communication seconds charged to one client."""
+        return self.log.total_seconds(client_endpoint(client_id), skip_rounds=skip_rounds)
+
+    def total_bytes(self) -> int:
+        """Total simulated bytes across all endpoints."""
+        return self.log.total_bytes()

@@ -1,0 +1,186 @@
+"""Analytic network-cost models for the communication simulators.
+
+The APPFL paper runs its scaling experiments over two transports:
+
+* **MPI** on Summit, configured to use InfiniBand with RDMA so model tensors
+  move GPU-to-GPU with "low latency and no extra copies of data"
+  (Section IV-C).
+* **gRPC** over the same nodes but *without* RDMA, so every message pays
+  protobuf serialisation/deserialisation, a GPU→CPU copy, TCP transport, and
+  whatever jitter the shared network imposes (Section IV-D: up to 10× slower
+  cumulative time and ~30× round-to-round spread).
+
+Each model below returns *simulated seconds* from closed-form expressions of
+the classic latency/bandwidth (α–β) form, extended with per-byte CPU costs
+for the gRPC path.  Constants are calibrated so the reproduced figures show
+the same qualitative shape as the paper (see ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "LinkModel",
+    "RDMALinkModel",
+    "TCPLinkModel",
+    "SerializationModel",
+    "GRPCChannelModel",
+    "MPIChannelModel",
+    "JitterModel",
+]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Point-to-point α–β link: ``time = latency + nbytes / bandwidth``."""
+
+    latency: float  # seconds per message
+    bandwidth: float  # bytes per second
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` over this link."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency + nbytes / self.bandwidth
+
+
+def RDMALinkModel(latency: float = 2.0e-6, bandwidth: float = 12.5e9) -> LinkModel:
+    """InfiniBand EDR with GPUDirect RDMA: ~2 µs latency, ~12.5 GB/s."""
+    return LinkModel(latency=latency, bandwidth=bandwidth)
+
+
+def TCPLinkModel(latency: float = 200.0e-6, bandwidth: float = 0.6e9) -> LinkModel:
+    """TCP over the cluster Ethernet/IPoIB path: ~200 µs latency, ~0.6 GB/s effective."""
+    return LinkModel(latency=latency, bandwidth=bandwidth)
+
+
+@dataclass(frozen=True)
+class SerializationModel:
+    """CPU cost of converting tensors to wire format and back.
+
+    ``serialize_bw`` / ``deserialize_bw`` are protobuf-like packing rates;
+    ``memcpy_bw`` charges the device→host and host→device copies that RDMA
+    avoids; ``fixed_overhead`` covers per-RPC framing and Python/gRPC stack
+    bookkeeping.
+    """
+
+    serialize_bw: float = 0.5e9
+    deserialize_bw: float = 0.8e9
+    memcpy_bw: float = 6.0e9
+    fixed_overhead: float = 2.5e-3
+
+    def one_way_time(self, nbytes: int) -> float:
+        """CPU seconds to serialise + copy ``nbytes`` on one side of an RPC."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.fixed_overhead + nbytes / self.serialize_bw + nbytes / self.memcpy_bw
+
+    def receive_time(self, nbytes: int) -> float:
+        """CPU seconds to deserialise + copy ``nbytes`` on the receiving side."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.deserialize_bw + nbytes / self.memcpy_bw
+
+
+@dataclass
+class JitterModel:
+    """Multiplicative log-normal jitter standing in for shared-network traffic.
+
+    With ``sigma ≈ 0.95`` the ratio between the fastest and slowest of ~50
+    rounds is roughly 30×, matching the spread reported in Figure 4b.
+    """
+
+    sigma: float = 0.95
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+
+    def sample(self) -> float:
+        """Draw one multiplicative jitter factor (median 1.0)."""
+        if self.sigma == 0:
+            return 1.0
+        return float(np.exp(self.rng.normal(0.0, self.sigma)))
+
+
+@dataclass
+class MPIChannelModel:
+    """Cost model for MPI collective communication over RDMA.
+
+    ``gather_time`` models ``MPI.gather()`` of ``nbytes_per_rank`` from ``n_ranks``
+    ranks to the root as a latency term that grows with ``log2(P)`` (the
+    binomial-tree algorithm used by most MPI implementations), a per-rank
+    injection term, and a root ingest term proportional to the *total* data
+    arriving at the root.  The root ingest term is what prevents perfect
+    scaling of communication in Figure 3: total gathered data is constant
+    (203 client models per round) regardless of how many ranks share the work.
+    """
+
+    link: LinkModel = field(default_factory=RDMALinkModel)
+    root_ingest_bandwidth: float = 100.0e9
+    sync_overhead: float = 30.0e-6
+
+    def p2p_time(self, nbytes: int) -> float:
+        """Point-to-point send/recv time."""
+        return self.link.transfer_time(nbytes)
+
+    def gather_time(self, nbytes_per_rank: int, n_ranks: int, total_nbytes: Optional[int] = None) -> float:
+        """Wall-clock seconds one rank observes for a gather to the root."""
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        if nbytes_per_rank < 0:
+            raise ValueError("nbytes_per_rank must be non-negative")
+        total = total_nbytes if total_nbytes is not None else nbytes_per_rank * n_ranks
+        tree_steps = max(1.0, math.ceil(math.log2(n_ranks + 1)))
+        latency_term = self.sync_overhead + self.link.latency * tree_steps
+        injection_term = nbytes_per_rank / self.link.bandwidth
+        root_term = total / self.root_ingest_bandwidth
+        return latency_term + injection_term + root_term
+
+    def bcast_time(self, nbytes: int, n_ranks: int) -> float:
+        """Broadcast of ``nbytes`` from the root to ``n_ranks`` ranks."""
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        tree_steps = max(1.0, math.ceil(math.log2(n_ranks + 1)))
+        return self.sync_overhead + tree_steps * self.link.transfer_time(nbytes)
+
+
+@dataclass
+class GRPCChannelModel:
+    """Cost model for a unary gRPC exchange of model parameters.
+
+    A round trip charges client-side serialisation, TCP transport (both
+    directions), server-side deserialisation, and a jitter factor on the
+    transport component.
+    """
+
+    link: LinkModel = field(default_factory=TCPLinkModel)
+    serialization: SerializationModel = field(default_factory=SerializationModel)
+    jitter: JitterModel = field(default_factory=JitterModel)
+
+    def request_time(self, nbytes: int) -> float:
+        """One-way client→server time for ``nbytes`` of parameters.
+
+        The jitter factor multiplies the whole request: in practice congestion
+        delays the RPC end-to-end (connection scheduling, flow control, and
+        server-side queuing), which is what produces the ~30× round-to-round
+        spread of Figure 4b.
+        """
+        base = (
+            self.serialization.one_way_time(nbytes)
+            + self.link.transfer_time(nbytes)
+            + self.serialization.receive_time(nbytes)
+        )
+        return base * self.jitter.sample()
+
+    def round_trip_time(self, upload_nbytes: int, download_nbytes: int) -> float:
+        """Full round (download global model, upload local model)."""
+        return self.request_time(download_nbytes) + self.request_time(upload_nbytes)

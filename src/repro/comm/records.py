@@ -1,0 +1,86 @@
+"""Structured timing records produced by the communication simulators.
+
+Every simulated transfer appends a :class:`CommRecord`; the experiment
+harnesses aggregate these into the per-client cumulative times (Figure 4a),
+per-round distributions (Figure 4b), and gather-percentage series (Figure 3b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["CommRecord", "CommLog"]
+
+
+@dataclass(frozen=True)
+class CommRecord:
+    """One simulated communication event."""
+
+    round: int
+    endpoint: str  # e.g. "client:17" or "server"
+    op: str  # "send", "recv", "gather", "bcast", ...
+    nbytes: int
+    seconds: float
+
+
+@dataclass
+class CommLog:
+    """Append-only log of communication events with aggregation helpers."""
+
+    records: List[CommRecord] = field(default_factory=list)
+
+    def add(self, record: CommRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[CommRecord]) -> None:
+        self.records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------ aggregation
+    def total_seconds(self, endpoint: Optional[str] = None, skip_rounds: Iterable[int] = ()) -> float:
+        """Total simulated communication seconds, optionally for one endpoint."""
+        skip = set(skip_rounds)
+        return float(
+            sum(
+                r.seconds
+                for r in self.records
+                if (endpoint is None or r.endpoint == endpoint) and r.round not in skip
+            )
+        )
+
+    def total_bytes(self, endpoint: Optional[str] = None) -> int:
+        """Total simulated bytes transferred, optionally for one endpoint."""
+        return int(sum(r.nbytes for r in self.records if endpoint is None or r.endpoint == endpoint))
+
+    def per_round_seconds(self, endpoint: str) -> Dict[int, float]:
+        """Map round -> summed seconds for one endpoint."""
+        out: Dict[int, float] = {}
+        for r in self.records:
+            if r.endpoint == endpoint:
+                out[r.round] = out.get(r.round, 0.0) + r.seconds
+        return out
+
+    def cumulative_seconds(self, endpoint: str, skip_rounds: Iterable[int] = ()) -> np.ndarray:
+        """Cumulative per-round seconds for one endpoint (sorted by round)."""
+        per_round = self.per_round_seconds(endpoint)
+        skip = set(skip_rounds)
+        values = [s for rnd, s in sorted(per_round.items()) if rnd not in skip]
+        return np.cumsum(values) if values else np.zeros(0)
+
+    def round_times(self, endpoint: str, skip_rounds: Iterable[int] = ()) -> np.ndarray:
+        """Per-round seconds for one endpoint as an array (sorted by round)."""
+        per_round = self.per_round_seconds(endpoint)
+        skip = set(skip_rounds)
+        return np.array([s for rnd, s in sorted(per_round.items()) if rnd not in skip])
+
+    def endpoints(self) -> List[str]:
+        """Distinct endpoints seen, sorted."""
+        return sorted({r.endpoint for r in self.records})
+
+    def clear(self) -> None:
+        self.records.clear()

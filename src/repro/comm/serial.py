@@ -1,0 +1,24 @@
+"""Zero-cost in-process communicator (the default for algorithm development)."""
+
+from __future__ import annotations
+
+from .base import Communicator
+
+__all__ = ["SerialCommunicator"]
+
+
+class SerialCommunicator(Communicator):
+    """Moves payloads with no simulated communication cost.
+
+    Payloads are still deep-copied between endpoints so algorithm code cannot
+    accidentally rely on shared mutable arrays — the same isolation a real
+    multi-process deployment would enforce.
+    """
+
+    protocol = "serial"
+
+    def _downlink_time(self, nbytes: int, num_clients: int) -> float:
+        return 0.0
+
+    def _uplink_time(self, nbytes: int, num_clients: int) -> float:
+        return 0.0

@@ -1,0 +1,117 @@
+"""Model-parameter serialisation utilities.
+
+Two jobs:
+
+1. *Sizing*: compute how many bytes a model update occupies on the wire.  The
+   APPFL communication experiments (Figures 3-4, Section IV-D) are driven by
+   the size of the local model parameters each client sends per round;
+   ICEADMM sends primal *and* dual vectors (2x) while IIADMM and FedAvg send
+   only the primal vector.
+
+2. *Encoding*: a simple length-prefixed binary encoding of a state dict
+   (name, dtype, shape, raw bytes), standing in for gRPC's protocol-buffer
+   serialisation.  Encoding/decoding real bytes lets the gRPC simulator charge
+   a realistic CPU cost and lets tests assert exact round-tripping.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+__all__ = [
+    "state_dict_nbytes",
+    "flatten_state_dict",
+    "unflatten_state_dict",
+    "encode_state_dict",
+    "decode_state_dict",
+]
+
+_MAGIC = b"RPRO"
+
+
+def state_dict_nbytes(state: Mapping[str, np.ndarray]) -> int:
+    """Total payload size in bytes of the arrays in ``state``."""
+    return int(sum(np.asarray(v).nbytes for v in state.values()))
+
+
+def flatten_state_dict(state: Mapping[str, np.ndarray]) -> Tuple[np.ndarray, "OrderedDict[str, Tuple[Tuple[int, ...], int]]"]:
+    """Concatenate all arrays into one flat float64 vector.
+
+    Returns ``(vector, layout)`` where ``layout`` maps each name to
+    ``(shape, offset)``; pass it to :func:`unflatten_state_dict` to reverse.
+    The flat-vector view is what the ADMM algorithms operate on (the paper's
+    ``w``, ``z_p``, ``λ_p`` ∈ R^m).
+    """
+    layout: "OrderedDict[str, Tuple[Tuple[int, ...], int]]" = OrderedDict()
+    chunks = []
+    offset = 0
+    for name, value in state.items():
+        arr = np.asarray(value, dtype=np.float64)
+        layout[name] = (arr.shape, offset)
+        chunks.append(arr.reshape(-1))
+        offset += arr.size
+    if not chunks:
+        return np.zeros(0), layout
+    return np.concatenate(chunks), layout
+
+
+def unflatten_state_dict(vector: np.ndarray, layout: Mapping[str, Tuple[Tuple[int, ...], int]]) -> "OrderedDict[str, np.ndarray]":
+    """Rebuild a state dict from a flat vector and a layout from :func:`flatten_state_dict`."""
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for name, (shape, offset) in layout.items():
+        size = int(np.prod(shape)) if shape else 1
+        out[name] = vector[offset : offset + size].reshape(shape).copy()
+    return out
+
+
+def encode_state_dict(state: Mapping[str, np.ndarray]) -> bytes:
+    """Serialise a state dict to bytes (length-prefixed records)."""
+    parts = [_MAGIC, struct.pack("<I", len(state))]
+    for name, value in state.items():
+        arr = np.ascontiguousarray(value)
+        name_b = name.encode("utf-8")
+        dtype_b = str(arr.dtype).encode("ascii")
+        shape = arr.shape
+        parts.append(struct.pack("<H", len(name_b)))
+        parts.append(name_b)
+        parts.append(struct.pack("<H", len(dtype_b)))
+        parts.append(dtype_b)
+        parts.append(struct.pack("<B", len(shape)))
+        parts.append(struct.pack(f"<{len(shape)}q", *shape) if shape else b"")
+        raw = arr.tobytes()
+        parts.append(struct.pack("<Q", len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def decode_state_dict(payload: bytes) -> "OrderedDict[str, np.ndarray]":
+    """Inverse of :func:`encode_state_dict`."""
+    if payload[:4] != _MAGIC:
+        raise ValueError("not a repro-serialised state dict")
+    offset = 4
+    (count,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for _ in range(count):
+        (name_len,) = struct.unpack_from("<H", payload, offset)
+        offset += 2
+        name = payload[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        (dtype_len,) = struct.unpack_from("<H", payload, offset)
+        offset += 2
+        dtype = np.dtype(payload[offset : offset + dtype_len].decode("ascii"))
+        offset += dtype_len
+        (ndim,) = struct.unpack_from("<B", payload, offset)
+        offset += 1
+        shape = struct.unpack_from(f"<{ndim}q", payload, offset) if ndim else ()
+        offset += 8 * ndim
+        (raw_len,) = struct.unpack_from("<Q", payload, offset)
+        offset += 8
+        arr = np.frombuffer(payload[offset : offset + raw_len], dtype=dtype).reshape(shape).copy()
+        offset += raw_len
+        out[name] = arr
+    return out

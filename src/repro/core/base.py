@@ -1,0 +1,204 @@
+"""Plug-and-play FL base classes (`BaseServer`, `BaseClient`).
+
+This is the extension API the APPFL paper describes in Section II-A:
+"Additional user-defined FL algorithms can be implemented by inheriting our
+Python class ``BaseServer`` and implementing the virtual function
+``update()``. ... This additional work can be customized as well by
+inheriting our ``BaseClient`` class and implementing the virtual function
+``update()``."
+
+All algorithms operate on the *flat parameter vector* view of the model (the
+paper's ``w, z_p, λ_p ∈ R^m``); :class:`ModelVectorizer` converts between the
+model's state dict and that vector.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..comm.serialization import flatten_state_dict, unflatten_state_dict
+from ..data import DataLoader, Dataset
+from ..privacy import Mechanism, NoPrivacy, clip_by_norm, make_mechanism
+from .config import FLConfig
+
+__all__ = ["ModelVectorizer", "BaseClient", "BaseServer"]
+
+GLOBAL_KEY = "global"
+PRIMAL_KEY = "primal"
+DUAL_KEY = "dual"
+SAMPLES_KEY = "num_samples"
+
+
+class ModelVectorizer:
+    """Converts a model's parameters to/from one flat float64 vector."""
+
+    def __init__(self, model: nn.Module):
+        self.model = model
+        _, self.layout = flatten_state_dict(model.state_dict())
+        self.dim = int(sum(int(np.prod(shape)) for shape, _ in self.layout.values()))
+
+    def to_vector(self) -> np.ndarray:
+        """Flatten the model's current parameters into a new vector."""
+        vec, _ = flatten_state_dict(self.model.state_dict())
+        return vec
+
+    def load_vector(self, vector: np.ndarray) -> None:
+        """Write a flat vector back into the model parameters (in place)."""
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected vector of shape ({self.dim},), got {vector.shape}")
+        self.model.load_state_dict(unflatten_state_dict(vector, self.layout))
+
+    def grad_vector(self) -> np.ndarray:
+        """Flatten the current parameter gradients (zeros where absent)."""
+        chunks = []
+        for name, p in self.model.named_parameters():
+            g = p.grad if p.grad is not None else np.zeros_like(p.data)
+            chunks.append(np.asarray(g, dtype=np.float64).reshape(-1))
+        return np.concatenate(chunks) if chunks else np.zeros(0)
+
+
+class BaseClient:
+    """Base class for FL clients.
+
+    Subclasses implement :meth:`update`, which receives the server's payload
+    (the global model) and returns the payload this client sends back.
+
+    Parameters
+    ----------
+    client_id:
+        Integer id of this client (0-based).
+    model:
+        The client's local copy of the training model.
+    dataset:
+        The client's private training data.
+    config:
+        Shared run configuration.
+    rng:
+        Random generator controlling batching and DP noise for this client.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        model: nn.Module,
+        dataset: Dataset,
+        config: FLConfig,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.client_id = int(client_id)
+        self.model = model
+        self.dataset = dataset
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng(config.seed + 1000 + client_id)
+        self.vectorizer = ModelVectorizer(model)
+        self.loader = DataLoader(
+            dataset, batch_size=config.batch_size, shuffle=True, rng=self.rng
+        )
+        self.loss_fn = nn.CrossEntropyLoss()
+        self.mechanism: Mechanism = make_mechanism(
+            config.privacy.epsilon,
+            kind=config.privacy.mechanism,
+            rng=self.rng,
+            **({"delta": config.privacy.delta} if config.privacy.mechanism == "gaussian" else {}),
+        )
+        self.round = 0
+
+    # ------------------------------------------------------------------ hooks
+    def update(self, global_payload: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Run one round of local training; return the payload to upload."""
+        raise NotImplementedError("BaseClient subclasses must implement update()")
+
+    # ------------------------------------------------------------- primitives
+    @property
+    def num_samples(self) -> int:
+        """Number of private training samples this client holds."""
+        return len(self.dataset)
+
+    def batch_gradient(self, params: np.ndarray, batch_x: np.ndarray, batch_y: np.ndarray) -> np.ndarray:
+        """Mean loss gradient over one batch, evaluated at flat parameters ``params``."""
+        self.vectorizer.load_vector(params)
+        self.model.zero_grad()
+        logits = self.model(nn.Tensor(batch_x))
+        loss = self.loss_fn(logits, batch_y)
+        loss.backward()
+        return self.vectorizer.grad_vector()
+
+    def full_gradient(self, params: np.ndarray) -> np.ndarray:
+        """Mean loss gradient over this client's entire dataset (used by ICEADMM)."""
+        x, y = self.loader.full_batch()
+        return self.batch_gradient(params, x, y)
+
+    def clip_gradient(self, grad: np.ndarray) -> np.ndarray:
+        """Clip a gradient to the configured norm when privacy is enabled."""
+        if not self.config.privacy.enabled:
+            return grad
+        return clip_by_norm(grad, self.config.privacy.clip_norm)
+
+    def privatize(self, values: np.ndarray, sensitivity: float) -> np.ndarray:
+        """Apply the configured output-perturbation mechanism to ``values``."""
+        return self.mechanism.perturb_array(values, sensitivity)
+
+    def local_loss(self, params: np.ndarray) -> float:
+        """Training loss of this client's data at flat parameters ``params``."""
+        x, y = self.loader.full_batch()
+        self.vectorizer.load_vector(params)
+        with nn.no_grad():
+            logits = self.model(nn.Tensor(x))
+        return float(nn.functional.cross_entropy(logits, y).item())
+
+
+class BaseServer:
+    """Base class for FL servers.
+
+    Subclasses implement :meth:`update`, which consumes the payloads gathered
+    from clients and produces the next global model (stored in
+    :attr:`global_params`).
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        config: FLConfig,
+        num_clients: int,
+        client_sample_counts: Optional[Sequence[int]] = None,
+    ):
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        self.model = model
+        self.config = config
+        self.num_clients = int(num_clients)
+        self.vectorizer = ModelVectorizer(model)
+        self.global_params = self.vectorizer.to_vector()
+        if client_sample_counts is None:
+            self.client_sample_counts = np.ones(num_clients)
+        else:
+            if len(client_sample_counts) != num_clients:
+                raise ValueError("client_sample_counts length must equal num_clients")
+            self.client_sample_counts = np.asarray(client_sample_counts, dtype=np.float64)
+        self.round = 0
+
+    # ------------------------------------------------------------------ hooks
+    def update(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
+        """Aggregate client payloads into a new global model (in place)."""
+        raise NotImplementedError("BaseServer subclasses must implement update()")
+
+    # ------------------------------------------------------------------- API
+    def broadcast_payload(self) -> Dict[str, np.ndarray]:
+        """Payload sent to every client at the start of a round."""
+        return {GLOBAL_KEY: self.global_params.copy()}
+
+    def client_weights(self) -> np.ndarray:
+        """Aggregation weights: by sample count if configured, else uniform."""
+        if self.config.weighted_aggregation:
+            total = self.client_sample_counts.sum()
+            if total > 0:
+                return self.client_sample_counts / total
+        return np.full(self.num_clients, 1.0 / self.num_clients)
+
+    def sync_model(self) -> None:
+        """Write the current global parameter vector into the server's model."""
+        self.vectorizer.load_vector(self.global_params)

@@ -1,0 +1,72 @@
+"""Federated averaging (FedAvg) [McMahan et al., 2017].
+
+The client runs ``L`` epochs of mini-batch SGD with momentum starting from the
+received global model and uploads its final local parameters; the server
+averages them (weighted by sample counts, or uniformly when
+``weighted_aggregation=False``, which is the form the paper uses when showing
+FedAvg as a special case of IADMM with λ=0, ζ=0, ρ=1/η).
+
+With differential privacy enabled, every per-batch gradient is clipped to the
+configured norm ``C`` and the uploaded parameters are perturbed with noise
+calibrated to the FedAvg sensitivity ``Δ = 2·C·η`` (Section III-B/IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..privacy import FedAvgSensitivity
+from .base import GLOBAL_KEY, PRIMAL_KEY, BaseClient, BaseServer
+
+__all__ = ["FedAvgClient", "FedAvgServer"]
+
+
+class FedAvgClient(BaseClient):
+    """FedAvg client: ``L`` epochs of SGD with momentum on local data."""
+
+    def update(self, global_payload: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        cfg = self.config
+        z = np.array(global_payload[GLOBAL_KEY], copy=True)
+        velocity = np.zeros_like(z)
+        for _ in range(cfg.local_steps):
+            for batch_x, batch_y in self.loader:
+                grad = self.batch_gradient(z, batch_x, batch_y)
+                grad = self.clip_gradient(grad)
+                if cfg.momentum:
+                    velocity *= cfg.momentum
+                    velocity += grad
+                    step = velocity
+                else:
+                    step = grad
+                z -= cfg.lr * step
+
+        if cfg.privacy.enabled:
+            num_steps = cfg.local_steps * max(1, len(self.loader))
+            sensitivity = FedAvgSensitivity(
+                clip_norm=cfg.privacy.clip_norm, lr=cfg.lr, num_steps=num_steps
+            ).sensitivity()
+            z = self.privatize(z, sensitivity)
+        self.round += 1
+        return {PRIMAL_KEY: z}
+
+
+class FedAvgServer(BaseServer):
+    """FedAvg server: (weighted) average of the client parameters."""
+
+    def update(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
+        if not payloads:
+            raise ValueError("no client payloads to aggregate")
+        weights = self.client_weights()
+        new_global = np.zeros_like(self.global_params)
+        total_weight = 0.0
+        for cid, payload in payloads.items():
+            w = float(weights[cid])
+            new_global += w * np.asarray(payload[PRIMAL_KEY])
+            total_weight += w
+        if total_weight <= 0:
+            raise ValueError("aggregation weights sum to zero")
+        self.global_params = new_global / total_weight
+        self.round += 1
+        self.sync_model()

@@ -1,0 +1,46 @@
+"""Model evaluation (the server-side validation routine of Section II-A.5).
+
+"When testing data is available at a server, APPFL provides a validation
+routine that evaluates the accuracy of the current global model."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data import DataLoader, Dataset
+
+__all__ = ["evaluate", "Evaluator"]
+
+
+def evaluate(model: nn.Module, dataset: Dataset, batch_size: int = 256) -> Tuple[float, float]:
+    """Return ``(accuracy, mean cross-entropy loss)`` of ``model`` on ``dataset``."""
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    total, correct, loss_sum = 0, 0, 0.0
+    model.eval()
+    with nn.no_grad():
+        for x, y in loader:
+            logits = model(nn.Tensor(x))
+            loss = nn.functional.cross_entropy(logits, y, reduction="sum")
+            loss_sum += loss.item()
+            pred = logits.data.argmax(axis=1)
+            correct += int((pred == y).sum())
+            total += len(y)
+    model.train()
+    if total == 0:
+        return 0.0, 0.0
+    return correct / total, loss_sum / total
+
+
+class Evaluator:
+    """Callable wrapper around :func:`evaluate` bound to one test dataset."""
+
+    def __init__(self, dataset: Dataset, batch_size: int = 256):
+        self.dataset = dataset
+        self.batch_size = batch_size
+
+    def __call__(self, model: nn.Module) -> Tuple[float, float]:
+        return evaluate(model, self.dataset, batch_size=self.batch_size)

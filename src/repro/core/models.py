@@ -1,0 +1,117 @@
+"""Reference models used by the paper's demonstration and the examples.
+
+Section IV-A: "We use the convolutional neural network model, consisting of
+two 2D convolution layers, a 2D max pooling layer, the elementwise rectified
+linear unit function, and two layers of linear transformation."
+
+:class:`PaperCNN` reproduces that architecture; :class:`MLP` and
+:class:`LogisticRegression` are cheaper models used by the fast test suite and
+by the scaled-down accuracy benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["PaperCNN", "MLP", "LogisticRegression", "build_model"]
+
+
+class PaperCNN(nn.Module):
+    """The demonstration CNN of the APPFL paper.
+
+    conv(3x3) → ReLU → conv(3x3) → ReLU → maxpool(2) → flatten → linear →
+    ReLU → linear(num_classes).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        image_size: Tuple[int, int] = (28, 28),
+        hidden: int = 64,
+        conv_channels: Tuple[int, int] = (16, 32),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        c1, c2 = conv_channels
+        h, w = image_size
+        self.conv1 = nn.Conv2d(in_channels, c1, 3, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(c1, c2, 3, padding=1, rng=rng)
+        self.pool = nn.MaxPool2d(2)
+        self.flatten = nn.Flatten()
+        flat_dim = c2 * (h // 2) * (w // 2)
+        self.fc1 = nn.Linear(flat_dim, hidden, rng=rng)
+        self.fc2 = nn.Linear(hidden, num_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        h = self.conv1(x).relu()
+        h = self.conv2(h).relu()
+        h = self.pool(h)
+        h = self.flatten(h)
+        h = self.fc1(h).relu()
+        return self.fc2(h)
+
+
+class MLP(nn.Module):
+    """A small multilayer perceptron over flattened inputs."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        hidden_sizes: Sequence[int] = (64,),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        dims = [input_dim, *hidden_sizes, num_classes]
+        layers = []
+        for i in range(len(dims) - 1):
+            layers.append(nn.Linear(dims[i], dims[i + 1], rng=rng))
+            if i < len(dims) - 2:
+                layers.append(nn.ReLU())
+        self.net = nn.Sequential(*layers)
+        self.input_dim = input_dim
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        if x.ndim > 2:
+            x = nn.functional.flatten(x)
+        return self.net(x)
+
+
+class LogisticRegression(nn.Module):
+    """Multinomial logistic regression (the convex case of problem (1))."""
+
+    def __init__(self, input_dim: int, num_classes: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.linear = nn.Linear(input_dim, num_classes, rng=rng)
+        self.input_dim = input_dim
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        if x.ndim > 2:
+            x = nn.functional.flatten(x)
+        return self.linear(x)
+
+
+def build_model(
+    kind: str,
+    image_shape: Tuple[int, int, int],
+    num_classes: int,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
+) -> nn.Module:
+    """Build a model by name ("cnn", "mlp", "logistic") for an image dataset."""
+    c, h, w = image_shape
+    kind = kind.lower()
+    if kind == "cnn":
+        return PaperCNN(c, num_classes, image_size=(h, w), rng=rng, **kwargs)
+    if kind == "mlp":
+        return MLP(c * h * w, num_classes, rng=rng, **kwargs)
+    if kind in ("logistic", "linear"):
+        return LogisticRegression(c * h * w, num_classes, rng=rng)
+    raise ValueError(f"unknown model kind {kind!r}")

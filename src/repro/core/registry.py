@@ -1,0 +1,48 @@
+"""Algorithm registry: maps algorithm names to (server class, client class).
+
+New algorithms register themselves with :func:`register_algorithm`, giving
+users the plug-and-play extensibility the paper describes — implement a
+``BaseServer``/``BaseClient`` pair, register it, and every runner, example, and
+benchmark can select it by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from .base import BaseClient, BaseServer
+from .fedavg import FedAvgClient, FedAvgServer
+from .iceadmm import ICEADMMClient, ICEADMMServer
+from .iiadmm import IIADMMClient, IIADMMServer
+
+__all__ = ["register_algorithm", "get_algorithm", "available_algorithms"]
+
+_REGISTRY: Dict[str, Tuple[Type[BaseServer], Type[BaseClient]]] = {}
+
+
+def register_algorithm(name: str, server_cls: Type[BaseServer], client_cls: Type[BaseClient]) -> None:
+    """Register an algorithm under ``name`` (case-insensitive)."""
+    if not issubclass(server_cls, BaseServer):
+        raise TypeError("server_cls must subclass BaseServer")
+    if not issubclass(client_cls, BaseClient):
+        raise TypeError("client_cls must subclass BaseClient")
+    _REGISTRY[name.lower()] = (server_cls, client_cls)
+
+
+def get_algorithm(name: str) -> Tuple[Type[BaseServer], Type[BaseClient]]:
+    """Look up the (server, client) classes registered under ``name``."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown algorithm {name!r}; available: {available_algorithms()}")
+    return _REGISTRY[key]
+
+
+def available_algorithms() -> list:
+    """Sorted list of registered algorithm names."""
+    return sorted(_REGISTRY)
+
+
+# Built-in algorithms.
+register_algorithm("fedavg", FedAvgServer, FedAvgClient)
+register_algorithm("iceadmm", ICEADMMServer, ICEADMMClient)
+register_algorithm("iiadmm", IIADMMServer, IIADMMClient)

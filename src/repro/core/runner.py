@@ -1,0 +1,187 @@
+"""Federated training orchestration.
+
+:class:`FederatedRunner` drives the client-server loop of Figure 1: every
+round the server's global model is broadcast to all clients, each client runs
+its (customisable) local update, the local models are gathered back through
+the configured communicator, and the server runs its (customisable) global
+update.  An optional evaluator scores the global model on server-side test
+data after every round.
+
+:func:`build_federation` is the convenience constructor used by the examples
+and benchmarks: it instantiates the registered server/client classes for a
+named algorithm over a list of client datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..comm import Communicator, SerialCommunicator
+from ..data import Dataset
+from ..privacy import PrivacyAccountant
+from .base import BaseClient, BaseServer
+from .config import FLConfig
+from .metrics import Evaluator
+from .registry import get_algorithm
+
+__all__ = ["RoundResult", "TrainingHistory", "FederatedRunner", "build_federation"]
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Metrics recorded after one communication round."""
+
+    round: int
+    test_accuracy: Optional[float]
+    test_loss: Optional[float]
+    comm_bytes: int
+    comm_seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    """Per-round metrics of one federated run."""
+
+    rounds: List[RoundResult] = field(default_factory=list)
+
+    def add(self, result: RoundResult) -> None:
+        self.rounds.append(result)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def accuracies(self) -> np.ndarray:
+        return np.array([r.test_accuracy for r in self.rounds if r.test_accuracy is not None])
+
+    @property
+    def losses(self) -> np.ndarray:
+        return np.array([r.test_loss for r in self.rounds if r.test_loss is not None])
+
+    @property
+    def final_accuracy(self) -> Optional[float]:
+        acc = self.accuracies
+        return float(acc[-1]) if len(acc) else None
+
+    @property
+    def best_accuracy(self) -> Optional[float]:
+        acc = self.accuracies
+        return float(acc.max()) if len(acc) else None
+
+    def total_comm_bytes(self) -> int:
+        return int(sum(r.comm_bytes for r in self.rounds))
+
+
+class FederatedRunner:
+    """Runs the synchronous federated-learning loop."""
+
+    def __init__(
+        self,
+        server: BaseServer,
+        clients: Sequence[BaseClient],
+        communicator: Optional[Communicator] = None,
+        evaluator: Optional[Evaluator] = None,
+        accountant: Optional[PrivacyAccountant] = None,
+    ):
+        if not clients:
+            raise ValueError("at least one client is required")
+        if server.num_clients != len(clients):
+            raise ValueError("server.num_clients must match the number of clients")
+        self.server = server
+        self.clients = list(clients)
+        self.communicator = communicator if communicator is not None else SerialCommunicator()
+        self.evaluator = evaluator
+        self.accountant = accountant if accountant is not None else PrivacyAccountant()
+        self.history = TrainingHistory()
+
+    def run_round(self, round_idx: int) -> RoundResult:
+        """Execute one communication round and return its metrics."""
+        client_ids = [c.client_id for c in self.clients]
+        bytes_before = self.communicator.total_bytes()
+        seconds_before = self.communicator.log.total_seconds()
+
+        # Server -> clients: broadcast the global model.
+        received = self.communicator.broadcast(round_idx, self.server.broadcast_payload(), client_ids)
+
+        # Clients: local updates.
+        uploads: Dict[int, Dict[str, np.ndarray]] = {}
+        for client in self.clients:
+            uploads[client.client_id] = client.update(received[client.client_id])
+            if client.config.privacy.enabled:
+                self.accountant.record(client.client_id, client.config.privacy.epsilon)
+
+        # Clients -> server: gather local models, then global update.
+        gathered = self.communicator.collect(round_idx, uploads)
+        self.server.update(gathered)
+
+        accuracy = loss = None
+        if self.evaluator is not None:
+            self.server.sync_model()
+            accuracy, loss = self.evaluator(self.server.model)
+
+        result = RoundResult(
+            round=round_idx,
+            test_accuracy=accuracy,
+            test_loss=loss,
+            comm_bytes=self.communicator.total_bytes() - bytes_before,
+            comm_seconds=self.communicator.log.total_seconds() - seconds_before,
+        )
+        self.history.add(result)
+        return result
+
+    def run(self, num_rounds: Optional[int] = None, callback: Optional[Callable[[RoundResult], None]] = None) -> TrainingHistory:
+        """Run ``num_rounds`` rounds (default: the server config's ``num_rounds``)."""
+        total = num_rounds if num_rounds is not None else self.server.config.num_rounds
+        for t in range(total):
+            result = self.run_round(t)
+            if callback is not None:
+                callback(result)
+        return self.history
+
+
+def build_federation(
+    config: FLConfig,
+    model_fn: Callable[[], nn.Module],
+    client_datasets: Sequence[Dataset],
+    test_dataset: Optional[Dataset] = None,
+    communicator: Optional[Communicator] = None,
+    seed: Optional[int] = None,
+) -> FederatedRunner:
+    """Construct a :class:`FederatedRunner` for a named algorithm.
+
+    Parameters
+    ----------
+    config:
+        Run configuration; ``config.algorithm`` selects the registered
+        server/client classes.
+    model_fn:
+        Zero-argument factory producing a fresh model.  It is called once for
+        the server and once per client; all copies are synchronised to the
+        server's initial parameters (the shared ``z^1`` of Algorithm 1).
+    client_datasets:
+        One private dataset per client.
+    test_dataset:
+        Optional server-side test data for the validation routine.
+    """
+    seed = config.seed if seed is None else seed
+    server_cls, client_cls = get_algorithm(config.algorithm)
+
+    server_model = model_fn()
+    initial_state = server_model.state_dict()
+    sample_counts = [len(d) for d in client_datasets]
+    server = server_cls(server_model, config, num_clients=len(client_datasets), client_sample_counts=sample_counts)
+
+    clients = []
+    for cid, dataset in enumerate(client_datasets):
+        model = model_fn()
+        model.load_state_dict(initial_state)
+        clients.append(
+            client_cls(cid, model, dataset, config, rng=np.random.default_rng(seed + 1000 + cid))
+        )
+
+    evaluator = Evaluator(test_dataset) if test_dataset is not None else None
+    return FederatedRunner(server, clients, communicator=communicator, evaluator=evaluator)

@@ -1,0 +1,48 @@
+"""Datasets, data loaders, client partitioners, and synthetic dataset generators."""
+
+from .dataloader import DataLoader
+from .dataset import ConcatDataset, Dataset, Subset, TensorDataset, stack_dataset
+from .partition import (
+    by_writer_partition,
+    dirichlet_partition,
+    iid_partition,
+    partition_sizes,
+    shard_partition,
+)
+from .synthetic import (
+    DATASET_SPECS,
+    SyntheticSpec,
+    load_dataset,
+    make_classification_images,
+    synthetic_cifar10,
+    synthetic_coronahack,
+    synthetic_femnist,
+    synthetic_mnist,
+)
+from .transforms import Compose, FlattenTransform, Normalize, standardize_dataset
+
+__all__ = [
+    "Dataset",
+    "TensorDataset",
+    "Subset",
+    "ConcatDataset",
+    "stack_dataset",
+    "DataLoader",
+    "iid_partition",
+    "shard_partition",
+    "dirichlet_partition",
+    "by_writer_partition",
+    "partition_sizes",
+    "SyntheticSpec",
+    "DATASET_SPECS",
+    "load_dataset",
+    "make_classification_images",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "synthetic_femnist",
+    "synthetic_coronahack",
+    "Compose",
+    "Normalize",
+    "FlattenTransform",
+    "standardize_dataset",
+]

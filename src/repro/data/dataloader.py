@@ -1,0 +1,77 @@
+"""Mini-batch data loader mirroring ``torch.utils.data.DataLoader``.
+
+Provides shuffling and mini-batch iteration over any :class:`repro.data.Dataset`.
+Batches are dense numpy arrays so the model forward pass is fully vectorised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .dataset import Dataset, TensorDataset, stack_dataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate over a dataset in mini-batches of ``(inputs, labels)`` arrays.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Maximum number of samples per batch (the paper uses 64 for FedAvg and
+        IIADMM local updates).
+    shuffle:
+        Reshuffle sample order at the start of every epoch.
+    drop_last:
+        Drop the final incomplete batch.
+    rng:
+        Random generator used for shuffling (explicit for reproducibility).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 64,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng()
+        # Materialise once; per-epoch iteration then only does fancy indexing.
+        self._inputs, self._labels = stack_dataset(dataset)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.dataset)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        end = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, end, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self._inputs[idx], self._labels[idx]
+
+    def full_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the entire dataset as one batch (used by ICEADMM, which
+        computes the gradient on all local data points)."""
+        return self._inputs, self._labels

@@ -1,0 +1,99 @@
+"""Dataset abstractions mirroring ``torch.utils.data.Dataset``.
+
+The APPFL paper requires each client to wrap its private data in a class that
+inherits the PyTorch ``Dataset``; this module provides the equivalent
+contract.  A dataset is any object exposing ``__len__`` and ``__getitem__``
+returning ``(input, label)`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "TensorDataset", "Subset", "ConcatDataset"]
+
+
+class Dataset:
+    """Abstract map-style dataset: ``len(ds)`` items accessible by index."""
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Dataset backed by in-memory arrays ``inputs`` and integer ``labels``."""
+
+    def __init__(self, inputs: np.ndarray, labels: np.ndarray):
+        inputs = np.asarray(inputs)
+        labels = np.asarray(labels)
+        if len(inputs) != len(labels):
+            raise ValueError(f"inputs ({len(inputs)}) and labels ({len(labels)}) length mismatch")
+        self.inputs = inputs
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.inputs[index], int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels present."""
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the underlying ``(inputs, labels)`` arrays (no copy)."""
+        return self.inputs, self.labels
+
+
+class Subset(Dataset):
+    """View of a dataset restricted to ``indices``."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = np.asarray(indices, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.dataset[int(self.indices[index])]
+
+
+class ConcatDataset(Dataset):
+    """Concatenation of several datasets, indexed end-to-end."""
+
+    def __init__(self, datasets: Sequence[Dataset]):
+        if not datasets:
+            raise ValueError("ConcatDataset requires at least one dataset")
+        self.datasets = list(datasets)
+        self._offsets = np.cumsum([0] + [len(d) for d in self.datasets])
+
+    def __len__(self) -> int:
+        return int(self._offsets[-1])
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        ds_idx = int(np.searchsorted(self._offsets, index, side="right")) - 1
+        return self.datasets[ds_idx][index - int(self._offsets[ds_idx])]
+
+
+def stack_dataset(dataset: Dataset) -> Tuple[np.ndarray, np.ndarray]:
+    """Materialise any map-style dataset into dense ``(inputs, labels)`` arrays."""
+    if isinstance(dataset, TensorDataset):
+        return dataset.inputs, dataset.labels
+    xs, ys = [], []
+    for i in range(len(dataset)):
+        x, y = dataset[i]
+        xs.append(np.asarray(x))
+        ys.append(y)
+    return np.stack(xs), np.asarray(ys)

@@ -1,0 +1,54 @@
+"""Lightweight input transforms (normalisation, flattening, composition).
+
+The paper relies on torchvision transforms for dataset preprocessing; these
+are the numpy equivalents used by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Compose", "Normalize", "FlattenTransform", "standardize_dataset"]
+
+
+class Compose:
+    """Apply a sequence of transforms left to right."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]):
+        self.transforms = list(transforms)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        for t in self.transforms:
+            x = t(x)
+        return x
+
+
+class Normalize:
+    """Normalise with fixed mean/std (per-channel broadcastable)."""
+
+    def __init__(self, mean, std):
+        self.mean = np.asarray(mean, dtype=np.float64)
+        self.std = np.asarray(std, dtype=np.float64)
+        if np.any(self.std == 0):
+            raise ValueError("std must be nonzero")
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        mean = self.mean.reshape((-1,) + (1,) * (x.ndim - 1)) if self.mean.ndim == 1 else self.mean
+        std = self.std.reshape((-1,) + (1,) * (x.ndim - 1)) if self.std.ndim == 1 else self.std
+        return (x - mean) / std
+
+
+class FlattenTransform:
+    """Flatten an image to a vector (for MLP models)."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(-1)
+
+
+def standardize_dataset(inputs: np.ndarray) -> np.ndarray:
+    """Zero-mean / unit-variance standardisation over the whole array."""
+    mean = inputs.mean()
+    std = inputs.std()
+    return (inputs - mean) / (std if std > 0 else 1.0)

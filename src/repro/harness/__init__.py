@@ -1,0 +1,64 @@
+"""Experiment harnesses that regenerate each table and figure of the paper.
+
+==========  =======================================================
+Harness     Paper artefact
+==========  =======================================================
+table1      Table I — framework capability comparison
+fig2        Figure 2 — test accuracy vs privacy budget ε
+scaling     Figure 3a/3b — strong scaling of local updates on Summit
+comm        Figure 4a/4b — gRPC vs MPI communication times
+hetero      Section IV-E — A100 vs V100 load imbalance
+volume      Section III-A/IV-D — per-round communication volume
+ablation    DESIGN.md ablations — proximal term ζ, batching
+==========  =======================================================
+"""
+
+from .ablation import (
+    AblationResult,
+    AblationRow,
+    AblationSettings,
+    run_batching_ablation,
+    run_zeta_ablation,
+)
+from .comm_compare import BoxStats, CommCompareResult, CommCompareSettings, run_comm_compare
+from .comm_volume import CommVolumeResult, CommVolumeRow, CommVolumeSettings, run_comm_volume
+from .fig2 import Fig2Cell, Fig2Result, Fig2Settings, default_epsilons, run_fig2
+from .hetero import HeteroResult, HeteroSettings, run_hetero
+from .reporting import format_check, format_series, format_table
+from .scaling import ScalingPoint, ScalingResult, ScalingSettings, run_scaling
+from .table1 import PAPER_TABLE1, framework_capabilities, render_table1, verify_appfl_column
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_check",
+    "PAPER_TABLE1",
+    "framework_capabilities",
+    "verify_appfl_column",
+    "render_table1",
+    "Fig2Settings",
+    "Fig2Cell",
+    "Fig2Result",
+    "run_fig2",
+    "default_epsilons",
+    "ScalingSettings",
+    "ScalingPoint",
+    "ScalingResult",
+    "run_scaling",
+    "CommCompareSettings",
+    "CommCompareResult",
+    "BoxStats",
+    "run_comm_compare",
+    "HeteroSettings",
+    "HeteroResult",
+    "run_hetero",
+    "CommVolumeSettings",
+    "CommVolumeRow",
+    "CommVolumeResult",
+    "run_comm_volume",
+    "AblationSettings",
+    "AblationRow",
+    "AblationResult",
+    "run_zeta_ablation",
+    "run_batching_ablation",
+]

@@ -1,0 +1,170 @@
+"""Figure 2 — test accuracy under ε ∈ {3, 5, 10, ∞} for FedAvg / ICEADMM / IIADMM.
+
+The paper's Figure 2 is a 3×4 grid (algorithm × dataset) of accuracy-vs-round
+curves, one line per privacy budget.  This harness runs the same sweep on the
+synthetic stand-in datasets (Section "Substitutions" of DESIGN.md) at a
+CI-friendly scale and reports, per (dataset, algorithm, ε), the final and best
+test accuracy.
+
+Environment overrides (used by the benchmark): ``REPRO_ROUNDS``,
+``REPRO_LOCAL_STEPS``, ``REPRO_TRAIN_SIZE``, ``REPRO_CLIENTS``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import FLConfig, MLP, build_federation, build_model
+from ..data import load_dataset
+from .reporting import format_table
+
+__all__ = ["Fig2Settings", "Fig2Cell", "Fig2Result", "run_fig2", "default_epsilons", "DEFAULT_ALGORITHMS"]
+
+DEFAULT_ALGORITHMS = ("fedavg", "iceadmm", "iiadmm")
+
+
+def default_epsilons() -> Tuple[float, ...]:
+    """The paper's privacy budgets: ε ∈ {3, 5, 10, ∞}."""
+    return (3.0, 5.0, 10.0, math.inf)
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@dataclass(frozen=True)
+class Fig2Settings:
+    """Scaled-down experimental settings for the Figure 2 sweep.
+
+    Paper scale: T=50 rounds, L=10 local steps, 4 clients (203 for FEMNIST),
+    full MNIST/CIFAR10/CoronaHack datasets, the CNN of Section IV-A.  Defaults
+    here are much smaller so the sweep runs in seconds; raise them via the
+    constructor or the ``REPRO_*`` environment variables to approach paper
+    scale.
+    """
+
+    datasets: Tuple[str, ...] = ("mnist", "cifar10", "femnist", "coronahack")
+    algorithms: Tuple[str, ...] = DEFAULT_ALGORITHMS
+    epsilons: Tuple[float, ...] = (3.0, 5.0, 10.0, math.inf)
+    num_rounds: int = 8
+    local_steps: int = 3
+    batch_size: int = 64
+    num_clients: int = 4
+    femnist_clients: int = 16
+    train_size: int = 600
+    test_size: int = 200
+    lr: float = 0.03
+    rho: float = 10.0
+    zeta: float = 10.0
+    model: str = "mlp"
+    seed: int = 0
+
+    @staticmethod
+    def from_env() -> "Fig2Settings":
+        """Settings with environment-variable overrides applied."""
+        return Fig2Settings(
+            num_rounds=_env_int("REPRO_ROUNDS", 8),
+            local_steps=_env_int("REPRO_LOCAL_STEPS", 3),
+            train_size=_env_int("REPRO_TRAIN_SIZE", 600),
+            num_clients=_env_int("REPRO_CLIENTS", 4),
+        )
+
+
+@dataclass(frozen=True)
+class Fig2Cell:
+    """One point of the Figure 2 grid."""
+
+    dataset: str
+    algorithm: str
+    epsilon: float
+    final_accuracy: float
+    best_accuracy: float
+    accuracy_curve: Tuple[float, ...]
+
+
+@dataclass
+class Fig2Result:
+    """All cells of the sweep plus structured accessors used in benchmarks/tests."""
+
+    cells: List[Fig2Cell] = field(default_factory=list)
+
+    def cell(self, dataset: str, algorithm: str, epsilon: float) -> Fig2Cell:
+        for c in self.cells:
+            if c.dataset == dataset and c.algorithm == algorithm and (
+                c.epsilon == epsilon or (math.isinf(c.epsilon) and math.isinf(epsilon))
+            ):
+                return c
+        raise KeyError((dataset, algorithm, epsilon))
+
+    def accuracy_matrix(self, dataset: str) -> Dict[str, Dict[float, float]]:
+        """{algorithm: {epsilon: final accuracy}} for one dataset."""
+        out: Dict[str, Dict[float, float]] = {}
+        for c in self.cells:
+            if c.dataset == dataset:
+                out.setdefault(c.algorithm, {})[c.epsilon] = c.final_accuracy
+        return out
+
+    def render(self) -> str:
+        rows = []
+        for c in self.cells:
+            eps = "inf" if math.isinf(c.epsilon) else f"{c.epsilon:g}"
+            rows.append([c.dataset, c.algorithm, eps, round(c.final_accuracy, 3), round(c.best_accuracy, 3)])
+        return format_table(
+            ["dataset", "algorithm", "epsilon", "final_acc", "best_acc"],
+            rows,
+            title="Figure 2: test accuracy under varying privacy budgets",
+        )
+
+
+def _make_model_fn(kind: str, image_shape, num_classes: int, seed: int):
+    def model_fn():
+        return build_model(kind, image_shape, num_classes, rng=np.random.default_rng(seed))
+
+    return model_fn
+
+
+def run_fig2(settings: Optional[Fig2Settings] = None, verbose: bool = False) -> Fig2Result:
+    """Run the accuracy-vs-ε sweep of Figure 2 and return all cells."""
+    settings = settings if settings is not None else Fig2Settings()
+    result = Fig2Result()
+    for dataset_name in settings.datasets:
+        num_clients = settings.femnist_clients if dataset_name == "femnist" else settings.num_clients
+        clients, test, spec = load_dataset(
+            dataset_name,
+            num_clients=num_clients,
+            train_size=settings.train_size,
+            test_size=settings.test_size,
+            seed=settings.seed,
+        )
+        model_fn = _make_model_fn(settings.model, spec.image_shape, spec.num_classes, settings.seed + 42)
+        for algorithm in settings.algorithms:
+            for epsilon in settings.epsilons:
+                config = FLConfig(
+                    algorithm=algorithm,
+                    num_rounds=settings.num_rounds,
+                    local_steps=settings.local_steps,
+                    batch_size=settings.batch_size,
+                    lr=settings.lr,
+                    rho=settings.rho,
+                    zeta=settings.zeta,
+                    seed=settings.seed,
+                ).with_privacy(epsilon)
+                runner = build_federation(config, model_fn, clients, test, seed=settings.seed)
+                history = runner.run()
+                cell = Fig2Cell(
+                    dataset=dataset_name,
+                    algorithm=algorithm,
+                    epsilon=epsilon,
+                    final_accuracy=float(history.final_accuracy),
+                    best_accuracy=float(history.best_accuracy),
+                    accuracy_curve=tuple(float(a) for a in history.accuracies),
+                )
+                result.cells.append(cell)
+                if verbose:  # pragma: no cover - console helper
+                    print(f"fig2 {dataset_name}/{algorithm}/eps={epsilon}: {cell.final_accuracy:.3f}")
+    return result

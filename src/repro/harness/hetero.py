@@ -1,0 +1,60 @@
+"""Section IV-E — impact of heterogeneous architectures (A100 vs V100).
+
+The paper measures one FEMNIST local update at 4.24 s on an NVIDIA A100
+(Argonne Swing) versus 6.96 s on a V100 (ORNL Summit), a ×1.64 load imbalance
+between two institutions of a cross-silo federation.  This harness reproduces
+the measurement with the device simulator and additionally quantifies the
+per-round straggler effect: in a synchronous round the faster institution
+idles until the slower one finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..simulator import A100, V100, DeviceSpec, LocalUpdateCostModel
+from .reporting import format_table
+
+__all__ = ["HeteroSettings", "HeteroResult", "run_hetero"]
+
+
+@dataclass(frozen=True)
+class HeteroSettings:
+    """Settings of the heterogeneity measurement (paper values by default)."""
+
+    samples_per_client: int = 181  # average FEMNIST shard in the paper's 5% sample
+    local_steps: int = 10
+    devices: Tuple[DeviceSpec, DeviceSpec] = (A100, V100)
+
+
+@dataclass(frozen=True)
+class HeteroResult:
+    """Local-update times per device and derived load-imbalance statistics."""
+
+    times: Dict[str, float]
+    ratio: float
+    idle_fraction: float  # fraction of a synchronous round the fast device idles
+
+    def render(self) -> str:
+        rows = [[name, round(seconds, 3)] for name, seconds in self.times.items()]
+        table = format_table(["device", "local update (s)"], rows, title="Section IV-E: heterogeneous architectures")
+        return (
+            table
+            + f"\nslow/fast ratio: {self.ratio:.2f} (paper: 1.64 — 6.96 s V100 vs 4.24 s A100)"
+            + f"\nfast-device idle fraction per synchronous round: {self.idle_fraction:.2%}"
+        )
+
+
+def run_hetero(settings: Optional[HeteroSettings] = None) -> HeteroResult:
+    """Measure simulated local-update times on each device and the imbalance."""
+    settings = settings if settings is not None else HeteroSettings()
+    cost = LocalUpdateCostModel(local_steps=settings.local_steps, per_round_overhead=0.0)
+    times = {d.name: cost.local_update_time(d, settings.samples_per_client) for d in settings.devices}
+    fastest = min(times.values())
+    slowest = max(times.values())
+    return HeteroResult(
+        times=times,
+        ratio=slowest / fastest,
+        idle_fraction=(slowest - fastest) / slowest,
+    )

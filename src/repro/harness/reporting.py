@@ -1,0 +1,56 @@
+"""Plain-text reporting helpers shared by the experiment harnesses.
+
+The paper presents its results as figures; since this reproduction is
+headless, every harness renders its result object both as structured data
+(dataclasses / dicts that the benchmarks and tests assert on) and as an ASCII
+table / series via these helpers, so ``pytest benchmarks/ --benchmark-only``
+prints the same rows and series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_check"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render a list of rows as a fixed-width ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series as labelled rows (one figure line/series)."""
+    lines = [f"{name} ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x):>10} : {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def format_check(description: str, expected: str, observed: str, ok: bool) -> str:
+    """One-line comparison between a paper claim and the reproduced value."""
+    status = "OK " if ok else "DIFF"
+    return f"[{status}] {description}: paper={expected} reproduced={observed}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,186 @@
+"""Figure 3 — strong scaling of PPFL local updates on a Summit-like cluster.
+
+Section IV-C: 203 FEMNIST clients are divided over {5, 11, 24, 50, 101, 203}
+MPI processes (one GPU each, plus one server process); the paper reports
+
+* Figure 3a — speedup of the average per-round local-update time (compute +
+  ``MPI.gather`` communication) relative to the 5-process configuration,
+  against the ideal linear-speedup line;
+* Figure 3b — the percentage of that time spent inside ``MPI.gather()``.
+
+The reproduction drives the cluster/device simulator plus the MPI collective
+cost model with the same client population (203 non-IID FEMNIST-like shards)
+and the CNN model size, and reports the same two series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..comm import MPIChannelModel, state_dict_nbytes
+from ..core import build_model
+from ..data import load_dataset, partition_sizes
+from ..simulator import (
+    LocalUpdateCostModel,
+    RoundEvent,
+    SimulationTrace,
+    assign_clients_to_ranks,
+    rank_compute_times,
+    summit_cluster,
+)
+from .reporting import format_series, format_table
+
+__all__ = ["ScalingSettings", "ScalingPoint", "ScalingResult", "run_scaling"]
+
+PAPER_PROCESS_COUNTS = (5, 11, 24, 50, 101, 203)
+
+
+@dataclass(frozen=True)
+class ScalingSettings:
+    """Settings of the strong-scaling experiment (paper values by default)."""
+
+    num_clients: int = 203
+    process_counts: Tuple[int, ...] = PAPER_PROCESS_COUNTS
+    num_rounds: int = 50
+    skip_first_round: bool = True  # the paper drops round 1 (compile time)
+    local_steps: int = 10
+    model: str = "cnn"
+    dataset: str = "femnist"
+    seed: int = 0
+    first_round_overhead: float = 5.0  # extra seconds in round 1 (Python compile)
+    #: Charge the time a rank blocks inside the collective waiting for slower
+    #: ranks to the gather, as an MPI timer around ``MPI.gather()`` would.
+    #: This synchronisation wait — not wire transfer — is what dominates the
+    #: paper's gather percentage as the number of processes grows (the per-rank
+    #: payload shrinks 40×, but the straggler wait does not shrink with it).
+    include_straggler_wait: bool = True
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Timing summary for one MPI-process count."""
+
+    num_processes: int
+    avg_round_seconds: float
+    avg_compute_seconds: float
+    avg_gather_seconds: float
+    gather_percentage: float
+    speedup: float
+    ideal_speedup: float
+
+
+@dataclass
+class ScalingResult:
+    """All scaling points plus render helpers (Figures 3a and 3b)."""
+
+    points: List[ScalingPoint] = field(default_factory=list)
+    model_nbytes: int = 0
+
+    def speedups(self) -> Tuple[List[int], List[float]]:
+        return [p.num_processes for p in self.points], [p.speedup for p in self.points]
+
+    def gather_percentages(self) -> Tuple[List[int], List[float]]:
+        return [p.num_processes for p in self.points], [p.gather_percentage for p in self.points]
+
+    def point(self, num_processes: int) -> ScalingPoint:
+        for p in self.points:
+            if p.num_processes == num_processes:
+                return p
+        raise KeyError(num_processes)
+
+    def render(self) -> str:
+        rows = [
+            [p.num_processes, round(p.avg_round_seconds, 3), round(p.avg_compute_seconds, 3),
+             round(p.avg_gather_seconds, 4), round(p.gather_percentage, 1), round(p.speedup, 2),
+             round(p.ideal_speedup, 2)]
+            for p in self.points
+        ]
+        table = format_table(
+            ["MPI procs", "round (s)", "compute (s)", "gather (s)", "gather %", "speedup", "ideal"],
+            rows,
+            title="Figure 3: strong scaling of local updates (FEMNIST, Summit-like cluster)",
+        )
+        xs, ys = self.speedups()
+        xs2, ys2 = self.gather_percentages()
+        return (
+            table
+            + "\n\n"
+            + format_series("Figure 3a: speedup", xs, ys, "#MPI processes", "speedup")
+            + "\n\n"
+            + format_series("Figure 3b: % MPI.gather", xs2, ys2, "#MPI processes", "percent")
+        )
+
+
+def _client_sample_counts(settings: ScalingSettings) -> np.ndarray:
+    clients, _, _ = load_dataset(settings.dataset, num_clients=settings.num_clients, seed=settings.seed)
+    return partition_sizes(clients)
+
+
+def _model_nbytes(settings: ScalingSettings) -> int:
+    model = build_model(settings.model, (1, 28, 28), 62, rng=np.random.default_rng(settings.seed))
+    return state_dict_nbytes(model.state_dict())
+
+
+def run_scaling(settings: Optional[ScalingSettings] = None, channel: Optional[MPIChannelModel] = None) -> ScalingResult:
+    """Run the Figure 3 strong-scaling simulation and return the two series."""
+    settings = settings if settings is not None else ScalingSettings()
+    channel = channel if channel is not None else MPIChannelModel()
+    counts = _client_sample_counts(settings)
+    model_nbytes = _model_nbytes(settings)
+    cluster = summit_cluster(num_nodes=(max(settings.process_counts) + 5) // 6)
+    cost_model = LocalUpdateCostModel(local_steps=settings.local_steps)
+
+    result = ScalingResult(model_nbytes=model_nbytes)
+    baseline_time: Optional[float] = None
+    baseline_procs = settings.process_counts[0]
+
+    for n_proc in settings.process_counts:
+        assignments = assign_clients_to_ranks(settings.num_clients, n_proc, cluster)
+        compute = rank_compute_times(assignments, counts, cost_model)
+        slowest_compute = max(compute.values())
+        trace = SimulationTrace()
+        for rnd in range(settings.num_rounds):
+            overhead = settings.first_round_overhead if rnd == 0 else 0.0
+            for a in assignments:
+                # Each rank contributes its clients' models to one gather.
+                transfer_seconds = channel.gather_time(
+                    nbytes_per_rank=model_nbytes * a.num_clients,
+                    n_ranks=n_proc,
+                    total_nbytes=model_nbytes * settings.num_clients,
+                )
+                gather_seconds = transfer_seconds
+                if settings.include_straggler_wait:
+                    # A rank that finishes its local updates early blocks inside
+                    # MPI.gather() until the slowest rank arrives.
+                    gather_seconds += slowest_compute - compute[a.rank]
+                trace.add(
+                    RoundEvent(
+                        round=rnd,
+                        rank=a.rank,
+                        compute_seconds=compute[a.rank] + overhead,
+                        comm_seconds=gather_seconds,
+                    )
+                )
+        skip = [0] if settings.skip_first_round else []
+        avg_round = trace.average_round_time(skip_rounds=skip)
+        gather_pct = trace.average_comm_percentage(skip_rounds=skip)
+        n_rounds_counted = settings.num_rounds - len(skip)
+        avg_compute = trace.total_compute_seconds(skip_rounds=skip) / (n_rounds_counted * n_proc)
+        avg_gather = trace.total_comm_seconds(skip_rounds=skip) / (n_rounds_counted * n_proc)
+        if baseline_time is None:
+            baseline_time = avg_round
+        result.points.append(
+            ScalingPoint(
+                num_processes=n_proc,
+                avg_round_seconds=avg_round,
+                avg_compute_seconds=avg_compute,
+                avg_gather_seconds=avg_gather,
+                gather_percentage=gather_pct,
+                speedup=baseline_time / avg_round,
+                ideal_speedup=n_proc / baseline_procs,
+            )
+        )
+    return result

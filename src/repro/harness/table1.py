@@ -1,0 +1,75 @@
+"""Table I — capability comparison of open-source FL frameworks.
+
+The paper's Table I compares OpenFL, FedML, TFF, PySyft, and APPFL on four
+capabilities: data privacy, MPI, gRPC, and MQTT.  This harness reproduces the
+matrix and additionally verifies, by introspection, that this reproduction
+actually provides the capabilities the APPFL column claims (data privacy and
+MPI/gRPC simulation; MQTT is "TBD" in the paper and is likewise absent here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .reporting import format_table
+
+__all__ = ["FEATURES", "FRAMEWORKS", "PAPER_TABLE1", "framework_capabilities", "verify_appfl_column", "render_table1"]
+
+FEATURES = ["data_privacy", "mpi", "grpc", "mqtt"]
+FRAMEWORKS = ["OpenFL", "FedML", "TFF", "PySyft", "APPFL"]
+
+#: Table I exactly as printed in the paper (✓ = True).
+PAPER_TABLE1: Dict[str, Dict[str, bool]] = {
+    "OpenFL": {"data_privacy": False, "mpi": False, "grpc": True, "mqtt": False},
+    "FedML": {"data_privacy": True, "mpi": True, "grpc": True, "mqtt": True},
+    "TFF": {"data_privacy": True, "mpi": False, "grpc": False, "mqtt": False},
+    "PySyft": {"data_privacy": True, "mpi": False, "grpc": False, "mqtt": False},
+    "APPFL": {"data_privacy": True, "mpi": True, "grpc": True, "mqtt": False},
+}
+
+
+def framework_capabilities() -> Dict[str, Dict[str, bool]]:
+    """Return the full Table I matrix (paper values)."""
+    return {fw: dict(caps) for fw, caps in PAPER_TABLE1.items()}
+
+
+def verify_appfl_column() -> Dict[str, bool]:
+    """Check by introspection that this reproduction provides APPFL's claimed capabilities."""
+    observed = {}
+    try:
+        from ..privacy import LaplaceMechanism  # noqa: F401
+
+        observed["data_privacy"] = True
+    except ImportError:  # pragma: no cover - defensive
+        observed["data_privacy"] = False
+    try:
+        from ..comm import MPISimCommunicator  # noqa: F401
+
+        observed["mpi"] = True
+    except ImportError:  # pragma: no cover - defensive
+        observed["mpi"] = False
+    try:
+        from ..comm import GRPCSimCommunicator  # noqa: F401
+
+        observed["grpc"] = True
+    except ImportError:  # pragma: no cover - defensive
+        observed["grpc"] = False
+    # MQTT is listed as TBD in the paper; not implemented here either.
+    observed["mqtt"] = False
+    return observed
+
+
+def render_table1() -> str:
+    """ASCII rendering of Table I plus the introspection check of the APPFL column."""
+    headers = ["framework"] + FEATURES
+    rows: List[List[str]] = []
+    for fw in FRAMEWORKS:
+        rows.append([fw] + ["yes" if PAPER_TABLE1[fw][f] else "-" for f in FEATURES])
+    table = format_table(headers, rows, title="Table I: FL framework capabilities (paper values)")
+    observed = verify_appfl_column()
+    checks = "\n".join(
+        f"  APPFL column check [{f}]: paper={PAPER_TABLE1['APPFL'][f]} reproduction={observed[f]}"
+        for f in FEATURES
+    )
+    return table + "\n" + checks

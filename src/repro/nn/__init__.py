@@ -1,0 +1,40 @@
+"""Numpy-based deep-learning substrate (drop-in for the PyTorch pieces APPFL uses).
+
+Public API::
+
+    from repro import nn
+    model = nn.Sequential(nn.Linear(10, 32), nn.ReLU(), nn.Linear(32, 2))
+    loss = nn.CrossEntropyLoss()(model(x), y)
+    loss.backward()
+    nn.SGD(model.parameters(), lr=0.1).step()
+"""
+
+from . import functional, init
+from .layers import Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from .losses import CrossEntropyLoss, MSELoss, NLLLoss
+from .module import Module, Parameter
+from .optim import SGD, Adam, Optimizer
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "ReLU",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "NLLLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "functional",
+    "init",
+]

@@ -1,0 +1,288 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`.
+
+The convolution and pooling kernels use an im2col/col2im strategy so the hot
+loop is a single large matrix multiplication (per the HPC guide: vectorise,
+avoid per-element Python loops).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "linear",
+    "relu",
+    "conv2d",
+    "max_pool2d",
+    "flatten",
+    "log_softmax",
+    "softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "dropout",
+    "im2col",
+    "col2im",
+]
+
+
+# --------------------------------------------------------------------- dense
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias``.
+
+    ``x`` has shape ``(N, in_features)``; ``weight`` has shape
+    ``(out_features, in_features)``; ``bias`` has shape ``(out_features,)``.
+    """
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise rectified linear unit."""
+    return x.relu()
+
+
+def flatten(x: Tensor, start_dim: int = 1) -> Tensor:
+    """Flatten all dimensions from ``start_dim`` onward."""
+    shape = x.shape
+    lead = shape[:start_dim]
+    tail = int(np.prod(shape[start_dim:])) if len(shape) > start_dim else 1
+    return x.reshape(lead + (tail,))
+
+
+# --------------------------------------------------------------- convolution
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x: array of shape ``(N, C, H, W)``.
+    kernel, stride, padding: spatial parameters.
+
+    Returns
+    -------
+    cols: array of shape ``(N, C*kh*kw, out_h*out_w)``.
+    (out_h, out_w): output spatial size.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    # Strided sliding-window view, then gather into columns (one copy, no loop).
+    shape = (n, c, kh, kw, out_h, out_w)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2],
+        x.strides[3],
+        x.strides[2] * sh,
+        x.strides[3] * sw,
+    )
+    windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = windows.reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_max = i + sh * out_h
+        for j in range(kw):
+            j_max = j + sw * out_w
+            padded[:, :, i:i_max:sh, j:j_max:sw] += cols6[:, :, i, j, :, :]
+    if ph or pw:
+        return padded[:, :, ph : ph + h, pw : pw + w]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride=1,
+    padding=0,
+) -> Tensor:
+    """2-D convolution (cross-correlation, matching ``torch.nn.functional.conv2d``).
+
+    ``x``: ``(N, C_in, H, W)``; ``weight``: ``(C_out, C_in, kh, kw)``;
+    ``bias``: ``(C_out,)``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"conv2d channel mismatch: input has {c_in}, weight expects {c_in_w}")
+
+    cols, (out_h, out_w) = im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(c_out, -1)  # (C_out, C_in*kh*kw)
+    # (N, C_out, out_h*out_w) via batched matmul.
+    out = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1)
+    out = out.reshape(n, c_out, out_h, out_w)
+
+    x_shape = x.shape
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray):
+        # grad: (N, C_out, out_h, out_w)
+        grad_mat = grad.reshape(n, c_out, out_h * out_w)
+        grad_x = None
+        grad_w = None
+        grad_b = None
+        if x.requires_grad:
+            # dL/dcols = W^T @ grad, then fold back.
+            dcols = np.einsum("ok,nop->nkp", w_mat, grad_mat, optimize=True)
+            grad_x = col2im(dcols, x_shape, (kh, kw), stride, padding)
+        if weight.requires_grad:
+            grad_w = np.einsum("nop,nkp->ok", grad_mat, cols, optimize=True).reshape(weight.shape)
+        if bias is not None and bias.requires_grad:
+            grad_b = grad_mat.sum(axis=(0, 2))
+        if bias is None:
+            return (grad_x, grad_w)
+        return (grad_x, grad_w, grad_b)
+
+    return Tensor._make(out, parents, backward, "conv2d")
+
+
+def max_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
+    """2-D max pooling over ``(N, C, H, W)`` inputs."""
+    kernel = _pair(kernel_size)
+    stride = _pair(stride if stride is not None else kernel_size)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    kh, kw = kernel
+
+    cols, (out_h, out_w) = im2col(x.data, kernel, stride, padding)
+    # cols: (N, C*kh*kw, P) -> (N, C, kh*kw, P)
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    arg = cols.argmax(axis=2)  # (N, C, P)
+    out = np.take_along_axis(cols, arg[:, :, None, :], axis=2).squeeze(2)
+    out = out.reshape(n, c, out_h, out_w)
+
+    x_shape = x.shape
+
+    def backward(grad: np.ndarray):
+        grad_flat = grad.reshape(n, c, out_h * out_w)
+        dcols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=grad.dtype)
+        np.put_along_axis(dcols, arg[:, :, None, :], grad_flat[:, :, None, :], axis=2)
+        dcols = dcols.reshape(n, c * kh * kw, out_h * out_w)
+        return (col2im(dcols, x_shape, kernel, stride, padding),)
+
+    return Tensor._make(out, (x,), backward, "max_pool2d")
+
+
+# ------------------------------------------------------------------- softmax
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    m = x.data.max(axis=axis, keepdims=True)
+    shifted = x - Tensor(m)
+    lse = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - lse
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood of integer class ``targets`` under ``log_probs``."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy with integer class targets.
+
+    Implemented with a fused backward (the classic ``softmax - onehot``
+    gradient) so it is both fast and numerically stable.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    z = logits.data
+    n = z.shape[0]
+    z_shift = z - z.max(axis=1, keepdims=True)
+    exp = np.exp(z_shift)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    log_probs = z_shift - np.log(exp.sum(axis=1, keepdims=True))
+    losses = -log_probs[np.arange(n), targets]
+    if reduction == "mean":
+        value = losses.mean()
+        scale = 1.0 / n
+    elif reduction == "sum":
+        value = losses.sum()
+        scale = 1.0
+    else:
+        raise ValueError(f"unsupported reduction {reduction!r}")
+
+    def backward(grad: np.ndarray):
+        g = probs.copy()
+        g[np.arange(n), targets] -= 1.0
+        return (g * (float(grad) * scale),)
+
+    return Tensor._make(np.asarray(value), (logits,), backward, "cross_entropy")
+
+
+def mse_loss(pred: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    """Mean squared error loss."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target.detach()
+    sq = diff * diff
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    return sq
+
+
+def dropout(x: Tensor, p: float = 0.5, training: bool = True, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` during training."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)

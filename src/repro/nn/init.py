@@ -1,0 +1,78 @@
+"""Weight-initialisation schemes for :mod:`repro.nn` layers."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "kaiming_uniform",
+    "kaiming_normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "uniform_fan_in",
+    "zeros",
+    "calculate_fan",
+]
+
+
+def calculate_fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight tensor shape.
+
+    For linear weights ``(out, in)``; for convolution weights
+    ``(out_channels, in_channels, kh, kw)`` the receptive-field size is folded
+    into the fans, matching PyTorch's convention.
+    """
+    if len(shape) < 2:
+        raise ValueError("fan calculation requires at least a 2-D shape")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape, rng: Optional[np.random.Generator] = None, a: float = math.sqrt(5)) -> np.ndarray:
+    """He/Kaiming uniform init (PyTorch's default for Linear/Conv2d weights)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    fan_in, _ = calculate_fan(shape)
+    gain = math.sqrt(2.0 / (1.0 + a ** 2))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He/Kaiming normal init."""
+    rng = rng if rng is not None else np.random.default_rng()
+    fan_in, _ = calculate_fan(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform init."""
+    rng = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = calculate_fan(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier normal init."""
+    rng = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = calculate_fan(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform_fan_in(shape, fan_in: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniform(-1/sqrt(fan_in), 1/sqrt(fan_in)) — PyTorch's default bias init."""
+    rng = rng if rng is not None else np.random.default_rng()
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros initialisation."""
+    return np.zeros(shape)

@@ -1,0 +1,44 @@
+"""Loss modules wrapping the functional implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "NLLLoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy with integer class targets (like ``torch.nn.CrossEntropyLoss``)."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, reduction=self.reduction)
+
+
+class NLLLoss(Module):
+    """Negative log-likelihood loss over log-probabilities."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, log_probs: Tensor, targets: np.ndarray) -> Tensor:
+        return F.nll_loss(log_probs, targets, reduction=self.reduction)
+
+
+class MSELoss(Module):
+    """Mean squared error loss."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, pred: Tensor, target) -> Tensor:
+        return F.mse_loss(pred, target, reduction=self.reduction)

@@ -1,0 +1,130 @@
+"""``Module``/``Parameter`` abstractions mirroring ``torch.nn.Module``.
+
+The APPFL paper requires user models to be a ``torch.nn.Module``; the
+reproduction keeps the same contract: an FL model is any subclass of
+:class:`Module`, and the framework only relies on the state-dict interface
+(ordered mapping of parameter names to numpy arrays) plus ``forward``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a learnable model parameter."""
+
+    def __init__(self, data, requires_grad: bool = True):
+        super().__init__(data, requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes in ``__init__`` and implement :meth:`forward`.  Parameters and
+    submodules are discovered automatically through ``__setattr__``, exactly
+    like PyTorch.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ---------------------------------------------------------- registration
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, param: Parameter) -> None:
+        """Explicitly register a parameter (used by container modules)."""
+        self._parameters[name] = param
+        object.__setattr__(self, name, param)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Explicitly register a child module under ``name``."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -------------------------------------------------------------- traversal
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs recursively, in registration order."""
+        for name, param in self._parameters.items():
+            yield (prefix + name, param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters recursively."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in the model."""
+        return sum(p.size for p in self.parameters())
+
+    # -------------------------------------------------------------- state dict
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Return an ordered mapping of parameter names to *copies* of their data."""
+        return OrderedDict((name, p.data.copy()) for name, p in self.named_parameters())
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values from ``state`` (in place, no reallocation)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            if name not in own:
+                continue
+            param = own[name]
+            value = np.asarray(value, dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
+            param.data[...] = value
+
+    # ------------------------------------------------------- train/eval state
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout, etc.)."""
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all parameters."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------ call
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError("Module subclasses must implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        children = ", ".join(f"{k}={type(v).__name__}" for k, v in self._modules.items())
+        return f"{type(self).__name__}({children})"

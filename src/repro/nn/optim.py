@@ -1,0 +1,131 @@
+"""Optimisers operating on :class:`repro.nn.module.Parameter` buffers.
+
+The paper's FedAvg clients run SGD with momentum [30]; the IADMM-based
+algorithms use their own closed-form update (Algorithm 1 line 16) and do not
+go through an optimiser.  Adam is provided as an extension point for
+user-defined client updates.
+
+All updates are performed in place on the parameter buffers (no reallocation
+on the hot path, per the HPC guide).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class for optimisers.
+
+    Parameters
+    ----------
+    params:
+        Iterable of :class:`Parameter` objects to update.
+    """
+
+    def __init__(self, params: Iterable[Parameter]):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    Matches ``torch.optim.SGD`` semantics: ``v = mu*v + g``; ``p -= lr*v``.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one SGD update using the gradients stored on the parameters."""
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                buf = self._velocity.get(id(p))
+                if buf is None:
+                    buf = grad.copy()
+                    self._velocity[id(p)] = buf
+                else:
+                    buf *= self.momentum
+                    buf += grad
+                update = buf
+            else:
+                update = grad
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one Adam update using the gradients stored on the parameters."""
+        self._t += 1
+        t = self._t
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m = self._m.setdefault(id(p), np.zeros_like(p.data))
+            v = self._v.setdefault(id(p), np.zeros_like(p.data))
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            m_hat = m / (1 - self.beta1 ** t)
+            v_hat = v / (1 - self.beta2 ** t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,392 @@
+"""Reverse-mode automatic differentiation on top of numpy arrays.
+
+This module is the substrate that replaces ``torch.Tensor`` for the APPFL
+reproduction.  It implements a small but complete dynamic computation graph:
+each :class:`Tensor` produced by an operation records its parent tensors and
+a backward closure that maps the upstream gradient to per-parent gradients.
+Calling :meth:`Tensor.backward` performs a reverse topological traversal and
+accumulates gradients into every tensor created with ``requires_grad=True``.
+
+Only the operations required by the federated-learning workloads are
+implemented (dense layers, convolution via im2col in :mod:`repro.nn.functional`,
+pooling, ReLU, softmax cross-entropy, elementwise arithmetic and reductions),
+but the graph machinery is generic and new ops can be added by following the
+same pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (like ``torch.no_grad``)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations are being recorded on the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype != dtype:
+            return data.astype(dtype)
+        return data
+    return np.asarray(data, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over the axes that were broadcast to produce it."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+# A backward function maps the upstream gradient to one gradient per parent
+# (``None`` for parents that do not require grad).
+BackwardFn = Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]
+
+
+class Tensor:
+    """A numpy-backed array with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Array data; copied only when a dtype conversion is required.
+    requires_grad:
+        If True, gradients are accumulated in :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        self.data: np.ndarray = _as_array(data)
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[BackwardFn] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self._op: str = ""
+
+    # ------------------------------------------------------------------ utils
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing the same data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}, op={self._op!r})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # --------------------------------------------------------------- plumbing
+    @staticmethod
+    def _make(data: np.ndarray, parents: Tuple["Tensor", ...], backward: BackwardFn, op: str) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._backward = backward
+            out._parents = parents
+            out._op = op
+        return out
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Gradients are accumulated (summed) into the ``grad`` attribute of every
+        reachable tensor with ``requires_grad=True``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.shape:
+            grad = np.broadcast_to(grad, self.shape).astype(np.float64)
+
+        # Reverse topological order of the subgraph reachable from self.
+        topo: List[Tensor] = []
+        visited: set[int] = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in visited:
+                    stack.append((p, False))
+
+        pending: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            g = pending.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward is None:
+                # Leaf tensor: accumulate into .grad.
+                if node.grad is None:
+                    node.grad = g.astype(np.float64, copy=True)
+                else:
+                    node.grad += g
+                continue
+            parent_grads = node._backward(g)
+            for parent, pg in zip(node._parents, parent_grads):
+                if pg is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in pending:
+                    pending[key] = pending[key] + pg
+                else:
+                    pending[key] = pg
+
+    # ----------------------------------------------------------- constructors
+    @staticmethod
+    def zeros(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> "Tensor":
+        rng = rng if rng is not None else np.random.default_rng()
+        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------- arithmetic
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad: np.ndarray):
+            return (_unbroadcast(grad, self.shape), _unbroadcast(grad, other.shape))
+
+        return Tensor._make(self.data + other.data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return (-grad,)
+
+        return Tensor._make(-self.data, (self,), backward, "neg")
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad: np.ndarray):
+            return (_unbroadcast(grad, self.shape), _unbroadcast(-grad, other.shape))
+
+        return Tensor._make(self.data - other.data, (self, other), backward, "sub")
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad * other.data, self.shape),
+                _unbroadcast(grad * self.data, other.shape),
+            )
+
+        return Tensor._make(self.data * other.data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad / other.data, self.shape),
+                _unbroadcast(-grad * self.data / (other.data ** 2), other.shape),
+            )
+
+        return Tensor._make(self.data / other.data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return (grad * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(self.data ** exponent, (self,), backward, "pow")
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad: np.ndarray):
+            ga = grad @ np.swapaxes(other.data, -1, -2)
+            gb = np.swapaxes(self.data, -1, -2) @ grad
+            return (_unbroadcast(ga, self.shape), _unbroadcast(gb, other.shape))
+
+        return Tensor._make(self.data @ other.data, (self, other), backward, "matmul")
+
+    # -------------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(grad: np.ndarray):
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                shape = list(self.shape)
+                for ax in sorted(a % self.ndim for a in axes):
+                    shape[ax] = 1
+                g = g.reshape(shape)
+            return (np.broadcast_to(g, self.shape).copy(),)
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            full = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == full).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            return (mask * g,)
+
+        return Tensor._make(data, (self,), backward, "max")
+
+    # ------------------------------------------------------------- elementwise
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * data,)
+
+        return Tensor._make(data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return (grad / self.data,)
+
+        return Tensor._make(np.log(self.data), (self,), backward, "log")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._make(self.data * mask, (self,), backward, "relu")
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * (1.0 - data ** 2),)
+
+        return Tensor._make(data, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray):
+            return (grad * data * (1.0 - data),)
+
+        return Tensor._make(data, (self,), backward, "sigmoid")
+
+    # ------------------------------------------------------------------ shape
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+
+        def backward(grad: np.ndarray):
+            return (grad.reshape(original),)
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward, "reshape")
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = tuple(np.argsort(axes))
+
+        def backward(grad: np.ndarray):
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward, "transpose")
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(grad: np.ndarray):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            return (full,)
+
+        return Tensor._make(self.data[index], (self,), backward, "getitem")

@@ -1,0 +1,28 @@
+"""Differential-privacy mechanisms, sensitivity rules, clipping, and accounting."""
+
+from .accountant import PrivacyAccountant
+from .clipping import clip_by_norm, clip_state_by_global_norm, global_norm
+from .mechanisms import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    Mechanism,
+    NoPrivacy,
+    make_mechanism,
+)
+from .sensitivity import FedAvgSensitivity, FixedSensitivity, IADMMSensitivity, SensitivityRule
+
+__all__ = [
+    "Mechanism",
+    "NoPrivacy",
+    "LaplaceMechanism",
+    "GaussianMechanism",
+    "make_mechanism",
+    "SensitivityRule",
+    "IADMMSensitivity",
+    "FedAvgSensitivity",
+    "FixedSensitivity",
+    "clip_by_norm",
+    "clip_state_by_global_norm",
+    "global_norm",
+    "PrivacyAccountant",
+]

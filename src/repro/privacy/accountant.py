@@ -1,0 +1,61 @@
+"""Privacy-budget accounting across communication rounds.
+
+The paper applies the Laplace mechanism "for any communication round", i.e.
+each round consumes ε̄ of budget on the data released in that round.  The
+accountant tracks per-client spend under basic (sequential) composition so
+experiments can report the cumulative budget consumed over T rounds — a
+useful diagnostic even though the paper itself reports only the per-round ε̄.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+__all__ = ["PrivacyAccountant"]
+
+
+class PrivacyAccountant:
+    """Tracks (ε, δ) spend per client under sequential composition."""
+
+    def __init__(self) -> None:
+        self._spend: Dict[int, List[Tuple[float, float]]] = defaultdict(list)
+
+    def record(self, client_id: int, epsilon: float, delta: float = 0.0) -> None:
+        """Record one release by ``client_id`` with per-release budget (ε, δ)."""
+        if epsilon < 0 or delta < 0:
+            raise ValueError("epsilon and delta must be non-negative")
+        if not math.isfinite(epsilon):
+            # Non-private release: nothing to account for.
+            return
+        self._spend[client_id].append((float(epsilon), float(delta)))
+
+    def releases(self, client_id: int) -> int:
+        """Number of private releases recorded for a client."""
+        return len(self._spend.get(client_id, []))
+
+    def epsilon_spent(self, client_id: int) -> float:
+        """Total ε consumed by a client (basic composition: sum over releases)."""
+        return float(sum(e for e, _ in self._spend.get(client_id, [])))
+
+    def delta_spent(self, client_id: int) -> float:
+        """Total δ consumed by a client (basic composition)."""
+        return float(sum(d for _, d in self._spend.get(client_id, [])))
+
+    def max_epsilon_spent(self) -> float:
+        """Worst-case ε across clients (0.0 when nothing recorded)."""
+        if not self._spend:
+            return 0.0
+        return max(self.epsilon_spent(cid) for cid in self._spend)
+
+    def summary(self) -> Dict[int, Dict[str, float]]:
+        """Per-client accounting summary."""
+        return {
+            cid: {
+                "releases": float(self.releases(cid)),
+                "epsilon": self.epsilon_spent(cid),
+                "delta": self.delta_spent(cid),
+            }
+            for cid in sorted(self._spend)
+        }

@@ -1,0 +1,24 @@
+"""Cluster/device simulator for scaling and heterogeneity experiments."""
+
+from .cluster import Cluster, Node, summit_cluster, swing_cluster
+from .device import A100, CPU_DEVICE, DEVICE_CATALOG, V100, DeviceSpec, LocalUpdateCostModel
+from .scheduler import RankAssignment, assign_clients_to_ranks, rank_compute_times
+from .trace import RoundEvent, SimulationTrace
+
+__all__ = [
+    "DeviceSpec",
+    "A100",
+    "V100",
+    "CPU_DEVICE",
+    "DEVICE_CATALOG",
+    "LocalUpdateCostModel",
+    "Node",
+    "Cluster",
+    "summit_cluster",
+    "swing_cluster",
+    "RankAssignment",
+    "assign_clients_to_ranks",
+    "rank_compute_times",
+    "RoundEvent",
+    "SimulationTrace",
+]

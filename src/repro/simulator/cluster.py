@@ -1,0 +1,72 @@
+"""Cluster topology model: nodes with GPUs, and named preset clusters.
+
+Presets mirror the two machines used in the paper:
+
+* **Summit** (ORNL): 6 NVIDIA V100 GPUs per node; the scaling study launches
+  up to 203 client MPI processes plus one server process.
+* **Swing** (Argonne): 8 NVIDIA A100 GPUs per node (6-node cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .device import A100, V100, DeviceSpec
+
+__all__ = ["Node", "Cluster", "summit_cluster", "swing_cluster"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One compute node holding ``len(devices)`` accelerators."""
+
+    name: str
+    devices: tuple
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+
+@dataclass
+class Cluster:
+    """A collection of nodes, with helpers to enumerate devices."""
+
+    name: str
+    nodes: List[Node] = field(default_factory=list)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_devices(self) -> int:
+        return sum(n.num_devices for n in self.nodes)
+
+    def devices(self) -> List[DeviceSpec]:
+        """Flat list of all devices, node-major order."""
+        return [d for node in self.nodes for d in node.devices]
+
+    def device_for_rank(self, rank: int) -> DeviceSpec:
+        """Device assigned to an MPI rank (round-robin across the flat device list)."""
+        devs = self.devices()
+        if not devs:
+            raise ValueError("cluster has no devices")
+        return devs[rank % len(devs)]
+
+
+def summit_cluster(num_nodes: int = 34) -> Cluster:
+    """ORNL Summit-like cluster: ``num_nodes`` nodes × 6 V100 GPUs."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    nodes = [Node(f"summit-{i}", tuple([V100] * 6)) for i in range(num_nodes)]
+    return Cluster("summit", nodes)
+
+
+def swing_cluster(num_nodes: int = 6) -> Cluster:
+    """Argonne Swing-like cluster: ``num_nodes`` nodes × 8 A100 GPUs."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    nodes = [Node(f"swing-{i}", tuple([A100] * 8)) for i in range(num_nodes)]
+    return Cluster("swing", nodes)

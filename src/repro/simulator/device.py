@@ -1,0 +1,66 @@
+"""Compute-device models (GPUs/CPUs) for the cluster simulator.
+
+The paper's heterogeneity discussion (Section IV-E) measures one FEMNIST
+local update at 4.24 s on an NVIDIA A100 (Argonne Swing) versus 6.96 s on a
+V100 (ORNL Summit), a factor of ~1.64.  :class:`DeviceSpec` captures relative
+throughput so the simulator can reproduce the load imbalance between
+heterogeneous clients without real GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["DeviceSpec", "A100", "V100", "CPU_DEVICE", "DEVICE_CATALOG", "LocalUpdateCostModel"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A compute device with a relative training throughput.
+
+    ``throughput`` is in samples-per-second for one reference local step of the
+    paper's CNN; absolute values are calibrated so that a full FEMNIST local
+    update (L=10 epochs over an average client shard) lands near the paper's
+    measured seconds.
+    """
+
+    name: str
+    throughput: float  # samples / second for the reference CNN step
+    memory_gb: float = 16.0
+
+    def step_time(self, num_samples: int) -> float:
+        """Seconds to process ``num_samples`` samples once (forward+backward)."""
+        if num_samples < 0:
+            raise ValueError("num_samples must be non-negative")
+        return num_samples / self.throughput
+
+
+# Calibration: the paper's FEMNIST local update (L=10 passes over an average
+# shard of ~181 samples) takes 4.24 s on an A100 → ~427 samples/s, and 6.96 s
+# on a V100 → ~260 samples/s (ratio 1.64).
+A100 = DeviceSpec("A100", throughput=427.0, memory_gb=40.0)
+V100 = DeviceSpec("V100", throughput=260.0, memory_gb=16.0)
+CPU_DEVICE = DeviceSpec("CPU", throughput=25.0, memory_gb=64.0)
+
+DEVICE_CATALOG: Dict[str, DeviceSpec] = {d.name: d for d in (A100, V100, CPU_DEVICE)}
+
+
+@dataclass(frozen=True)
+class LocalUpdateCostModel:
+    """Simulated duration of one client local update on a device.
+
+    A local update is ``local_steps`` passes over the client's ``num_samples``
+    training samples plus a fixed per-round framework overhead (Python/launch
+    costs, which the paper excludes from round 1 onwards by dropping the first
+    round from its averages).
+    """
+
+    local_steps: int = 10
+    per_round_overhead: float = 0.05
+
+    def local_update_time(self, device: DeviceSpec, num_samples: int) -> float:
+        """Seconds of compute for one local update of a client with ``num_samples``."""
+        if self.local_steps <= 0:
+            raise ValueError("local_steps must be positive")
+        return self.per_round_overhead + self.local_steps * device.step_time(num_samples)

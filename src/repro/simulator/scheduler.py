@@ -1,0 +1,74 @@
+"""Client→rank scheduling for simulated MPI runs.
+
+The paper's scaling experiment (Section IV-C) divides 203 FEMNIST clients
+"equally" over a chosen number of MPI processes, each pinned to a dedicated
+GPU, with one extra process reserved for the server.  This module reproduces
+that assignment and computes per-rank compute time per round, which the
+scaling harness combines with the MPI gather cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .cluster import Cluster
+from .device import DeviceSpec, LocalUpdateCostModel
+
+__all__ = ["RankAssignment", "assign_clients_to_ranks", "rank_compute_times"]
+
+
+@dataclass(frozen=True)
+class RankAssignment:
+    """Assignment of client indices to one MPI rank running on one device."""
+
+    rank: int
+    device: DeviceSpec
+    client_ids: tuple
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.client_ids)
+
+
+def assign_clients_to_ranks(
+    num_clients: int, num_ranks: int, cluster: Cluster
+) -> List[RankAssignment]:
+    """Distribute ``num_clients`` clients evenly over ``num_ranks`` MPI ranks.
+
+    Clients are dealt out contiguously with near-equal counts (the first
+    ``num_clients % num_ranks`` ranks get one extra), matching
+    ``numpy.array_split`` semantics; each rank is pinned to a device of the
+    cluster round-robin.
+    """
+    if num_ranks <= 0:
+        raise ValueError("num_ranks must be positive")
+    if num_clients < num_ranks:
+        raise ValueError("cannot have fewer clients than ranks")
+    splits = np.array_split(np.arange(num_clients), num_ranks)
+    return [
+        RankAssignment(rank=r, device=cluster.device_for_rank(r), client_ids=tuple(int(i) for i in idx))
+        for r, idx in enumerate(splits)
+    ]
+
+
+def rank_compute_times(
+    assignments: Sequence[RankAssignment],
+    client_sample_counts: Sequence[int],
+    cost_model: LocalUpdateCostModel,
+) -> Dict[int, float]:
+    """Per-rank compute seconds for one round.
+
+    A rank processes its clients sequentially (they share one GPU), so its
+    compute time is the sum of its clients' local-update times.
+    """
+    counts = np.asarray(client_sample_counts)
+    out: Dict[int, float] = {}
+    for a in assignments:
+        total = 0.0
+        for cid in a.client_ids:
+            total += cost_model.local_update_time(a.device, int(counts[cid]))
+        out[a.rank] = total
+    return out

@@ -1,0 +1,84 @@
+"""Event traces for simulated FL rounds.
+
+The scaling and communication harnesses record one :class:`RoundEvent` per
+(round, rank) with the simulated compute and communication seconds; the
+aggregation helpers then produce the series that Figures 3a/3b plot (average
+local-update time, speedup, and gather percentage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["RoundEvent", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class RoundEvent:
+    """Timing of one MPI rank in one communication round."""
+
+    round: int
+    rank: int
+    compute_seconds: float
+    comm_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.comm_seconds
+
+
+@dataclass
+class SimulationTrace:
+    """Collection of per-round, per-rank timing events."""
+
+    events: List[RoundEvent] = field(default_factory=list)
+
+    def add(self, event: RoundEvent) -> None:
+        self.events.append(event)
+
+    def extend(self, events: Iterable[RoundEvent]) -> None:
+        self.events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def rounds(self) -> List[int]:
+        return sorted({e.round for e in self.events})
+
+    def _filtered(self, skip_rounds: Iterable[int]) -> List[RoundEvent]:
+        skip = set(skip_rounds)
+        return [e for e in self.events if e.round not in skip]
+
+    def average_round_time(self, skip_rounds: Iterable[int] = ()) -> float:
+        """Average per-round wall-clock time (max over ranks, averaged over rounds).
+
+        The paper reports "the average time (computation + communication) for
+        clients' local updates"; since ranks run in parallel, a round's
+        duration is the slowest rank.
+        """
+        events = self._filtered(skip_rounds)
+        if not events:
+            return 0.0
+        per_round: Dict[int, float] = {}
+        for e in events:
+            per_round[e.round] = max(per_round.get(e.round, 0.0), e.total_seconds)
+        return float(np.mean(list(per_round.values())))
+
+    def average_comm_percentage(self, skip_rounds: Iterable[int] = ()) -> float:
+        """Average over ranks of ``100 * comm / (comm + compute)`` (Figure 3b)."""
+        events = self._filtered(skip_rounds)
+        if not events:
+            return 0.0
+        percentages = [
+            100.0 * e.comm_seconds / e.total_seconds for e in events if e.total_seconds > 0
+        ]
+        return float(np.mean(percentages)) if percentages else 0.0
+
+    def total_compute_seconds(self, skip_rounds: Iterable[int] = ()) -> float:
+        return float(sum(e.compute_seconds for e in self._filtered(skip_rounds)))
+
+    def total_comm_seconds(self, skip_rounds: Iterable[int] = ()) -> float:
+        return float(sum(e.comm_seconds for e in self._filtered(skip_rounds)))

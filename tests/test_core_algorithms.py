@@ -1,0 +1,332 @@
+"""Tests for FedAvg, ICEADMM, and IIADMM servers/clients and the runner."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FLConfig,
+    FedAvgClient,
+    FedAvgServer,
+    ICEADMMClient,
+    ICEADMMServer,
+    IIADMMClient,
+    IIADMMServer,
+    MLP,
+    FederatedRunner,
+    build_federation,
+)
+from repro.core.base import DUAL_KEY, GLOBAL_KEY, PRIMAL_KEY
+from repro.comm import GRPCSimCommunicator, MPISimCommunicator, SerialCommunicator, state_dict_nbytes
+from repro.core.metrics import Evaluator
+from repro.data import TensorDataset, iid_partition
+from repro.privacy import PrivacyAccountant
+
+
+def make_dataset(n=120, dim=8, classes=3, seed=0, separation=3.0, centers=None):
+    """Linearly separable-ish classification data."""
+    rng = np.random.default_rng(seed)
+    if centers is None:
+        centers = rng.standard_normal((classes, dim)) * separation
+    y = rng.integers(0, classes, n)
+    x = centers[y] + rng.standard_normal((n, dim))
+    return TensorDataset(x, y)
+
+
+def model_fn(seed=7, dim=8, classes=3):
+    return MLP(dim, classes, hidden_sizes=(16,), rng=np.random.default_rng(seed))
+
+
+def make_clients_and_test(num_clients=3, seed=0):
+    centers = np.random.default_rng(seed + 555).standard_normal((3, 8)) * 3.0
+    train = make_dataset(150, seed=seed, centers=centers)
+    test = make_dataset(60, seed=seed + 100, centers=centers)
+    clients = iid_partition(train, num_clients, rng=np.random.default_rng(seed))
+    return clients, test
+
+
+def base_config(algorithm, **kwargs):
+    defaults = dict(num_rounds=3, local_steps=2, batch_size=32, lr=0.05, rho=2.0, zeta=2.0, seed=0)
+    defaults.update(kwargs)
+    return FLConfig(algorithm=algorithm, **defaults)
+
+
+class TestFedAvg:
+    def test_server_uniform_average(self):
+        cfg = base_config("fedavg", weighted_aggregation=False)
+        server = FedAvgServer(model_fn(), cfg, num_clients=2, client_sample_counts=[10, 10])
+        dim = server.vectorizer.dim
+        payloads = {0: {PRIMAL_KEY: np.zeros(dim)}, 1: {PRIMAL_KEY: np.ones(dim)}}
+        server.update(payloads)
+        np.testing.assert_allclose(server.global_params, 0.5)
+
+    def test_server_weighted_average(self):
+        cfg = base_config("fedavg", weighted_aggregation=True)
+        server = FedAvgServer(model_fn(), cfg, num_clients=2, client_sample_counts=[10, 30])
+        dim = server.vectorizer.dim
+        payloads = {0: {PRIMAL_KEY: np.zeros(dim)}, 1: {PRIMAL_KEY: np.ones(dim)}}
+        server.update(payloads)
+        np.testing.assert_allclose(server.global_params, 0.75)
+
+    def test_server_empty_payloads(self):
+        server = FedAvgServer(model_fn(), base_config("fedavg"), num_clients=1)
+        with pytest.raises(ValueError):
+            server.update({})
+
+    def test_server_syncs_model(self):
+        cfg = base_config("fedavg", weighted_aggregation=False)
+        server = FedAvgServer(model_fn(), cfg, num_clients=1, client_sample_counts=[5])
+        dim = server.vectorizer.dim
+        server.update({0: {PRIMAL_KEY: np.full(dim, 0.25)}})
+        np.testing.assert_allclose(server.vectorizer.to_vector(), 0.25)
+
+    def test_client_update_moves_parameters(self):
+        clients, _ = make_clients_and_test()
+        cfg = base_config("fedavg")
+        client = FedAvgClient(0, model_fn(), clients[0], cfg)
+        w = client.vectorizer.to_vector()
+        payload = client.update({GLOBAL_KEY: w})
+        assert PRIMAL_KEY in payload and DUAL_KEY not in payload
+        assert np.linalg.norm(payload[PRIMAL_KEY] - w) > 0
+
+    def test_client_reduces_local_loss(self):
+        clients, _ = make_clients_and_test()
+        cfg = base_config("fedavg", local_steps=5)
+        client = FedAvgClient(0, model_fn(), clients[0], cfg)
+        w = client.vectorizer.to_vector()
+        before = client.local_loss(w)
+        z = client.update({GLOBAL_KEY: w})[PRIMAL_KEY]
+        assert client.local_loss(z) < before
+
+    def test_dp_noise_applied(self):
+        clients, _ = make_clients_and_test()
+        cfg_np = base_config("fedavg", momentum=0.0)
+        cfg_dp = cfg_np.with_privacy(3.0)
+        w = None
+        outs = []
+        for cfg in (cfg_np, cfg_dp):
+            client = FedAvgClient(0, model_fn(), clients[0], cfg, rng=np.random.default_rng(0))
+            w = client.vectorizer.to_vector()
+            outs.append(client.update({GLOBAL_KEY: w})[PRIMAL_KEY])
+        assert not np.allclose(outs[0], outs[1])
+
+
+class TestIIADMM:
+    def test_client_payload_contains_only_primal(self):
+        clients, _ = make_clients_and_test()
+        client = IIADMMClient(0, model_fn(), clients[0], base_config("iiadmm"))
+        payload = client.update({GLOBAL_KEY: client.vectorizer.to_vector()})
+        assert set(payload) == {PRIMAL_KEY}
+
+    def test_server_and_client_duals_stay_identical(self):
+        """The duplicated dual updates (Algorithm 1 lines 6 and 21) must agree."""
+        clients, test = make_clients_and_test(num_clients=2)
+        cfg = base_config("iiadmm", num_rounds=3)
+        runner = build_federation(cfg, model_fn, clients, test)
+        runner.run(3)
+        server = runner.server
+        for client in runner.clients:
+            np.testing.assert_allclose(server.duals[client.client_id], client.dual, atol=1e-10)
+
+    def test_duals_identical_under_privacy_too(self):
+        clients, test = make_clients_and_test(num_clients=2)
+        cfg = base_config("iiadmm", num_rounds=2).with_privacy(5.0)
+        runner = build_federation(cfg, model_fn, clients, test)
+        runner.run(2)
+        for client in runner.clients:
+            np.testing.assert_allclose(runner.server.duals[client.client_id], client.dual, atol=1e-10)
+
+    def test_global_update_formula(self):
+        """w = (1/P) Σ (z_p − λ_p/ρ) with freshly updated duals."""
+        cfg = base_config("iiadmm", rho=2.0)
+        server = IIADMMServer(model_fn(), cfg, num_clients=2, client_sample_counts=[5, 5])
+        dim = server.vectorizer.dim
+        w_old = server.global_params.copy()
+        z0, z1 = np.full(dim, 0.5), np.full(dim, -0.5)
+        server.update({0: {PRIMAL_KEY: z0}, 1: {PRIMAL_KEY: z1}})
+        lam0 = 2.0 * (w_old - z0)
+        lam1 = 2.0 * (w_old - z1)
+        expected = 0.5 * ((z0 - lam0 / 2.0) + (z1 - lam1 / 2.0))
+        np.testing.assert_allclose(server.global_params, expected)
+
+    def test_consensus_residual_decreases(self):
+        clients, test = make_clients_and_test(num_clients=2)
+        cfg = base_config("iiadmm", num_rounds=6, local_steps=3)
+        runner = build_federation(cfg, model_fn, clients, test)
+        residuals = []
+        for t in range(6):
+            runner.run_round(t)
+            residuals.append(runner.server.consensus_residual())
+        assert residuals[-1] < residuals[0]
+
+    def test_adaptive_rho_growth(self):
+        clients, _ = make_clients_and_test()
+        cfg = base_config("iiadmm", adaptive_rho=True, rho_growth=2.0, rho=1.0)
+        client = IIADMMClient(0, model_fn(), clients[0], cfg)
+        client.update({GLOBAL_KEY: client.vectorizer.to_vector()})
+        assert client.rho == pytest.approx(2.0)
+        client.update({GLOBAL_KEY: client.vectorizer.to_vector()})
+        assert client.rho == pytest.approx(4.0)
+
+    def test_fedavg_is_special_case_of_iadmm(self):
+        """Section III-A: FedAvg ≡ IADMM with λ=0, ζ=0, ρ=1/η (one local SGD pass)."""
+        clients, _ = make_clients_and_test(num_clients=1)
+        eta = 0.05
+        n = len(clients[0])
+        cfg_fed = base_config("fedavg", lr=eta, momentum=0.0, local_steps=1, batch_size=n)
+        cfg_admm = base_config("iiadmm", rho=1.0 / eta, zeta=0.0, local_steps=1, batch_size=n)
+
+        fed = FedAvgClient(0, model_fn(), clients[0], cfg_fed, rng=np.random.default_rng(0))
+        admm = IIADMMClient(0, model_fn(), clients[0], cfg_admm, rng=np.random.default_rng(0))
+        w = fed.vectorizer.to_vector()
+        z_fed = fed.update({GLOBAL_KEY: w.copy()})[PRIMAL_KEY]
+        z_admm = admm.update({GLOBAL_KEY: w.copy()})[PRIMAL_KEY]
+        np.testing.assert_allclose(z_fed, z_admm, atol=1e-10)
+
+
+class TestICEADMM:
+    def test_client_payload_contains_primal_and_dual(self):
+        clients, _ = make_clients_and_test()
+        client = ICEADMMClient(0, model_fn(), clients[0], base_config("iceadmm"))
+        payload = client.update({GLOBAL_KEY: client.vectorizer.to_vector()})
+        assert set(payload) == {PRIMAL_KEY, DUAL_KEY}
+
+    def test_iceadmm_payload_twice_the_bytes_of_iiadmm(self):
+        """Section IV-D: ICEADMM communicates both primal and dual each round."""
+        clients, _ = make_clients_and_test()
+        ice = ICEADMMClient(0, model_fn(), clients[0], base_config("iceadmm"))
+        ii = IIADMMClient(0, model_fn(), clients[0], base_config("iiadmm"))
+        w = ice.vectorizer.to_vector()
+        ice_bytes = state_dict_nbytes(ice.update({GLOBAL_KEY: w.copy()}))
+        ii_bytes = state_dict_nbytes(ii.update({GLOBAL_KEY: w.copy()}))
+        assert ice_bytes == 2 * ii_bytes
+
+    def test_server_global_update_formula(self):
+        cfg = base_config("iceadmm", rho=4.0)
+        server = ICEADMMServer(model_fn(), cfg, num_clients=2, client_sample_counts=[5, 5])
+        dim = server.vectorizer.dim
+        z0, z1 = np.full(dim, 1.0), np.full(dim, 3.0)
+        l0, l1 = np.full(dim, 4.0), np.full(dim, -4.0)
+        server.update({0: {PRIMAL_KEY: z0, DUAL_KEY: l0}, 1: {PRIMAL_KEY: z1, DUAL_KEY: l1}})
+        expected = 0.5 * ((1.0 - 1.0) + (3.0 + 1.0))
+        np.testing.assert_allclose(server.global_params, expected)
+
+    def test_dual_updates_locally_accumulate(self):
+        clients, _ = make_clients_and_test()
+        client = ICEADMMClient(0, model_fn(), clients[0], base_config("iceadmm"))
+        w = client.vectorizer.to_vector()
+        client.update({GLOBAL_KEY: w.copy()})
+        assert np.linalg.norm(client.dual) > 0
+
+    def test_empty_payloads(self):
+        server = ICEADMMServer(model_fn(), base_config("iceadmm"), num_clients=1)
+        with pytest.raises(ValueError):
+            server.update({})
+
+
+class TestRunnerAndIntegration:
+    def test_runner_validation(self):
+        clients, test = make_clients_and_test(num_clients=2)
+        cfg = base_config("fedavg")
+        runner = build_federation(cfg, model_fn, clients, test)
+        with pytest.raises(ValueError):
+            FederatedRunner(runner.server, [])
+        with pytest.raises(ValueError):
+            FederatedRunner(runner.server, runner.clients[:1])
+
+    def test_history_and_metrics_recorded(self):
+        clients, test = make_clients_and_test(num_clients=2)
+        cfg = base_config("fedavg", num_rounds=2)
+        runner = build_federation(cfg, model_fn, clients, test)
+        history = runner.run()
+        assert len(history) == 2
+        assert history.final_accuracy is not None
+        assert history.best_accuracy >= history.accuracies.min()
+        assert history.total_comm_bytes() > 0
+        assert all(r.comm_seconds == 0.0 for r in history.rounds)  # serial communicator
+
+    def test_callback_invoked(self):
+        clients, test = make_clients_and_test(num_clients=2)
+        cfg = base_config("fedavg", num_rounds=2)
+        runner = build_federation(cfg, model_fn, clients, test)
+        seen = []
+        runner.run(callback=lambda r: seen.append(r.round))
+        assert seen == [0, 1]
+
+    def test_no_evaluator_yields_none_accuracy(self):
+        clients, _ = make_clients_and_test(num_clients=2)
+        cfg = base_config("fedavg", num_rounds=1)
+        runner = build_federation(cfg, model_fn, clients, test_dataset=None)
+        history = runner.run()
+        assert history.rounds[0].test_accuracy is None
+        assert history.final_accuracy is None
+
+    @pytest.mark.parametrize("algorithm", ["fedavg", "iiadmm", "iceadmm"])
+    def test_all_algorithms_learn(self, algorithm):
+        clients, test = make_clients_and_test(num_clients=3, seed=2)
+        cfg = base_config(algorithm, num_rounds=5, local_steps=3)
+        runner = build_federation(cfg, model_fn, clients, test)
+        history = runner.run()
+        ev = Evaluator(test)
+        untrained_acc, _ = ev(model_fn())
+        assert history.final_accuracy > untrained_acc + 0.15
+        assert history.final_accuracy > 0.6
+
+    def test_initial_models_synchronised(self):
+        clients, test = make_clients_and_test(num_clients=3)
+        cfg = base_config("iiadmm")
+        runner = build_federation(cfg, lambda: model_fn(seed=None if False else np.random.randint(0, 10**6)), clients, test)
+        ref = runner.server.vectorizer.to_vector()
+        for client in runner.clients:
+            np.testing.assert_allclose(client.vectorizer.to_vector(), ref)
+
+    def test_privacy_accountant_tracks_rounds(self):
+        clients, test = make_clients_and_test(num_clients=2)
+        cfg = base_config("fedavg", num_rounds=3).with_privacy(2.0)
+        runner = build_federation(cfg, model_fn, clients, test)
+        runner.run()
+        assert runner.accountant.releases(0) == 3
+        assert runner.accountant.epsilon_spent(0) == pytest.approx(6.0)
+
+    def test_non_private_run_does_not_consume_budget(self):
+        clients, test = make_clients_and_test(num_clients=2)
+        cfg = base_config("fedavg", num_rounds=2)
+        runner = build_federation(cfg, model_fn, clients, test)
+        runner.run()
+        assert runner.accountant.max_epsilon_spent() == 0.0
+
+    def test_dp_degrades_accuracy(self):
+        clients, test = make_clients_and_test(num_clients=3, seed=3)
+
+        def final_acc(eps):
+            cfg = base_config("iiadmm", num_rounds=4, local_steps=3, seed=1).with_privacy(eps)
+            return build_federation(cfg, model_fn, clients, test).run().final_accuracy
+
+        assert final_acc(math.inf) > final_acc(0.5)
+
+    def test_runner_with_mpi_communicator_records_time(self):
+        clients, test = make_clients_and_test(num_clients=3)
+        cfg = base_config("fedavg", num_rounds=2)
+        comm = MPISimCommunicator(num_processes=3)
+        runner = build_federation(cfg, model_fn, clients, test, communicator=comm)
+        history = runner.run()
+        assert all(r.comm_seconds > 0 for r in history.rounds)
+
+    def test_runner_with_grpc_communicator_slower_than_mpi(self):
+        clients, test = make_clients_and_test(num_clients=3)
+        cfg = base_config("fedavg", num_rounds=2)
+        mpi = build_federation(cfg, model_fn, clients, test, communicator=MPISimCommunicator(3)).run()
+        grpc = build_federation(
+            cfg, model_fn, clients, test, communicator=GRPCSimCommunicator(rng=np.random.default_rng(0))
+        ).run()
+        assert sum(r.comm_seconds for r in grpc.rounds) > sum(r.comm_seconds for r in mpi.rounds)
+
+    def test_deterministic_given_seed(self):
+        clients, test = make_clients_and_test(num_clients=2)
+
+        def run():
+            cfg = base_config("fedavg", num_rounds=2, seed=5)
+            return build_federation(cfg, model_fn, clients, test, seed=5).run().final_accuracy
+
+        assert run() == run()

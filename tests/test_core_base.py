@@ -1,0 +1,272 @@
+"""Tests for FLConfig, ModelVectorizer, BaseServer/BaseClient, registry, metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    FLConfig,
+    PrivacyConfig,
+    BaseClient,
+    BaseServer,
+    Evaluator,
+    MLP,
+    LogisticRegression,
+    ModelVectorizer,
+    PaperCNN,
+    available_algorithms,
+    build_model,
+    evaluate,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.core.base import GLOBAL_KEY
+from repro.data import TensorDataset
+
+
+def tiny_dataset(n=40, dim=6, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, dim))
+    y = rng.integers(0, classes, n)
+    return TensorDataset(x, y)
+
+
+def tiny_model(seed=0):
+    return MLP(6, 3, hidden_sizes=(8,), rng=np.random.default_rng(seed))
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = FLConfig()
+        assert cfg.num_rounds == 50
+        assert cfg.local_steps == 10
+        assert cfg.batch_size == 64
+        assert not cfg.privacy.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_rounds": 0},
+            {"local_steps": 0},
+            {"batch_size": 0},
+            {"lr": 0.0},
+            {"momentum": 1.0},
+            {"rho": 0.0},
+            {"zeta": -1.0},
+            {"rho_growth": 0.0},
+            {"algorithm": ""},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FLConfig(**kwargs)
+
+    def test_privacy_config_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            PrivacyConfig(clip_norm=0.0)
+        with pytest.raises(ValueError):
+            PrivacyConfig(mechanism="exponential")
+
+    def test_privacy_enabled_flag(self):
+        assert PrivacyConfig(epsilon=3.0).enabled
+        assert not PrivacyConfig(epsilon=math.inf).enabled
+
+    def test_with_privacy_and_with_algorithm(self):
+        cfg = FLConfig(algorithm="fedavg")
+        private = cfg.with_privacy(5.0)
+        assert private.privacy.epsilon == 5.0
+        assert cfg.privacy.epsilon == math.inf  # original untouched (frozen)
+        assert cfg.with_algorithm("iiadmm").algorithm == "iiadmm"
+
+    def test_custom_algorithm_name_allowed(self):
+        assert FLConfig(algorithm="my_custom_alg").algorithm == "my_custom_alg"
+
+
+class TestModelVectorizer:
+    def test_dim_matches_num_parameters(self):
+        model = tiny_model()
+        vec = ModelVectorizer(model)
+        assert vec.dim == model.num_parameters()
+
+    def test_roundtrip(self):
+        model = tiny_model()
+        vec = ModelVectorizer(model)
+        original = vec.to_vector()
+        vec.load_vector(np.zeros(vec.dim))
+        assert np.all(vec.to_vector() == 0)
+        vec.load_vector(original)
+        np.testing.assert_allclose(vec.to_vector(), original)
+
+    def test_load_wrong_shape(self):
+        vec = ModelVectorizer(tiny_model())
+        with pytest.raises(ValueError):
+            vec.load_vector(np.zeros(vec.dim + 1))
+
+    def test_grad_vector_zeros_when_no_grad(self):
+        vec = ModelVectorizer(tiny_model())
+        np.testing.assert_allclose(vec.grad_vector(), np.zeros(vec.dim))
+
+    def test_grad_vector_after_backward(self):
+        model = tiny_model()
+        vec = ModelVectorizer(model)
+        x = np.random.default_rng(0).standard_normal((5, 6))
+        y = np.array([0, 1, 2, 0, 1])
+        loss = nn.CrossEntropyLoss()(model(nn.Tensor(x)), y)
+        loss.backward()
+        g = vec.grad_vector()
+        assert g.shape == (vec.dim,)
+        assert np.linalg.norm(g) > 0
+
+
+class TestModels:
+    def test_paper_cnn_forward_shape(self):
+        model = PaperCNN(1, 10, image_size=(28, 28), hidden=16, conv_channels=(4, 8), rng=np.random.default_rng(0))
+        out = model(nn.Tensor(np.zeros((2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_mlp_flattens_images(self):
+        model = MLP(28 * 28, 10, rng=np.random.default_rng(0))
+        out = model(nn.Tensor(np.zeros((3, 1, 28, 28))))
+        assert out.shape == (3, 10)
+
+    def test_logistic_regression(self):
+        model = LogisticRegression(12, 4, rng=np.random.default_rng(0))
+        out = model(nn.Tensor(np.zeros((5, 12))))
+        assert out.shape == (5, 4)
+
+    def test_build_model_kinds(self):
+        shape = (1, 8, 8)
+        assert isinstance(build_model("cnn", shape, 3), PaperCNN)
+        assert isinstance(build_model("mlp", shape, 3), MLP)
+        assert isinstance(build_model("logistic", shape, 3), LogisticRegression)
+        with pytest.raises(ValueError):
+            build_model("transformer", shape, 3)
+
+
+class TestBaseClasses:
+    def test_base_client_update_abstract(self):
+        client = BaseClient(0, tiny_model(), tiny_dataset(), FLConfig(algorithm="fedavg"))
+        with pytest.raises(NotImplementedError):
+            client.update({GLOBAL_KEY: np.zeros(client.vectorizer.dim)})
+
+    def test_base_server_update_abstract(self):
+        server = BaseServer(tiny_model(), FLConfig(algorithm="fedavg"), num_clients=2)
+        with pytest.raises(NotImplementedError):
+            server.update({})
+
+    def test_client_num_samples_and_gradient(self):
+        ds = tiny_dataset(30)
+        client = BaseClient(0, tiny_model(), ds, FLConfig(algorithm="fedavg", batch_size=16))
+        assert client.num_samples == 30
+        params = client.vectorizer.to_vector()
+        g = client.full_gradient(params)
+        assert g.shape == params.shape
+        assert np.linalg.norm(g) > 0
+
+    def test_client_local_loss_decreases_with_gradient_step(self):
+        ds = tiny_dataset(30)
+        client = BaseClient(0, tiny_model(), ds, FLConfig(algorithm="fedavg"))
+        params = client.vectorizer.to_vector()
+        loss0 = client.local_loss(params)
+        g = client.full_gradient(params)
+        loss1 = client.local_loss(params - 0.1 * g)
+        assert loss1 < loss0
+
+    def test_clip_gradient_only_when_private(self):
+        ds = tiny_dataset()
+        big = np.full(10, 100.0)
+        non_private = BaseClient(0, tiny_model(), ds, FLConfig(algorithm="fedavg"))
+        np.testing.assert_allclose(non_private.clip_gradient(big), big)
+        private = BaseClient(0, tiny_model(), ds, FLConfig(algorithm="fedavg").with_privacy(3.0, clip_norm=1.0))
+        assert np.linalg.norm(private.clip_gradient(big)) == pytest.approx(1.0)
+
+    def test_server_client_weights_uniform_vs_weighted(self):
+        cfg_uniform = FLConfig(algorithm="fedavg", weighted_aggregation=False)
+        cfg_weighted = FLConfig(algorithm="fedavg", weighted_aggregation=True)
+        counts = [10, 30]
+        s_u = BaseServer(tiny_model(), cfg_uniform, 2, counts)
+        s_w = BaseServer(tiny_model(), cfg_weighted, 2, counts)
+        np.testing.assert_allclose(s_u.client_weights(), [0.5, 0.5])
+        np.testing.assert_allclose(s_w.client_weights(), [0.25, 0.75])
+
+    def test_server_validation(self):
+        with pytest.raises(ValueError):
+            BaseServer(tiny_model(), FLConfig(algorithm="fedavg"), num_clients=0)
+        with pytest.raises(ValueError):
+            BaseServer(tiny_model(), FLConfig(algorithm="fedavg"), num_clients=2, client_sample_counts=[1])
+
+    def test_broadcast_payload_is_copy(self):
+        server = BaseServer(tiny_model(), FLConfig(algorithm="fedavg"), num_clients=1)
+        payload = server.broadcast_payload()
+        payload[GLOBAL_KEY][0] = 1e9
+        assert server.global_params[0] != 1e9
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"fedavg", "iceadmm", "iiadmm"} <= set(available_algorithms())
+
+    def test_get_algorithm_case_insensitive(self):
+        assert get_algorithm("FedAvg") == get_algorithm("fedavg")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            get_algorithm("does-not-exist")
+
+    def test_register_custom(self):
+        from repro.core.fedavg import FedAvgClient, FedAvgServer
+
+        class MyServer(FedAvgServer):
+            pass
+
+        class MyClient(FedAvgClient):
+            pass
+
+        register_algorithm("my_test_alg", MyServer, MyClient)
+        assert get_algorithm("my_test_alg") == (MyServer, MyClient)
+
+    def test_register_invalid_types(self):
+        with pytest.raises(TypeError):
+            register_algorithm("bad", dict, BaseClient)
+        with pytest.raises(TypeError):
+            register_algorithm("bad", BaseServer, dict)
+
+
+class TestMetrics:
+    def test_evaluate_perfect_model(self):
+        # A linear model constructed to classify perfectly.
+        ds = TensorDataset(np.eye(3), np.arange(3))
+        model = LogisticRegression(3, 3, rng=np.random.default_rng(0))
+        model.linear.weight.data[...] = 10 * np.eye(3)
+        model.linear.bias.data[...] = 0.0
+        acc, loss = evaluate(model, ds)
+        assert acc == 1.0
+        assert loss < 0.01
+
+    def test_evaluate_random_model_near_chance(self):
+        ds = tiny_dataset(300, dim=6, classes=3, seed=1)
+        model = MLP(6, 3, hidden_sizes=(4,), rng=np.random.default_rng(0))
+        acc, loss = evaluate(model, ds)
+        assert 0.1 < acc < 0.7
+        assert loss > 0.5
+
+    def test_evaluator_callable(self):
+        ds = tiny_dataset(20)
+        ev = Evaluator(ds, batch_size=8)
+        acc, loss = ev(tiny_model())
+        assert 0.0 <= acc <= 1.0
+
+    def test_evaluate_empty_dataset(self):
+        ds = TensorDataset(np.zeros((0, 6)), np.zeros(0))
+        acc, loss = evaluate(tiny_model(), ds) if len(ds) else (0.0, 0.0)
+        assert acc == 0.0 and loss == 0.0
+
+    def test_evaluate_restores_training_mode(self):
+        model = tiny_model()
+        model.train()
+        evaluate(model, tiny_dataset(10))
+        assert model.training

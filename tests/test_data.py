@@ -1,0 +1,316 @@
+"""Tests for datasets, data loaders, partitioners, transforms, and synthetic data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DATASET_SPECS,
+    ConcatDataset,
+    DataLoader,
+    FlattenTransform,
+    Normalize,
+    Compose,
+    Subset,
+    TensorDataset,
+    by_writer_partition,
+    dirichlet_partition,
+    iid_partition,
+    load_dataset,
+    partition_sizes,
+    shard_partition,
+    stack_dataset,
+    standardize_dataset,
+    synthetic_cifar10,
+    synthetic_coronahack,
+    synthetic_femnist,
+    synthetic_mnist,
+)
+
+
+def small_dataset(n=20, num_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 3))
+    y = rng.integers(0, num_classes, n)
+    return TensorDataset(x, y)
+
+
+class TestTensorDataset:
+    def test_len_and_getitem(self):
+        ds = small_dataset(10)
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert x.shape == (3,)
+        assert isinstance(y, int)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            TensorDataset(np.zeros((5, 2)), np.zeros(4))
+
+    def test_num_classes(self):
+        ds = TensorDataset(np.zeros((4, 1)), np.array([0, 2, 1, 2]))
+        assert ds.num_classes == 3
+
+    def test_num_classes_empty(self):
+        assert TensorDataset(np.zeros((0, 1)), np.zeros(0)).num_classes == 0
+
+    def test_subset(self):
+        ds = small_dataset(10)
+        sub = Subset(ds, [2, 5, 7])
+        assert len(sub) == 3
+        np.testing.assert_allclose(sub[1][0], ds[5][0])
+
+    def test_concat(self):
+        a, b = small_dataset(5, seed=1), small_dataset(7, seed=2)
+        cat = ConcatDataset([a, b])
+        assert len(cat) == 12
+        np.testing.assert_allclose(cat[6][0], b[1][0])
+        np.testing.assert_allclose(cat[-1][0], b[6][0])
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError):
+            ConcatDataset([])
+
+    def test_concat_out_of_range(self):
+        cat = ConcatDataset([small_dataset(3)])
+        with pytest.raises(IndexError):
+            cat[10]
+
+    def test_stack_dataset_on_subset(self):
+        ds = small_dataset(10)
+        x, y = stack_dataset(Subset(ds, [0, 1]))
+        assert x.shape == (2, 3)
+        assert y.shape == (2,)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        ds = small_dataset(23)
+        loader = DataLoader(ds, batch_size=8)
+        batches = list(loader)
+        assert [len(b[0]) for b in batches] == [8, 8, 7]
+        assert len(loader) == 3
+
+    def test_drop_last(self):
+        loader = DataLoader(small_dataset(23), batch_size=8, drop_last=True)
+        assert len(loader) == 2
+        assert all(len(x) == 8 for x, _ in loader)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        ds = small_dataset(50)
+        loader = DataLoader(ds, batch_size=50, shuffle=True, rng=np.random.default_rng(0))
+        x1, y1 = next(iter(loader))
+        x_ref, y_ref = ds.arrays()
+        assert not np.allclose(x1, x_ref)
+        np.testing.assert_allclose(np.sort(x1.sum(axis=1)), np.sort(x_ref.sum(axis=1)))
+
+    def test_no_shuffle_preserves_order(self):
+        ds = small_dataset(10)
+        loader = DataLoader(ds, batch_size=10, shuffle=False)
+        x, y = next(iter(loader))
+        np.testing.assert_allclose(x, ds.inputs)
+
+    def test_full_batch(self):
+        ds = small_dataset(15)
+        x, y = DataLoader(ds, batch_size=4).full_batch()
+        assert len(x) == 15
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(small_dataset(5), batch_size=0)
+
+    def test_num_samples(self):
+        assert DataLoader(small_dataset(9), batch_size=2).num_samples == 9
+
+    @given(st.integers(1, 50), st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_batches_cover_all_samples(self, n, bs):
+        ds = small_dataset(n)
+        loader = DataLoader(ds, batch_size=bs, shuffle=True, rng=np.random.default_rng(1))
+        total = sum(len(x) for x, _ in loader)
+        assert total == n
+
+
+class TestPartitioners:
+    def test_iid_partition_sizes(self):
+        clients = iid_partition(small_dataset(103), 4, rng=np.random.default_rng(0))
+        sizes = partition_sizes(clients)
+        assert sizes.sum() == 103
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_iid_partition_disjoint(self):
+        ds = small_dataset(40)
+        clients = iid_partition(ds, 4, rng=np.random.default_rng(0))
+        all_idx = np.concatenate([c.indices for c in clients])
+        assert len(np.unique(all_idx)) == 40
+
+    def test_iid_too_many_clients(self):
+        with pytest.raises(ValueError):
+            iid_partition(small_dataset(3), 10)
+
+    def test_iid_invalid_clients(self):
+        with pytest.raises(ValueError):
+            iid_partition(small_dataset(3), 0)
+
+    def test_shard_partition_label_concentration(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((200, 2))
+        y = np.repeat(np.arange(10), 20)
+        ds = TensorDataset(x, y)
+        clients = shard_partition(ds, 10, shards_per_client=2, rng=rng)
+        # Each client should see at most ~3 distinct labels (2 shards).
+        for c in clients:
+            _, labels = stack_dataset(c)
+            assert len(np.unique(labels)) <= 3
+        assert partition_sizes(clients).sum() == 200
+
+    def test_dirichlet_partition_covers_all(self):
+        ds = small_dataset(300, num_classes=5)
+        clients = dirichlet_partition(ds, 6, alpha=0.3, rng=np.random.default_rng(0))
+        assert partition_sizes(clients).sum() == 300
+        assert all(len(c) >= 1 for c in clients)
+
+    def test_dirichlet_alpha_validation(self):
+        with pytest.raises(ValueError):
+            dirichlet_partition(small_dataset(10), 2, alpha=0.0)
+
+    def test_dirichlet_skew_increases_with_small_alpha(self):
+        ds = small_dataset(2000, num_classes=10, seed=3)
+
+        def label_entropy(clients):
+            ents = []
+            for c in clients:
+                _, labels = stack_dataset(c)
+                counts = np.bincount(labels, minlength=10).astype(float)
+                p = counts / counts.sum()
+                p = p[p > 0]
+                ents.append(-(p * np.log(p)).sum())
+            return np.mean(ents)
+
+        skewed = dirichlet_partition(ds, 10, alpha=0.05, rng=np.random.default_rng(0))
+        uniform = dirichlet_partition(ds, 10, alpha=100.0, rng=np.random.default_rng(0))
+        assert label_entropy(skewed) < label_entropy(uniform)
+
+    def test_by_writer_partition(self):
+        ds = small_dataset(12)
+        writers = np.array([0, 0, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3])
+        clients = by_writer_partition(ds, writers)
+        assert len(clients) == 4
+        assert [len(c) for c in clients] == [2, 3, 4, 3]
+
+    def test_by_writer_length_mismatch(self):
+        with pytest.raises(ValueError):
+            by_writer_partition(small_dataset(5), [0, 1])
+
+
+class TestSyntheticDatasets:
+    @pytest.mark.parametrize(
+        "maker,name",
+        [
+            (synthetic_mnist, "mnist"),
+            (synthetic_cifar10, "cifar10"),
+            (synthetic_coronahack, "coronahack"),
+        ],
+    )
+    def test_shapes_match_spec(self, maker, name):
+        train, test = maker(train_size=64, test_size=16)
+        spec = DATASET_SPECS[name]
+        assert train.inputs.shape == (64,) + spec.image_shape
+        assert test.inputs.shape == (16,) + spec.image_shape
+        assert train.labels.max() < spec.num_classes
+
+    def test_determinism_same_seed(self):
+        a, _ = synthetic_mnist(train_size=32, test_size=8, seed=7)
+        b, _ = synthetic_mnist(train_size=32, test_size=8, seed=7)
+        np.testing.assert_allclose(a.inputs, b.inputs)
+
+    def test_different_seeds_differ(self):
+        a, _ = synthetic_mnist(train_size=32, test_size=8, seed=1)
+        b, _ = synthetic_mnist(train_size=32, test_size=8, seed=2)
+        assert not np.allclose(a.inputs, b.inputs)
+
+    def test_synthetic_is_learnable_by_linear_model(self):
+        # A linear classifier should beat chance comfortably on the prototype data.
+        train, test = synthetic_mnist(train_size=500, test_size=200, seed=0)
+        xtr = train.inputs.reshape(len(train), -1)
+        xte = test.inputs.reshape(len(test), -1)
+        # One-vs-all least squares.
+        onehot = np.eye(10)[train.labels]
+        W = np.linalg.lstsq(xtr, onehot, rcond=None)[0]
+        acc = (xte @ W).argmax(axis=1).mean() if False else ((xte @ W).argmax(axis=1) == test.labels).mean()
+        assert acc > 0.5
+
+    def test_femnist_writer_structure(self):
+        train, test, writer_ids = synthetic_femnist(num_writers=20, samples_per_writer=(5, 30), seed=0)
+        assert len(writer_ids) == len(train)
+        clients = by_writer_partition(train, writer_ids)
+        assert len(clients) == 20
+        sizes = partition_sizes(clients)
+        assert sizes.min() >= 1
+        # Unbalanced: not all writers contribute the same number of samples.
+        assert sizes.max() > sizes.min()
+
+    def test_femnist_invalid_samples_per_writer(self):
+        with pytest.raises(ValueError):
+            synthetic_femnist(num_writers=3, samples_per_writer=(0, 5))
+
+    def test_femnist_label_skew(self):
+        train, _, writer_ids = synthetic_femnist(num_writers=10, samples_per_writer=(30, 60), seed=1, num_classes=10)
+        clients = by_writer_partition(train, writer_ids)
+        # Each writer's label distribution should be skewed (few dominant classes).
+        for c in clients[:5]:
+            _, labels = stack_dataset(c)
+            counts = np.bincount(labels, minlength=10)
+            assert counts.max() > len(labels) / 10
+
+
+class TestLoadDataset:
+    def test_load_mnist_default_clients(self):
+        clients, test, spec = load_dataset("mnist", train_size=80, test_size=20)
+        assert len(clients) == 4
+        assert spec.name == "mnist"
+        assert partition_sizes(clients).sum() == 80
+
+    def test_load_femnist_num_clients(self):
+        clients, test, spec = load_dataset("femnist", num_clients=12, train_size=240)
+        assert len(clients) == 12
+        assert spec.num_classes == 62
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+    def test_load_coronahack(self):
+        clients, test, spec = load_dataset("coronahack", num_clients=3, train_size=60, test_size=12)
+        assert len(clients) == 3
+        assert spec.num_classes == 3
+
+
+class TestTransforms:
+    def test_normalize(self):
+        t = Normalize(mean=[1.0], std=[2.0])
+        x = np.full((1, 4, 4), 3.0)
+        np.testing.assert_allclose(t(x), np.ones((1, 4, 4)))
+
+    def test_normalize_zero_std_raises(self):
+        with pytest.raises(ValueError):
+            Normalize(mean=[0.0], std=[0.0])
+
+    def test_flatten_transform(self):
+        assert FlattenTransform()(np.zeros((3, 4, 4))).shape == (48,)
+
+    def test_compose(self):
+        t = Compose([Normalize([0.0], [2.0]), FlattenTransform()])
+        out = t(np.full((1, 2, 2), 4.0))
+        np.testing.assert_allclose(out, np.full(4, 2.0))
+
+    def test_standardize(self):
+        x = np.random.default_rng(0).normal(5, 3, (100, 10))
+        z = standardize_dataset(x)
+        assert abs(z.mean()) < 1e-10
+        assert abs(z.std() - 1) < 1e-10
+
+    def test_standardize_constant_input(self):
+        z = standardize_dataset(np.full((5, 5), 2.0))
+        np.testing.assert_allclose(z, 0.0)

@@ -1,0 +1,196 @@
+"""Tests for the experiment harnesses (table1, fig2, scaling, comm, hetero, volume, ablation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    AblationSettings,
+    CommCompareSettings,
+    CommVolumeSettings,
+    Fig2Settings,
+    HeteroSettings,
+    PAPER_TABLE1,
+    ScalingSettings,
+    format_check,
+    format_series,
+    format_table,
+    render_table1,
+    run_comm_compare,
+    run_comm_volume,
+    run_fig2,
+    run_hetero,
+    run_scaling,
+    run_zeta_ablation,
+    verify_appfl_column,
+)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], ["x", 0.0001]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        out = format_series("s", [1, 2], [0.5, 0.25])
+        assert "s" in out and "0.5" in out and "0.25" in out
+
+    def test_format_check(self):
+        assert format_check("d", "1", "1", True).startswith("[OK ]")
+        assert format_check("d", "1", "2", False).startswith("[DIFF]")
+
+
+class TestTable1:
+    def test_appfl_column_verified(self):
+        assert verify_appfl_column() == PAPER_TABLE1["APPFL"]
+
+    def test_render_contains_all_frameworks(self):
+        out = render_table1()
+        for fw in ("OpenFL", "FedML", "TFF", "PySyft", "APPFL"):
+            assert fw in out
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def tiny_result(self):
+        settings = Fig2Settings(
+            datasets=("mnist",),
+            algorithms=("fedavg", "iiadmm"),
+            epsilons=(5.0, math.inf),
+            num_rounds=2,
+            local_steps=1,
+            train_size=120,
+            test_size=60,
+            num_clients=3,
+        )
+        return run_fig2(settings)
+
+    def test_grid_size(self, tiny_result):
+        assert len(tiny_result.cells) == 1 * 2 * 2
+
+    def test_cell_lookup(self, tiny_result):
+        cell = tiny_result.cell("mnist", "fedavg", math.inf)
+        assert cell.dataset == "mnist"
+        assert 0.0 <= cell.final_accuracy <= 1.0
+        assert len(cell.accuracy_curve) == 2
+        with pytest.raises(KeyError):
+            tiny_result.cell("mnist", "fedavg", 99.0)
+
+    def test_accuracy_matrix_and_render(self, tiny_result):
+        matrix = tiny_result.accuracy_matrix("mnist")
+        assert set(matrix) == {"fedavg", "iiadmm"}
+        assert "Figure 2" in tiny_result.render()
+
+    def test_settings_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ROUNDS", "12")
+        assert Fig2Settings.from_env().num_rounds == 12
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scaling(ScalingSettings(num_rounds=2, process_counts=(5, 24, 203)))
+
+    def test_points_and_lookup(self, result):
+        assert [p.num_processes for p in result.points] == [5, 24, 203]
+        assert result.point(24).num_processes == 24
+        with pytest.raises(KeyError):
+            result.point(7)
+
+    def test_speedup_baseline_is_one(self, result):
+        assert result.points[0].speedup == pytest.approx(1.0)
+        assert result.points[0].ideal_speedup == pytest.approx(1.0)
+
+    def test_speedup_increases(self, result):
+        xs, ys = result.speedups()
+        assert ys[-1] > ys[0]
+
+    def test_gather_percentage_increases(self, result):
+        xs, ys = result.gather_percentages()
+        assert ys[-1] > ys[0]
+
+    def test_render_mentions_figures(self, result):
+        out = result.render()
+        assert "Figure 3a" in out and "Figure 3b" in out
+
+    def test_no_straggler_wait_variant_has_smaller_gather(self):
+        base = ScalingSettings(num_rounds=2, process_counts=(203,))
+        with_wait = run_scaling(base).point(203)
+        without_wait = run_scaling(
+            ScalingSettings(num_rounds=2, process_counts=(203,), include_straggler_wait=False)
+        ).point(203)
+        assert without_wait.avg_gather_seconds < with_wait.avg_gather_seconds
+
+
+class TestCommCompare:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_comm_compare(CommCompareSettings(num_clients=20, num_rounds=30, boxplot_clients=(1, 5, 19, 200)))
+
+    def test_every_client_present(self, result):
+        assert len(result.grpc_cumulative) == 20
+        assert len(result.mpi_cumulative) == 20
+
+    def test_out_of_range_boxplot_client_skipped(self, result):
+        assert all(b.client_id < 20 for b in result.box_stats)
+
+    def test_grpc_slower(self, result):
+        assert result.median_slowdown() > 1.5
+        assert np.all(result.slowdown_factors() > 1.0)
+
+    def test_box_stats_ordered(self, result):
+        for b in result.box_stats:
+            assert b.minimum <= b.q1 <= b.median <= b.q3 <= b.maximum
+            assert b.spread_factor >= 1.0
+
+    def test_render(self, result):
+        out = result.render()
+        assert "Figure 4a" in out and "Figure 4b" in out
+
+    def test_matches_real_communicator_stack_at_small_scale(self):
+        """The analytic costing equals what the communicator objects would charge (MPI side)."""
+        from repro.comm import MPISimCommunicator, state_dict_nbytes
+        from repro.core import build_model
+
+        settings = CommCompareSettings(num_clients=4, num_rounds=3, skip_first_round=False)
+        result = run_comm_compare(settings)
+        model = build_model("cnn", (1, 28, 28), 62, rng=np.random.default_rng(settings.seed))
+        state = model.state_dict()
+        comm = MPISimCommunicator(num_processes=4)
+        ids = list(range(4))
+        for rnd in range(3):
+            comm.broadcast(rnd, state, ids)
+            comm.collect(rnd, {i: state for i in ids})
+        np.testing.assert_allclose(result.mpi_cumulative[0], comm.client_comm_seconds(0), rtol=1e-9)
+
+
+class TestHeteroAndVolume:
+    def test_hetero_matches_paper(self):
+        result = run_hetero(HeteroSettings())
+        assert result.ratio == pytest.approx(1.64, rel=0.05)
+        assert set(result.times) == {"A100", "V100"}
+        assert "1.64" in result.render()
+
+    def test_comm_volume_ratios(self):
+        result = run_comm_volume(CommVolumeSettings(num_rounds=1, train_size=80, hidden=8))
+        assert result.uplink_ratio("iceadmm", "iiadmm") == pytest.approx(2.0)
+        assert result.uplink_ratio("fedavg", "iiadmm") == pytest.approx(1.0)
+        with pytest.raises(KeyError):
+            result.row("unknown")
+
+    def test_comm_volume_render(self):
+        result = run_comm_volume(CommVolumeSettings(num_rounds=1, train_size=80, hidden=8))
+        assert "2.00" in result.render()
+
+
+class TestAblation:
+    def test_zeta_ablation_rows(self):
+        settings = AblationSettings(num_rounds=2, local_steps=1, train_size=150, test_size=60, hidden=8)
+        result = run_zeta_ablation((0.0, 10.0), settings)
+        assert [r.value for r in result.rows] == [0.0, 10.0]
+        assert result.best().final_accuracy == max(r.final_accuracy for r in result.rows)
+        assert "Ablation" in result.render()

@@ -1,0 +1,396 @@
+"""Tests for layers, losses, functional ops, and optimisers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def finite_diff_check(loss_fn, param, atol=1e-4):
+    """Compare param.grad (already populated) against central differences of loss_fn()."""
+    analytic = param.grad.copy()
+    eps = 1e-6
+    flat = param.data.reshape(-1)
+    num = np.zeros_like(flat)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = loss_fn()
+        flat[i] = orig - eps
+        lo = loss_fn()
+        flat[i] = orig
+        num[i] = (hi - lo) / (2 * eps)
+    np.testing.assert_allclose(analytic.reshape(-1), num, atol=atol)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = nn.Linear(8, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_forward_matches_manual(self):
+        layer = nn.Linear(4, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((3, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_weight_grad_finite_difference(self):
+        rng = np.random.default_rng(2)
+        layer = nn.Linear(5, 3, rng=rng)
+        x = rng.standard_normal((4, 5))
+        y = rng.integers(0, 3, 4)
+
+        def loss_value():
+            return F.cross_entropy(layer(Tensor(x)), y).item()
+
+        layer.zero_grad()
+        F.cross_entropy(layer(Tensor(x)), y).backward()
+        finite_diff_check(loss_value, layer.weight)
+        finite_diff_check(loss_value, layer.bias)
+
+
+class TestConv2d:
+    def test_output_shape_padding(self):
+        conv = nn.Conv2d(3, 6, 3, padding=1, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 6, 8, 8)
+
+    def test_output_shape_stride(self):
+        conv = nn.Conv2d(1, 2, 3, stride=2, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.zeros((1, 1, 9, 9))))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_channel_mismatch_raises(self):
+        conv = nn.Conv2d(3, 2, 3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 1, 5, 5))))
+
+    def test_conv_matches_direct_computation(self):
+        rng = np.random.default_rng(3)
+        conv = nn.Conv2d(2, 3, 3, padding=1, rng=rng)
+        x = rng.standard_normal((1, 2, 5, 5))
+        out = conv(Tensor(x)).data
+        # Direct (slow) reference computation.
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((1, 3, 5, 5))
+        for co in range(3):
+            for i in range(5):
+                for j in range(5):
+                    patch = xp[0, :, i : i + 3, j : j + 3]
+                    ref[0, co, i, j] = np.sum(patch * conv.weight.data[co]) + conv.bias.data[co]
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_conv_weight_grad_finite_difference(self):
+        rng = np.random.default_rng(4)
+        conv = nn.Conv2d(1, 2, 3, rng=rng)
+        x = rng.standard_normal((2, 1, 6, 6))
+        y = rng.integers(0, 2, 2)
+        head = nn.Linear(2 * 4 * 4, 2, rng=rng)
+
+        def loss_value():
+            h = F.flatten(conv(Tensor(x)))
+            return F.cross_entropy(head(h), y).item()
+
+        conv.zero_grad()
+        head.zero_grad()
+        h = F.flatten(conv(Tensor(x)))
+        F.cross_entropy(head(h), y).backward()
+        finite_diff_check(loss_value, conv.weight, atol=1e-4)
+        finite_diff_check(loss_value, conv.bias, atol=1e-4)
+
+    def test_input_gradient_flows(self):
+        rng = np.random.default_rng(5)
+        conv = nn.Conv2d(1, 1, 3, rng=rng)
+        x = Tensor(rng.standard_normal((1, 1, 5, 5)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad is not None
+        assert x.grad.shape == (1, 1, 5, 5)
+
+
+class TestPoolingAndOtherLayers:
+    def test_maxpool_forward(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = nn.MaxPool2d(2)(Tensor(x))
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_grad_routes_to_max(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4), requires_grad=True)
+        nn.MaxPool2d(2)(x).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_relu_layer(self):
+        out = nn.ReLU()(Tensor(np.array([-2.0, 3.0])))
+        np.testing.assert_allclose(out.data, [0, 3])
+
+    def test_flatten_layer(self):
+        out = nn.Flatten()(Tensor(np.zeros((2, 3, 4, 5))))
+        assert out.shape == (2, 60)
+
+    def test_dropout_train_vs_eval(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out_train = layer(x)
+        assert np.any(out_train.data == 0)
+        layer.eval()
+        out_eval = layer(x)
+        np.testing.assert_allclose(out_eval.data, x.data)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), p=1.5, training=True)
+
+    def test_sequential_order_and_indexing(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        assert len(model) == 3
+        assert isinstance(model[1], nn.ReLU)
+        out = model(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+
+class TestSoftmaxLosses:
+    def test_softmax_sums_to_one(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((5, 7)))
+        s = F.softmax(x, axis=1)
+        np.testing.assert_allclose(s.data.sum(axis=1), np.ones(5))
+
+    def test_log_softmax_consistent_with_softmax(self):
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 6)))
+        np.testing.assert_allclose(F.log_softmax(x, axis=1).data, np.log(F.softmax(x, axis=1).data), atol=1e-10)
+
+    def test_cross_entropy_matches_nll_of_log_softmax(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((6, 4))
+        y = rng.integers(0, 4, 6)
+        ce = F.cross_entropy(Tensor(logits), y).item()
+        nll = F.nll_loss(F.log_softmax(Tensor(logits), axis=1), y).item()
+        assert ce == pytest.approx(nll, abs=1e-10)
+
+    def test_cross_entropy_uniform_logits(self):
+        logits = Tensor(np.zeros((3, 10)))
+        y = np.array([0, 5, 9])
+        assert F.cross_entropy(logits, y).item() == pytest.approx(np.log(10))
+
+    def test_cross_entropy_grad_finite_difference(self):
+        rng = np.random.default_rng(3)
+        logits_np = rng.standard_normal((4, 5))
+        y = rng.integers(0, 5, 4)
+        logits = Tensor(logits_np.copy(), requires_grad=True)
+        F.cross_entropy(logits, y).backward()
+        eps = 1e-6
+        num = np.zeros_like(logits_np)
+        for i in range(logits_np.size):
+            pert = logits_np.reshape(-1).copy()
+            pert[i] += eps
+            hi = F.cross_entropy(Tensor(pert.reshape(logits_np.shape)), y).item()
+            pert[i] -= 2 * eps
+            lo = F.cross_entropy(Tensor(pert.reshape(logits_np.shape)), y).item()
+            num.reshape(-1)[i] = (hi - lo) / (2 * eps)
+        np.testing.assert_allclose(logits.grad, num, atol=1e-5)
+
+    def test_cross_entropy_sum_reduction(self):
+        logits = np.zeros((3, 2))
+        y = np.array([0, 1, 0])
+        mean = F.cross_entropy(Tensor(logits), y, reduction="mean").item()
+        total = F.cross_entropy(Tensor(logits), y, reduction="sum").item()
+        assert total == pytest.approx(3 * mean)
+
+    def test_cross_entropy_invalid_reduction(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 2))), np.array([0, 1]), reduction="bogus")
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, [1.0, 2.0])
+
+    def test_loss_modules(self):
+        logits = Tensor(np.zeros((2, 3)))
+        y = np.array([0, 1])
+        assert nn.CrossEntropyLoss()(logits, y).item() == pytest.approx(np.log(3))
+        assert nn.MSELoss()(Tensor(np.ones(4)), np.zeros(4)).item() == pytest.approx(1.0)
+        lp = F.log_softmax(logits, axis=1)
+        assert nn.NLLLoss()(lp, y).item() == pytest.approx(np.log(3))
+
+
+class TestModuleSystem:
+    def test_named_parameters_nested(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng))
+        names = [n for n, _ in model.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+    def test_state_dict_roundtrip(self):
+        rng = np.random.default_rng(0)
+        m1 = nn.Linear(3, 2, rng=rng)
+        m2 = nn.Linear(3, 2, rng=np.random.default_rng(99))
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_allclose(m1.weight.data, m2.weight.data)
+        np.testing.assert_allclose(m1.bias.data, m2.bias.data)
+
+    def test_state_dict_returns_copies(self):
+        m = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        sd = m.state_dict()
+        sd["weight"][...] = 0
+        assert not np.all(m.weight.data == 0)
+
+    def test_load_state_dict_strict_mismatch(self):
+        m = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            m.load_state_dict({"weight": np.zeros((2, 3))})
+
+    def test_load_state_dict_shape_mismatch(self):
+        m = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        bad = m.state_dict()
+        bad["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            m.load_state_dict(bad)
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        m = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        F.cross_entropy(m(Tensor(np.ones((2, 3)))), np.array([0, 1])).backward()
+        assert m.weight.grad is not None
+        m.zero_grad()
+        assert m.weight.grad is None
+
+    def test_num_parameters(self):
+        m = nn.Linear(10, 5, rng=np.random.default_rng(0))
+        assert m.num_parameters() == 10 * 5 + 5
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        # Minimise ||Wx - t||^2 over W.
+        rng = np.random.default_rng(0)
+        layer = nn.Linear(4, 4, bias=False, rng=rng)
+        x = rng.standard_normal((4, 4))
+        t = rng.standard_normal((4, 4))
+        return layer, x, t
+
+    def test_sgd_reduces_loss(self):
+        layer, x, t = self._quadratic_problem()
+        opt = nn.SGD(layer.parameters(), lr=0.05)
+        losses = []
+        for _ in range(150):
+            layer.zero_grad()
+            loss = F.mse_loss(layer(Tensor(x)), t)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.2 * losses[0]
+
+    def test_sgd_momentum_faster_than_plain(self):
+        def run(momentum):
+            layer, x, t = self._quadratic_problem()
+            opt = nn.SGD(layer.parameters(), lr=0.02, momentum=momentum)
+            for _ in range(40):
+                layer.zero_grad()
+                loss = F.mse_loss(layer(Tensor(x)), t)
+                loss.backward()
+                opt.step()
+            return loss.item()
+
+        assert run(0.9) < run(0.0)
+
+    def test_sgd_weight_decay_shrinks_weights(self):
+        layer = nn.Linear(3, 3, bias=False, rng=np.random.default_rng(0))
+        opt = nn.SGD(layer.parameters(), lr=0.1, weight_decay=1.0)
+        layer.weight.grad = np.zeros_like(layer.weight.data)
+        before = np.linalg.norm(layer.weight.data)
+        opt.step()
+        assert np.linalg.norm(layer.weight.data) < before
+
+    def test_adam_reduces_loss(self):
+        layer, x, t = self._quadratic_problem()
+        opt = nn.Adam(layer.parameters(), lr=0.05)
+        first = None
+        for i in range(50):
+            layer.zero_grad()
+            loss = F.mse_loss(layer(Tensor(x)), t)
+            loss.backward()
+            opt.step()
+            if i == 0:
+                first = loss.item()
+        assert loss.item() < 0.5 * first
+
+    def test_optimizer_skips_params_without_grad(self):
+        layer = nn.Linear(3, 3, rng=np.random.default_rng(0))
+        before = layer.weight.data.copy()
+        nn.SGD(layer.parameters(), lr=0.1).step()
+        np.testing.assert_allclose(layer.weight.data, before)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    @pytest.mark.parametrize("kwargs", [{"lr": -1}, {"lr": 0.1, "momentum": 1.5}])
+    def test_invalid_sgd_hyperparameters(self, kwargs):
+        layer = nn.Linear(2, 2, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            nn.SGD(layer.parameters(), **kwargs)
+
+    def test_zero_grad_clears(self):
+        layer = nn.Linear(2, 2, rng=np.random.default_rng(0))
+        opt = nn.SGD(layer.parameters(), lr=0.1)
+        F.mse_loss(layer(Tensor(np.ones((1, 2)))), np.zeros((1, 2))).backward()
+        opt.zero_grad()
+        assert all(p.grad is None for p in layer.parameters())
+
+
+class TestInit:
+    def test_fan_calculation_linear(self):
+        from repro.nn.init import calculate_fan
+
+        assert calculate_fan((8, 4)) == (4, 8)
+
+    def test_fan_calculation_conv(self):
+        from repro.nn.init import calculate_fan
+
+        assert calculate_fan((16, 3, 5, 5)) == (3 * 25, 16 * 25)
+
+    def test_fan_requires_2d(self):
+        from repro.nn.init import calculate_fan
+
+        with pytest.raises(ValueError):
+            calculate_fan((5,))
+
+    @given(st.integers(2, 64), st.integers(2, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_kaiming_uniform_bound(self, out_f, in_f):
+        from repro.nn.init import kaiming_uniform
+
+        w = kaiming_uniform((out_f, in_f), rng=np.random.default_rng(0))
+        bound = np.sqrt(2.0 / (1 + 5)) * np.sqrt(3.0 / in_f)
+        assert np.all(np.abs(w) <= bound + 1e-12)
+
+    def test_xavier_normal_std(self):
+        from repro.nn.init import xavier_normal
+
+        w = xavier_normal((200, 300), rng=np.random.default_rng(0))
+        expected = np.sqrt(2.0 / 500)
+        assert abs(w.std() - expected) < 0.05 * expected

@@ -1,0 +1,284 @@
+"""Unit and property tests for the autograd Tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, no_grad
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of scalar-valued fn at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestBasics:
+    def test_tensor_wraps_array_without_copy_for_float64(self):
+        a = np.ones((3, 3))
+        t = Tensor(a)
+        assert t.data is a
+
+    def test_tensor_converts_dtype(self):
+        t = Tensor(np.ones((2, 2), dtype=np.float32))
+        assert t.dtype == np.float64
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+
+    def test_item_and_len(self):
+        assert Tensor(np.array(5.0)).item() == 5.0
+        assert len(Tensor(np.zeros((7, 2)))) == 7
+
+    def test_detach_shares_data_but_no_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert d.data is t.data
+        assert not d.requires_grad
+
+    def test_copy_is_independent(self):
+        t = Tensor(np.ones(3))
+        c = t.copy()
+        c.data[0] = 99
+        assert t.data[0] == 1.0
+
+    def test_constructors(self):
+        assert np.all(Tensor.zeros((2, 2)).data == 0)
+        assert np.all(Tensor.ones((2, 2)).data == 1)
+        r = Tensor.randn(4, 5, rng=np.random.default_rng(0))
+        assert r.shape == (4, 5)
+
+    def test_backward_requires_grad_error(self):
+        t = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_nonscalar_requires_grad_arg(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_no_grad_context(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        y2 = x * 2
+        assert y2.requires_grad
+
+
+class TestArithmeticGradients:
+    def test_add_grad(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+        np.testing.assert_allclose(b.grad, [1, 1])
+
+    def test_sub_grad(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+        np.testing.assert_allclose(b.grad, [-1, -1])
+
+    def test_mul_grad(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [3, 4])
+        np.testing.assert_allclose(b.grad, [1, 2])
+
+    def test_div_grad(self):
+        a = Tensor(np.array([6.0, 8.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.25])
+        np.testing.assert_allclose(b.grad, [-1.5, -0.5])
+
+    def test_pow_grad(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        (a ** 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [12, 27])
+
+    def test_neg_and_rsub_rdiv(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        ((-a) + (5 - a) + (4 / a)).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1 - 1 - 4 / 4.0])
+
+    def test_matmul_grad_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((3, 4))
+        B = rng.standard_normal((4, 2))
+        ta, tb = Tensor(A.copy(), requires_grad=True), Tensor(B.copy(), requires_grad=True)
+        (ta @ tb).sum().backward()
+        na = numerical_grad(lambda a: (a @ B).sum(), A.copy())
+        nb = numerical_grad(lambda b: (A @ b).sum(), B.copy())
+        np.testing.assert_allclose(ta.grad, na, atol=1e-5)
+        np.testing.assert_allclose(tb.grad, nb, atol=1e-5)
+
+    def test_broadcast_add_grad(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3 * np.ones(4))
+
+    def test_broadcast_mul_grad(self):
+        a = Tensor(np.full((2, 3), 2.0), requires_grad=True)
+        b = Tensor(np.array(3.0), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(b.grad, 12.0)
+
+    def test_fanout_accumulation(self):
+        # x used twice: dy/dx should be the sum of both paths.
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [2 * 2 + 3])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_grad(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        x.sum(axis=0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+    def test_sum_keepdims_grad(self):
+        x = Tensor(np.ones((2, 5)), requires_grad=True)
+        x.sum(axis=1, keepdims=True).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 5)))
+
+    def test_mean_grad(self):
+        x = Tensor(np.ones((4, 5)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((4, 5), 1 / 20))
+
+    def test_mean_axis_value(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        np.testing.assert_allclose(x.mean(axis=1).data, [1.0, 4.0])
+
+    def test_max_grad_single_maximum(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 1, 0]])
+
+    def test_max_grad_ties_split(self):
+        x = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+
+    def test_reshape_grad(self):
+        x = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        (x.reshape(2, 3) * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(6, 2.0))
+
+    def test_transpose_grad(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        y = x.transpose()
+        assert y.shape == (3, 2)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_getitem_grad(self):
+        x = Tensor(np.arange(5, dtype=float), requires_grad=True)
+        x[1:3].sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 1, 1, 0, 0])
+
+    def test_getitem_fancy_index_grad(self):
+        x = Tensor(np.arange(4, dtype=float), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x[idx].sum().backward()
+        np.testing.assert_allclose(x.grad, [2, 0, 1, 0])
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize(
+        "op,ref",
+        [
+            ("exp", lambda v: np.exp(v)),
+            ("log", lambda v: 1 / v),
+            ("tanh", lambda v: 1 - np.tanh(v) ** 2),
+            ("sigmoid", lambda v: (1 / (1 + np.exp(-v))) * (1 - 1 / (1 + np.exp(-v)))),
+        ],
+    )
+    def test_unary_grads(self, op, ref):
+        v = np.array([0.5, 1.5, 2.5])
+        x = Tensor(v.copy(), requires_grad=True)
+        getattr(x, op)().sum().backward()
+        np.testing.assert_allclose(x.grad, ref(v), atol=1e-10)
+
+    def test_relu_grad(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]), requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 0, 1])
+
+
+class TestHypothesisProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=1, max_dims=3, max_side=5),
+            elements=st.floats(-10, 10),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sum_grad_is_ones(self, arr):
+        x = Tensor(arr.copy(), requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(arr))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 6), st.integers(1, 6)),
+            elements=st.floats(-5, 5),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mul_by_constant_grad(self, arr):
+        x = Tensor(arr.copy(), requires_grad=True)
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(arr, 3.0))
+
+    @given(st.integers(2, 8), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_shape(self, n, m):
+        a = Tensor(np.ones((n, m)))
+        b = Tensor(np.ones((m, 3)))
+        assert (a @ b).shape == (n, 3)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 4), st.integers(1, 4)),
+            elements=st.floats(-3, 3),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_add_commutes(self, arr):
+        a = Tensor(arr)
+        b = Tensor(np.ones_like(arr))
+        np.testing.assert_allclose((a + b).data, (b + a).data)

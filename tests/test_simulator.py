@@ -1,0 +1,177 @@
+"""Tests for the cluster/device simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import (
+    A100,
+    CPU_DEVICE,
+    DEVICE_CATALOG,
+    V100,
+    Cluster,
+    DeviceSpec,
+    LocalUpdateCostModel,
+    Node,
+    RoundEvent,
+    SimulationTrace,
+    assign_clients_to_ranks,
+    rank_compute_times,
+    summit_cluster,
+    swing_cluster,
+)
+
+
+class TestDevices:
+    def test_catalog(self):
+        assert set(DEVICE_CATALOG) == {"A100", "V100", "CPU"}
+
+    def test_a100_faster_than_v100(self):
+        assert A100.step_time(1000) < V100.step_time(1000)
+
+    def test_paper_heterogeneity_ratio(self):
+        """Section IV-E: one local update is ~1.64x faster on A100 than V100."""
+        cost = LocalUpdateCostModel(local_steps=10, per_round_overhead=0.0)
+        samples = 181  # average FEMNIST client shard
+        ratio = cost.local_update_time(V100, samples) / cost.local_update_time(A100, samples)
+        assert ratio == pytest.approx(1.64, rel=0.05)
+
+    def test_paper_absolute_times(self):
+        """Section IV-E: ~6.96 s on V100, ~4.24 s on A100."""
+        cost = LocalUpdateCostModel(local_steps=10, per_round_overhead=0.0)
+        assert cost.local_update_time(V100, 181) == pytest.approx(6.96, rel=0.05)
+        assert cost.local_update_time(A100, 181) == pytest.approx(4.24, rel=0.05)
+
+    def test_step_time_validation(self):
+        with pytest.raises(ValueError):
+            A100.step_time(-1)
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ValueError):
+            LocalUpdateCostModel(local_steps=0).local_update_time(A100, 10)
+
+    def test_overhead_added(self):
+        cost = LocalUpdateCostModel(local_steps=1, per_round_overhead=0.5)
+        assert cost.local_update_time(CPU_DEVICE, 0) == pytest.approx(0.5)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_time_monotone_in_samples(self, n):
+        cost = LocalUpdateCostModel()
+        assert cost.local_update_time(V100, n + 1) > cost.local_update_time(V100, n)
+
+
+class TestCluster:
+    def test_summit_shape(self):
+        cluster = summit_cluster(num_nodes=34)
+        assert cluster.num_nodes == 34
+        assert cluster.num_devices == 34 * 6
+        assert all(d.name == "V100" for d in cluster.devices())
+
+    def test_swing_shape(self):
+        cluster = swing_cluster(num_nodes=6)
+        assert cluster.num_devices == 48
+        assert all(d.name == "A100" for d in cluster.devices())
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            summit_cluster(0)
+        with pytest.raises(ValueError):
+            swing_cluster(-1)
+
+    def test_device_for_rank_round_robin(self):
+        cluster = Cluster("tiny", [Node("n0", (A100, V100))])
+        assert cluster.device_for_rank(0) is A100
+        assert cluster.device_for_rank(1) is V100
+        assert cluster.device_for_rank(2) is A100
+
+    def test_device_for_rank_empty(self):
+        with pytest.raises(ValueError):
+            Cluster("empty").device_for_rank(0)
+
+    def test_node_properties(self):
+        node = Node("n", (A100, A100, V100))
+        assert node.num_devices == 3
+
+
+class TestScheduler:
+    def test_even_assignment(self):
+        cluster = summit_cluster(2)
+        assignments = assign_clients_to_ranks(203, 5, cluster)
+        sizes = [a.num_clients for a in assignments]
+        assert sum(sizes) == 203
+        assert max(sizes) - min(sizes) <= 1
+        assert sorted(c for a in assignments for c in a.client_ids) == list(range(203))
+
+    def test_one_client_per_rank(self):
+        cluster = summit_cluster(34)
+        assignments = assign_clients_to_ranks(203, 203, cluster)
+        assert all(a.num_clients == 1 for a in assignments)
+
+    def test_invalid_ranks(self):
+        cluster = summit_cluster(1)
+        with pytest.raises(ValueError):
+            assign_clients_to_ranks(10, 0, cluster)
+        with pytest.raises(ValueError):
+            assign_clients_to_ranks(3, 10, cluster)
+
+    def test_rank_compute_times_scale_with_clients(self):
+        cluster = summit_cluster(2)
+        cost = LocalUpdateCostModel()
+        counts = np.full(100, 200)
+        few_ranks = rank_compute_times(assign_clients_to_ranks(100, 5, cluster), counts, cost)
+        many_ranks = rank_compute_times(assign_clients_to_ranks(100, 50, cluster), counts, cost)
+        assert np.mean(list(few_ranks.values())) > np.mean(list(many_ranks.values()))
+
+    def test_rank_compute_times_sum_invariant(self):
+        """Total compute across ranks is independent of the number of ranks (same device)."""
+        cluster = summit_cluster(40)
+        cost = LocalUpdateCostModel()
+        counts = np.random.default_rng(0).integers(20, 400, 203)
+        t5 = sum(rank_compute_times(assign_clients_to_ranks(203, 5, cluster), counts, cost).values())
+        t203 = sum(rank_compute_times(assign_clients_to_ranks(203, 203, cluster), counts, cost).values())
+        assert t5 == pytest.approx(t203)
+
+
+class TestTrace:
+    def make_trace(self):
+        trace = SimulationTrace()
+        for rnd in range(3):
+            trace.add(RoundEvent(rnd, 0, compute_seconds=4.0, comm_seconds=1.0))
+            trace.add(RoundEvent(rnd, 1, compute_seconds=2.0, comm_seconds=1.0))
+        return trace
+
+    def test_round_event_total(self):
+        assert RoundEvent(0, 0, 2.0, 0.5).total_seconds == pytest.approx(2.5)
+
+    def test_average_round_time_uses_slowest_rank(self):
+        assert self.make_trace().average_round_time() == pytest.approx(5.0)
+
+    def test_skip_rounds(self):
+        trace = self.make_trace()
+        trace.add(RoundEvent(0, 2, compute_seconds=100.0, comm_seconds=0.0))
+        assert trace.average_round_time(skip_rounds=[0]) == pytest.approx(5.0)
+
+    def test_comm_percentage(self):
+        trace = self.make_trace()
+        # rank 0: 1/5 = 20%; rank 1: 1/3 = 33.3%; mean = 26.67%
+        assert trace.average_comm_percentage() == pytest.approx((20.0 + 100 / 3) / 2)
+
+    def test_totals(self):
+        trace = self.make_trace()
+        assert trace.total_compute_seconds() == pytest.approx(18.0)
+        assert trace.total_comm_seconds() == pytest.approx(6.0)
+
+    def test_empty_trace(self):
+        trace = SimulationTrace()
+        assert trace.average_round_time() == 0.0
+        assert trace.average_comm_percentage() == 0.0
+        assert trace.rounds() == []
+
+    def test_rounds_and_len_and_extend(self):
+        trace = self.make_trace()
+        assert trace.rounds() == [0, 1, 2]
+        assert len(trace) == 6
+        trace.extend([RoundEvent(3, 0, 1.0, 1.0)])
+        assert len(trace) == 7
