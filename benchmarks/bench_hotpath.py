@@ -1,0 +1,149 @@
+"""Hot-path throughput benchmark: rounds/sec of the Fig. 2 MNIST-CNN workload.
+
+Measures end-to-end federated-training throughput (rounds per second) and
+per-phase wall-clock timings (local update, serialize = broadcast + gather,
+aggregate, evaluate) for two configurations of the same workload:
+
+* **baseline** — the seed-equivalent implementation: ``engine="copy"``
+  (per-batch flatten/unflatten round trips), float64, serial clients, and the
+  seed's original conv/pool kernels (``nn.functional.legacy_kernels``);
+* **optimized** — the flat-parameter engine: zero-copy parameter/gradient
+  views, float32 pipeline, and parallel client execution
+  (``parallel_clients=0`` = one worker per core; on a single-core host this
+  resolves to serial, where threading would only add overhead).
+
+Results are written to ``BENCH_hotpath.json`` at the repo root so future PRs
+have a perf trajectory; the conftest-provided ``hotpath_store`` fixture fails
+the run when throughput regresses >20% against the recorded measurement (with
+a speedup-ratio guard so machine-wide load swings do not false-positive —
+both sides of the ratio are measured in the same session, so external load
+cancels out).
+
+Smoke mode (the default; ``REPRO_SMOKE=0`` for the larger run) keeps the
+whole bench in tens of seconds.  Sizing is otherwise controlled by the usual
+``REPRO_*`` environment variables.
+"""
+
+import contextlib
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.core import FLConfig, build_federation, build_model
+from repro.data import load_dataset
+
+SMOKE = os.environ.get("REPRO_SMOKE", "1") != "0"
+
+
+def _env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+ROUNDS = _env_int("REPRO_ROUNDS", 2 if SMOKE else 6)
+LOCAL_STEPS = _env_int("REPRO_LOCAL_STEPS", 2 if SMOKE else 3)
+TRAIN_SIZE = _env_int("REPRO_TRAIN_SIZE", 384 if SMOKE else 600)
+TEST_SIZE = _env_int("REPRO_TEST_SIZE", 128 if SMOKE else 200)
+NUM_CLIENTS = _env_int("REPRO_CLIENTS", 4)
+REPEATS = _env_int("REPRO_BENCH_REPEATS", 2)
+
+WORKLOAD = {
+    "dataset": "mnist",
+    "model": "cnn",
+    "algorithm": "iiadmm",
+    "num_clients": NUM_CLIENTS,
+    "rounds_per_measurement": ROUNDS,
+    "local_steps": LOCAL_STEPS,
+    "batch_size": 64,
+    "train_size": TRAIN_SIZE,
+    "test_size": TEST_SIZE,
+    "smoke": SMOKE,
+}
+
+
+def _build_runner(engine, dtype, parallel_clients):
+    clients, test, spec = load_dataset(
+        "mnist",
+        num_clients=NUM_CLIENTS,
+        train_size=TRAIN_SIZE,
+        test_size=TEST_SIZE,
+        seed=0,
+    )
+    config = FLConfig(
+        algorithm="iiadmm",
+        num_rounds=ROUNDS,
+        local_steps=LOCAL_STEPS,
+        batch_size=64,
+        rho=10.0,
+        zeta=10.0,
+        seed=0,
+        engine=engine,
+        dtype=dtype,
+        parallel_clients=parallel_clients,
+    )
+    model_fn = lambda: build_model(
+        "cnn", spec.image_shape, spec.num_classes, rng=np.random.default_rng(42)
+    )
+    return build_federation(config, model_fn, clients, test)
+
+
+def _measure(engine, dtype, parallel_clients, legacy=False):
+    """Best-of-``REPEATS`` throughput measurement of one configuration."""
+    best = None
+    for _ in range(max(1, REPEATS)):
+        runner = _build_runner(engine, dtype, parallel_clients)
+        ctx = nn.functional.legacy_kernels() if legacy else contextlib.nullcontext()
+        start = time.perf_counter()
+        with ctx:
+            history = runner.run()
+        elapsed = time.perf_counter() - start
+        rps = ROUNDS / elapsed
+        if best is None or rps > best["rounds_per_sec"]:
+            phases = dict(runner.phase_seconds)
+            best = {
+                "engine": engine,
+                "dtype": dtype,
+                "parallel_clients": parallel_clients,
+                "legacy_kernels": legacy,
+                "rounds": ROUNDS,
+                "seconds": round(elapsed, 4),
+                "rounds_per_sec": round(rps, 4),
+                "final_accuracy": history.final_accuracy,
+                "phase_seconds": {
+                    "local_update": round(phases["local_update"], 4),
+                    "serialize": round(phases["broadcast"] + phases["gather"], 4),
+                    "aggregate": round(phases["aggregate"], 4),
+                    "evaluate": round(phases["evaluate"], 4),
+                },
+            }
+    return best
+
+
+def test_hotpath_speedup(hotpath_store):
+    """Flat engine + float32 + parallel clients vs the seed-equivalent baseline.
+
+    The paper's throughput story (Figures 3-4) depends entirely on how fast a
+    client round executes; this bench asserts the flat-parameter engine
+    delivers >=3x rounds/sec on the Fig. 2 MNIST-CNN workload and records the
+    trajectory in BENCH_hotpath.json.
+    """
+    baseline = _measure("copy", "float64", 1, legacy=True)
+    optimized = _measure("flat", "float32", 0)
+    speedup = optimized["rounds_per_sec"] / baseline["rounds_per_sec"]
+
+    record = {
+        "workload": WORKLOAD,
+        "baseline": baseline,
+        "optimized": optimized,
+        "speedup": round(speedup, 3),
+    }
+    print("\nhotpath: " + json.dumps(record, indent=2))
+
+    # Accuracy parity: float32 must learn the same task (loose tolerance; the
+    # tight float64 bit-identity check lives in tests/test_flat_engine.py).
+    assert abs(optimized["final_accuracy"] - baseline["final_accuracy"]) < 0.15
+    assert speedup >= 3.0, f"expected >=3x rounds/sec over the seed baseline, got {speedup:.2f}x"
+    # Only a run that met its own bar may update the recorded trajectory.
+    hotpath_store.check_and_update(record)

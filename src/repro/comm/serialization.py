@@ -34,7 +34,12 @@ _MAGIC = b"RPRO"
 
 
 def state_dict_nbytes(state: Mapping[str, np.ndarray]) -> int:
-    """Total payload size in bytes of the arrays in ``state``."""
+    """Total payload size in bytes of the arrays in ``state``.
+
+    Dtype-aware: a float32 pipeline (``FLConfig.dtype = "float32"``) halves
+    the reported per-round communication volume, exactly as the narrower wire
+    format would on a real deployment.
+    """
     return int(sum(np.asarray(v).nbytes for v in state.values()))
 
 
@@ -44,7 +49,9 @@ def flatten_state_dict(state: Mapping[str, np.ndarray]) -> Tuple[np.ndarray, "Or
     Returns ``(vector, layout)`` where ``layout`` maps each name to
     ``(shape, offset)``; pass it to :func:`unflatten_state_dict` to reverse.
     The flat-vector view is what the ADMM algorithms operate on (the paper's
-    ``w``, ``z_p``, ``λ_p`` ∈ R^m).
+    ``w``, ``z_p``, ``λ_p`` ∈ R^m).  The float32 pipeline never flattens per
+    batch — :class:`repro.core.base.ModelVectorizer` keeps its own flat
+    buffer in the configured dtype and only uses the ``layout`` from here.
     """
     layout: "OrderedDict[str, Tuple[Tuple[int, ...], int]]" = OrderedDict()
     chunks = []

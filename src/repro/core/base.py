@@ -10,6 +10,39 @@ inheriting our ``BaseClient`` class and implementing the virtual function
 All algorithms operate on the *flat parameter vector* view of the model (the
 paper's ``w, z_p, λ_p ∈ R^m``); :class:`ModelVectorizer` converts between the
 model's state dict and that vector.
+
+Architecture & performance — the flat-parameter engine
+------------------------------------------------------
+In its default ``"flat"`` mode, :class:`ModelVectorizer` *owns* the model's
+memory: it allocates one contiguous parameter buffer and one contiguous
+gradient buffer (each of length ``dim``, in ``FLConfig.dtype`` precision) and
+rebinds every ``Parameter``'s ``.data`` and ``.grad`` to reshaped views into
+them.  The invariant is:
+
+* ``flat_params``/``flat_grads`` and the per-parameter tensors alias the same
+  memory at all times.  In-place parameter mutation (``load_state_dict``,
+  optimizer ``step()``, ``p.data[...] = v``) keeps the views valid; the views
+  are only invalidated by re-homing the model into *another* vectorizer
+  (create at most one flat vectorizer per model).
+* ``load_vector`` is a single ``memcpy`` (and a no-op when handed the buffer
+  itself), ``grad_vector`` returns the gradient buffer *view* without
+  copying, and ``zero_grad`` is one vectorised fill — the per-batch
+  flatten/unflatten round trip, per-parameter ``np.concatenate`` and
+  ``np.zeros_like`` allocations of the original implementation all disappear
+  from the hot path.
+* ``to_vector`` still returns a *copy* (one ``memcpy``), because callers (the
+  algorithms, tests, user code) treat the result as their own snapshot.
+
+``mode="copy"`` preserves the original per-call flatten/unflatten behaviour
+(float64 only) and is kept as the measured baseline for
+``benchmarks/bench_hotpath.py`` and the engine-equivalence regression tests.
+
+Clients obtain their round-local working vector via :meth:`BaseClient.
+local_params`: under the flat engine that vector *is* the model's parameter
+buffer, so the per-batch ``load_vector`` inside :meth:`BaseClient.
+batch_gradient` degenerates to an identity check and the algorithms'
+fused in-place updates (``iiadmm``/``iceadmm``/``fedavg``) write straight
+into model memory.
 """
 
 from __future__ import annotations
@@ -34,31 +67,108 @@ SAMPLES_KEY = "num_samples"
 
 
 class ModelVectorizer:
-    """Converts a model's parameters to/from one flat float64 vector."""
+    """Converts a model's parameters to/from one flat vector.
 
-    def __init__(self, model: nn.Module):
+    Parameters
+    ----------
+    model:
+        The model to vectorise.
+    dtype:
+        Precision of the flat buffers (default float64).
+    mode:
+        ``"flat"`` (default) re-homes the model's parameters and gradients as
+        views into two preallocated contiguous buffers — the zero-copy engine
+        described in the module docstring.  ``"copy"`` keeps the original
+        flatten/unflatten-per-call behaviour (float64 only).
+
+    Note: in flat mode this object takes ownership of the model's parameter
+    memory; create at most one flat vectorizer per model instance.
+    """
+
+    def __init__(self, model: nn.Module, dtype=None, mode: str = "flat"):
+        if mode not in ("flat", "copy"):
+            raise ValueError(f"unknown vectorizer mode {mode!r}")
         self.model = model
+        self.mode = mode
+        self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        if mode == "copy" and self.dtype != np.dtype(np.float64):
+            raise ValueError("the legacy 'copy' mode only supports float64")
         _, self.layout = flatten_state_dict(model.state_dict())
         self.dim = int(sum(int(np.prod(shape)) for shape, _ in self.layout.values()))
+        self._params: Optional[np.ndarray] = None
+        self._grads: Optional[np.ndarray] = None
+        self._pinned = []
+        if mode == "flat":
+            self._params = np.empty(self.dim, dtype=self.dtype)
+            self._grads = np.zeros(self.dim, dtype=self.dtype)
+            for name, p in model.named_parameters():
+                shape, offset = self.layout[name]
+                size = int(np.prod(shape)) if shape else 1
+                view = self._params[offset : offset + size].reshape(shape)
+                np.copyto(view, p.data)
+                p.data = view
+                p.pin_grad(self._grads[offset : offset + size].reshape(shape))
+                self._pinned.append(p)
 
+    # ------------------------------------------------------------ flat views
+    @property
+    def flat_params(self) -> np.ndarray:
+        """The live parameter buffer (flat mode only) — mutations hit the model."""
+        if self._params is None:
+            raise RuntimeError("flat_params is only available in 'flat' mode")
+        return self._params
+
+    @property
+    def flat_grads(self) -> np.ndarray:
+        """The live gradient buffer (flat mode only)."""
+        if self._grads is None:
+            raise RuntimeError("flat_grads is only available in 'flat' mode")
+        return self._grads
+
+    # ------------------------------------------------------------------- API
     def to_vector(self) -> np.ndarray:
-        """Flatten the model's current parameters into a new vector."""
+        """Snapshot the model's current parameters into a new flat vector."""
+        if self._params is not None:
+            return self._params.copy()
         vec, _ = flatten_state_dict(self.model.state_dict())
         return vec
 
     def load_vector(self, vector: np.ndarray) -> None:
-        """Write a flat vector back into the model parameters (in place)."""
+        """Write a flat vector back into the model parameters (in place).
+
+        Flat mode: one buffer copy, or a no-op when ``vector`` *is* the
+        parameter buffer (the zero-copy hot path of ``batch_gradient``).
+        """
         if vector.shape != (self.dim,):
             raise ValueError(f"expected vector of shape ({self.dim},), got {vector.shape}")
+        if self._params is not None:
+            if vector is not self._params:
+                np.copyto(self._params, vector)
+            return
         self.model.load_state_dict(unflatten_state_dict(vector, self.layout))
 
     def grad_vector(self) -> np.ndarray:
-        """Flatten the current parameter gradients (zeros where absent)."""
+        """Current parameter gradients as one flat vector (zeros where absent).
+
+        Flat mode returns the persistent gradient buffer *view* (no copy); it
+        is overwritten by the next backward pass after :meth:`zero_grad`.
+        """
+        if self._grads is not None:
+            return self._grads
         chunks = []
         for name, p in self.model.named_parameters():
             g = p.grad if p.grad is not None else np.zeros_like(p.data)
             chunks.append(np.asarray(g, dtype=np.float64).reshape(-1))
         return np.concatenate(chunks) if chunks else np.zeros(0)
+
+    def zero_grad(self) -> None:
+        """Clear all gradients (one vectorised fill in flat mode)."""
+        if self._grads is not None:
+            self._grads.fill(0.0)
+            for p in self._pinned:
+                p._grad_seen = False
+        else:
+            self.model.zero_grad()
 
 
 class BaseClient:
@@ -94,9 +204,19 @@ class BaseClient:
         self.dataset = dataset
         self.config = config
         self.rng = rng if rng is not None else np.random.default_rng(config.seed + 1000 + client_id)
-        self.vectorizer = ModelVectorizer(model)
+        self.vectorizer = ModelVectorizer(model, dtype=config.np_dtype, mode=config.engine)
+        engine = config.engine
+        self._dtype = self.vectorizer.dtype
+        # Round-local scratch vector for the algorithms' fused in-place updates.
+        self._scratch = np.empty(self.vectorizer.dim, dtype=self._dtype)
         self.loader = DataLoader(
-            dataset, batch_size=config.batch_size, shuffle=True, rng=self.rng
+            dataset,
+            batch_size=config.batch_size,
+            shuffle=True,
+            rng=self.rng,
+            # Cast batches once at materialisation so the forward pass never
+            # converts per batch (the copy engine keeps the seed behaviour).
+            dtype=self._dtype if engine == "flat" else None,
         )
         self.loss_fn = nn.CrossEntropyLoss()
         self.mechanism: Mechanism = make_mechanism(
@@ -118,11 +238,28 @@ class BaseClient:
         """Number of private training samples this client holds."""
         return len(self.dataset)
 
+    def local_params(self, init: np.ndarray) -> np.ndarray:
+        """Round-local working parameter vector, initialised to ``init``.
+
+        Flat engine: returns the model's own parameter buffer (zero-copy; the
+        per-batch ``load_vector`` inside :meth:`batch_gradient` then becomes a
+        no-op).  Copy engine: returns a fresh array, as the seed did.
+        """
+        if self.vectorizer.mode == "flat":
+            z = self.vectorizer.flat_params
+            np.copyto(z, init)
+            return z
+        return np.array(init, copy=True)
+
     def batch_gradient(self, params: np.ndarray, batch_x: np.ndarray, batch_y: np.ndarray) -> np.ndarray:
-        """Mean loss gradient over one batch, evaluated at flat parameters ``params``."""
+        """Mean loss gradient over one batch, evaluated at flat parameters ``params``.
+
+        Under the flat engine the returned vector is the persistent gradient
+        buffer *view* — consume it before the next ``batch_gradient`` call.
+        """
         self.vectorizer.load_vector(params)
-        self.model.zero_grad()
-        logits = self.model(nn.Tensor(batch_x))
+        self.vectorizer.zero_grad()
+        logits = self.model(nn.Tensor(batch_x, dtype=self._dtype))
         loss = self.loss_fn(logits, batch_y)
         loss.backward()
         return self.vectorizer.grad_vector()
@@ -140,14 +277,16 @@ class BaseClient:
 
     def privatize(self, values: np.ndarray, sensitivity: float) -> np.ndarray:
         """Apply the configured output-perturbation mechanism to ``values``."""
-        return self.mechanism.perturb_array(values, sensitivity)
+        out = self.mechanism.perturb_array(values, sensitivity)
+        # Keep the pipeline dtype: float64 noise must not upcast a float32 run.
+        return np.asarray(out, dtype=values.dtype)
 
     def local_loss(self, params: np.ndarray) -> float:
         """Training loss of this client's data at flat parameters ``params``."""
         x, y = self.loader.full_batch()
         self.vectorizer.load_vector(params)
         with nn.no_grad():
-            logits = self.model(nn.Tensor(x))
+            logits = self.model(nn.Tensor(x, dtype=self._dtype))
         return float(nn.functional.cross_entropy(logits, y).item())
 
 
@@ -171,8 +310,10 @@ class BaseServer:
         self.model = model
         self.config = config
         self.num_clients = int(num_clients)
-        self.vectorizer = ModelVectorizer(model)
+        self.vectorizer = ModelVectorizer(model, dtype=config.np_dtype, mode=config.engine)
         self.global_params = self.vectorizer.to_vector()
+        # Scratch vector for in-place aggregation updates.
+        self._scratch = np.empty(self.vectorizer.dim, dtype=self.vectorizer.dtype)
         if client_sample_counts is None:
             self.client_sample_counts = np.ones(num_clients)
         else:

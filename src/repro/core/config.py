@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+import numpy as np
+
 __all__ = ["PrivacyConfig", "FLConfig"]
 
 
@@ -71,6 +73,26 @@ class FLConfig:
     privacy: PrivacyConfig = field(default_factory=PrivacyConfig)
     seed: int = 0
 
+    # Performance knobs (see the "Architecture & performance" notes in
+    # repro.core.base / repro.core.runner).
+    #
+    # dtype: numeric precision of the whole pipeline — model parameters,
+    #   gradients, batches, and payloads on the wire.  "float64" reproduces
+    #   the paper's numerics exactly; "float32" halves memory traffic and
+    #   communication volume for ~2x arithmetic throughput.
+    # engine: "flat" backs every model parameter and gradient with views into
+    #   one preallocated contiguous buffer (zero-copy hot path); "copy" keeps
+    #   the original flatten/unflatten-per-batch behaviour (the seed
+    #   implementation, used as a benchmark baseline).  "copy" requires
+    #   float64.
+    # parallel_clients: max worker threads for client-local updates per round
+    #   (1 = serial, 0 = one thread per CPU core).  The heavy numpy kernels
+    #   release the GIL, so threads scale on multi-core hosts, and results
+    #   are bit-identical to a serial run.
+    dtype: str = "float64"
+    engine: str = "flat"
+    parallel_clients: int = 1
+
     def __post_init__(self) -> None:
         if self.num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
@@ -90,9 +112,22 @@ class FLConfig:
             raise ValueError("rho_growth must be positive")
         if not self.algorithm:
             raise ValueError("algorithm name must be non-empty")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be 'float32' or 'float64'")
+        if self.engine not in ("flat", "copy"):
+            raise ValueError("engine must be 'flat' or 'copy'")
+        if self.engine == "copy" and self.dtype != "float64":
+            raise ValueError("the legacy 'copy' engine only supports float64")
+        if self.parallel_clients < 0:
+            raise ValueError("parallel_clients must be >= 0 (0 = one thread per core)")
         # Note: the algorithm name is resolved against the plug-and-play
         # registry at federation-build time, so user-registered algorithms are
         # accepted here without modification.
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The configured precision as a numpy dtype."""
+        return np.dtype(self.dtype)
 
     def with_privacy(self, epsilon: float, **kwargs) -> "FLConfig":
         """Return a copy of this config with a different privacy budget."""

@@ -26,10 +26,17 @@ __all__ = ["FedAvgClient", "FedAvgServer"]
 class FedAvgClient(BaseClient):
     """FedAvg client: ``L`` epochs of SGD with momentum on local data."""
 
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # Momentum buffer, reset (not reallocated) at the start of each round.
+        self._velocity = np.zeros(self.vectorizer.dim, dtype=self.vectorizer.dtype)
+
     def update(self, global_payload: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
         cfg = self.config
-        z = np.array(global_payload[GLOBAL_KEY], copy=True)
-        velocity = np.zeros_like(z)
+        z = self.local_params(np.asarray(global_payload[GLOBAL_KEY]))
+        velocity = self._velocity
+        velocity.fill(0.0)
+        s = self._scratch
         for _ in range(cfg.local_steps):
             for batch_x, batch_y in self.loader:
                 grad = self.batch_gradient(z, batch_x, batch_y)
@@ -40,7 +47,9 @@ class FedAvgClient(BaseClient):
                     step = velocity
                 else:
                     step = grad
-                z -= cfg.lr * step
+                # Fused in place: z -= lr * step.
+                np.multiply(step, cfg.lr, out=s)
+                z -= s
 
         if cfg.privacy.enabled:
             num_steps = cfg.local_steps * max(1, len(self.loader))
@@ -48,6 +57,8 @@ class FedAvgClient(BaseClient):
                 clip_norm=cfg.privacy.clip_norm, lr=cfg.lr, num_steps=num_steps
             ).sensitivity()
             z = self.privatize(z, sensitivity)
+        else:
+            z = z.copy()
         self.round += 1
         return {PRIMAL_KEY: z}
 

@@ -36,7 +36,7 @@ class ICEADMMClient(BaseClient):
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        self.dual = np.zeros(self.vectorizer.dim)
+        self.dual = np.zeros(self.vectorizer.dim, dtype=self.vectorizer.dtype)
         self.primal = self.vectorizer.to_vector()
         self._rho = self.config.rho
 
@@ -48,25 +48,36 @@ class ICEADMMClient(BaseClient):
         cfg = self.config
         w = np.asarray(global_payload[GLOBAL_KEY])
         rho, zeta = self._rho, cfg.zeta
+        s = self._scratch
 
-        z = np.array(w, copy=True)
-        lam = self.dual.copy()
+        z = self.local_params(w)
+        lam = self.dual  # updated in place; persists as the next round's λ_p
         for _ in range(cfg.local_steps):
             g = self.full_gradient(z)
             g = self.clip_gradient(g)
-            z = z - (g - lam - rho * (w - z)) / (rho + zeta)
-            lam = lam + rho * (w - z)
+            # Fused in place: z -= (g − λ − ρ(w − z)) / (ρ + ζ).
+            np.subtract(w, z, out=s)
+            s *= rho
+            g -= lam
+            g -= s
+            g /= rho + zeta
+            z -= g
+            # λ += ρ(w − z) with the freshly updated z.
+            np.subtract(w, z, out=s)
+            s *= rho
+            lam += s
 
-        self.primal = z
-        self.dual = lam
+        self.primal = z.copy()
 
-        upload_z, upload_lam = z, lam
         if cfg.privacy.enabled:
             sensitivity = IADMMSensitivity(clip_norm=cfg.privacy.clip_norm, rho=rho, zeta=zeta).sensitivity()
             upload_z = self.privatize(z, sensitivity)
             # The dual is the sum of L increments of magnitude up to ρ·Δz each,
             # so its sensitivity is L·ρ times the primal's.
             upload_lam = self.privatize(lam, sensitivity * rho * cfg.local_steps)
+        else:
+            # Copies: z and lam alias this client's persistent buffers.
+            upload_z, upload_lam = self.primal, lam.copy()
 
         if cfg.adaptive_rho:
             self._rho *= cfg.rho_growth
@@ -81,7 +92,10 @@ class ICEADMMServer(BaseServer):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.primals = {cid: self.vectorizer.to_vector() for cid in range(self.num_clients)}
-        self.duals = {cid: np.zeros(self.vectorizer.dim) for cid in range(self.num_clients)}
+        self.duals = {
+            cid: np.zeros(self.vectorizer.dim, dtype=self.vectorizer.dtype)
+            for cid in range(self.num_clients)
+        }
         self._rho = self.config.rho
 
     @property
@@ -96,9 +110,12 @@ class ICEADMMServer(BaseServer):
             self.duals[cid] = np.asarray(payload[DUAL_KEY])
 
         rho = self._rho
+        s = self._scratch
         acc = np.zeros_like(self.global_params)
         for cid in range(self.num_clients):
-            acc += self.primals[cid] - self.duals[cid] / rho
+            np.divide(self.duals[cid], rho, out=s)
+            np.subtract(self.primals[cid], s, out=s)
+            acc += s
         self.global_params = acc / self.num_clients
 
         if self.config.adaptive_rho:

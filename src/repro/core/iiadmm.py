@@ -37,7 +37,7 @@ class IIADMMClient(BaseClient):
         super().__init__(*args, **kwargs)
         # λ_p^1 = 0: the initial primal/dual pair is implicitly shared with the
         # server (Algorithm 1 line 1), which also starts its copy at zero.
-        self.dual = np.zeros(self.vectorizer.dim)
+        self.dual = np.zeros(self.vectorizer.dim, dtype=self.vectorizer.dtype)
         self.primal = self.vectorizer.to_vector()
         self._rho = self.config.rho
 
@@ -50,20 +50,28 @@ class IIADMMClient(BaseClient):
         cfg = self.config
         w = np.asarray(global_payload[GLOBAL_KEY])
         rho, zeta = self._rho, cfg.zeta
+        s = self._scratch
 
-        # Line 11: start local updates from the received global model.
-        z = np.array(w, copy=True)
+        # Line 11: start local updates from the received global model (under
+        # the flat engine, z *is* the model's parameter buffer).
+        z = self.local_params(w)
         for _ in range(cfg.local_steps):  # line 13: local steps ℓ = 1..L
             for batch_x, batch_y in self.loader:  # line 14: batches b = 1..B_p
                 g = self.batch_gradient(z, batch_x, batch_y)  # line 15
                 g = self.clip_gradient(g)
-                # Line 16: closed-form inexact primal update.
-                z = z - (g - self.dual - rho * (w - z)) / (rho + zeta)
+                # Line 16, fused in place: z -= (g − λ_p − ρ(w − z)) / (ρ + ζ).
+                np.subtract(w, z, out=s)
+                s *= rho
+                g -= self.dual
+                g -= s
+                g /= rho + zeta
+                z -= g
 
-        upload = z  # line 20/22: the primal that will be transmitted
         if cfg.privacy.enabled:
             sensitivity = IADMMSensitivity(clip_norm=cfg.privacy.clip_norm, rho=rho, zeta=zeta).sensitivity()
             upload = self.privatize(z, sensitivity)
+        else:
+            upload = z.copy()  # line 20/22: the primal that will be transmitted
 
         self.primal = upload
         # Line 21: client-side dual update.  It must use the *transmitted*
@@ -71,7 +79,9 @@ class IIADMMClient(BaseClient):
         # server's replica (line 6, which only sees the transmitted value)
         # would silently drift apart and the two updates would no longer be
         # "independent but identical" as Algorithm 1 requires.
-        self.dual = self.dual + rho * (w - upload)
+        np.subtract(w, upload, out=s)
+        s *= rho
+        self.dual += s
 
         if cfg.adaptive_rho:
             self._rho *= cfg.rho_growth
@@ -87,7 +97,10 @@ class IIADMMServer(BaseServer):
         super().__init__(*args, **kwargs)
         # Server-side replicas of each client's dual variable (line 6); they
         # stay synchronised with the clients' copies without any communication.
-        self.duals = {cid: np.zeros(self.vectorizer.dim) for cid in range(self.num_clients)}
+        self.duals = {
+            cid: np.zeros(self.vectorizer.dim, dtype=self.vectorizer.dtype)
+            for cid in range(self.num_clients)
+        }
         self.primals = {cid: self.vectorizer.to_vector() for cid in range(self.num_clients)}
         self._rho = self.config.rho
 
@@ -100,17 +113,22 @@ class IIADMMServer(BaseServer):
             raise ValueError("no client payloads to aggregate")
         rho = self._rho
         w = self.global_params
+        s = self._scratch
 
-        # Line 6: duplicate dual update using the received primals.
+        # Line 6: duplicate dual update using the received primals (in place).
         for cid, payload in payloads.items():
             z = np.asarray(payload[PRIMAL_KEY])
             self.primals[cid] = z
-            self.duals[cid] = self.duals[cid] + rho * (w - z)
+            np.subtract(w, z, out=s)
+            s *= rho
+            self.duals[cid] += s
 
         # Line 3 (next round's global update): w = (1/P) Σ_p (z_p − λ_p/ρ).
         acc = np.zeros_like(self.global_params)
         for cid in range(self.num_clients):
-            acc += self.primals[cid] - self.duals[cid] / rho
+            np.divide(self.duals[cid], rho, out=s)
+            np.subtract(self.primals[cid], s, out=s)
+            acc += s
         self.global_params = acc / self.num_clients
 
         if self.config.adaptive_rho:

@@ -6,7 +6,7 @@ routine that evaluates the accuracy of the current global model."
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -16,14 +16,29 @@ from ..data import DataLoader, Dataset
 __all__ = ["evaluate", "Evaluator"]
 
 
-def evaluate(model: nn.Module, dataset: Dataset, batch_size: int = 256) -> Tuple[float, float]:
-    """Return ``(accuracy, mean cross-entropy loss)`` of ``model`` on ``dataset``."""
-    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+def _model_dtype(model: nn.Module):
+    """The model's parameter precision (float64 when it has no parameters)."""
+    first = next(model.parameters(), None)
+    return first.data.dtype if first is not None else np.dtype(np.float64)
+
+
+def evaluate(
+    model: nn.Module, dataset: Dataset, batch_size: int = 256, loader: Optional[DataLoader] = None
+) -> Tuple[float, float]:
+    """Return ``(accuracy, mean cross-entropy loss)`` of ``model`` on ``dataset``.
+
+    Evaluates in the model's own precision (float32 under the narrow
+    pipeline) so the forward pass never upcasts.  Pass ``loader`` to reuse a
+    prebuilt/cast loader across calls (see :class:`Evaluator`).
+    """
+    dtype = _model_dtype(model)
+    if loader is None:
+        loader = DataLoader(dataset, batch_size=batch_size, shuffle=False, dtype=dtype)
     total, correct, loss_sum = 0, 0, 0.0
     model.eval()
     with nn.no_grad():
         for x, y in loader:
-            logits = model(nn.Tensor(x))
+            logits = model(nn.Tensor(x, dtype=dtype))
             loss = nn.functional.cross_entropy(logits, y, reduction="sum")
             loss_sum += loss.item()
             pred = logits.data.argmax(axis=1)
@@ -36,11 +51,22 @@ def evaluate(model: nn.Module, dataset: Dataset, batch_size: int = 256) -> Tuple
 
 
 class Evaluator:
-    """Callable wrapper around :func:`evaluate` bound to one test dataset."""
+    """Callable wrapper around :func:`evaluate` bound to one test dataset.
+
+    Caches the materialised (and dtype-cast) loader per model precision, so
+    per-round evaluation under the float32 pipeline converts the test set
+    once instead of on every call.
+    """
 
     def __init__(self, dataset: Dataset, batch_size: int = 256):
         self.dataset = dataset
         self.batch_size = batch_size
+        self._loaders: Dict[np.dtype, DataLoader] = {}
 
     def __call__(self, model: nn.Module) -> Tuple[float, float]:
-        return evaluate(model, self.dataset, batch_size=self.batch_size)
+        dtype = _model_dtype(model)
+        loader = self._loaders.get(dtype)
+        if loader is None:
+            loader = DataLoader(self.dataset, batch_size=self.batch_size, shuffle=False, dtype=dtype)
+            self._loaders[dtype] = loader
+        return evaluate(model, self.dataset, batch_size=self.batch_size, loader=loader)

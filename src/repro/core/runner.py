@@ -10,10 +10,32 @@ data after every round.
 :func:`build_federation` is the convenience constructor used by the examples
 and benchmarks: it instantiates the registered server/client classes for a
 named algorithm over a list of client datasets.
+
+Architecture & performance
+--------------------------
+Client-local updates are the hot phase of every round.  When
+``FLConfig.parallel_clients`` (or the runner's ``max_workers`` argument) is
+greater than one, the runner executes ``client.update`` for all clients on a
+persistent thread pool: each client owns its model, flat parameter/gradient
+buffers (see :mod:`repro.core.base`), data loader, and RNG, so no state is
+shared between workers, the heavy numpy kernels release the GIL, and the
+resulting :class:`TrainingHistory` is bit-identical to a serial run.
+Uploads are collected in client order regardless of thread completion order,
+keeping aggregation deterministic.
+
+The runner also records wall-clock seconds per phase — ``broadcast``
+(serialize + downlink copy), ``local_update``, ``gather`` (serialize +
+uplink copy), ``aggregate``, and ``evaluate`` — cumulatively in
+:attr:`FederatedRunner.phase_seconds` and per round on
+:attr:`RoundResult.phase_seconds`; ``benchmarks/bench_hotpath.py`` turns
+these into the repo's rounds/sec trajectory.
 """
 
 from __future__ import annotations
 
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -40,6 +62,9 @@ class RoundResult:
     test_loss: Optional[float]
     comm_bytes: int
     comm_seconds: float
+    #: wall-clock seconds per phase of this round (broadcast, local_update,
+    #: gather, aggregate, evaluate); ``None`` for externally built results.
+    phase_seconds: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -86,6 +111,7 @@ class FederatedRunner:
         communicator: Optional[Communicator] = None,
         evaluator: Optional[Evaluator] = None,
         accountant: Optional[PrivacyAccountant] = None,
+        max_workers: Optional[int] = None,
     ):
         if not clients:
             raise ValueError("at least one client is required")
@@ -97,31 +123,74 @@ class FederatedRunner:
         self.evaluator = evaluator
         self.accountant = accountant if accountant is not None else PrivacyAccountant()
         self.history = TrainingHistory()
+        if max_workers is None:
+            max_workers = server.config.parallel_clients
+        if max_workers == 0:  # 0 = one worker per core
+            max_workers = os.cpu_count() or 1
+        self.max_workers = max(1, int(max_workers))
+        self._executor: Optional[ThreadPoolExecutor] = None
+        #: cumulative wall-clock seconds spent in each phase across all rounds
+        self.phase_seconds: Dict[str, float] = {
+            "broadcast": 0.0,
+            "local_update": 0.0,
+            "gather": 0.0,
+            "aggregate": 0.0,
+            "evaluate": 0.0,
+        }
+
+    def _run_clients(self, received: Dict[int, Dict[str, np.ndarray]]) -> Dict[int, Dict[str, np.ndarray]]:
+        """Run all client updates (thread pool when ``max_workers > 1``)."""
+        if self.max_workers > 1 and len(self.clients) > 1:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=min(self.max_workers, len(self.clients)),
+                    thread_name_prefix="fl-client",
+                )
+            results = list(
+                self._executor.map(
+                    lambda c: c.update(received[c.client_id]), self.clients
+                )
+            )
+            return {c.client_id: r for c, r in zip(self.clients, results)}
+        return {c.client_id: c.update(received[c.client_id]) for c in self.clients}
 
     def run_round(self, round_idx: int) -> RoundResult:
         """Execute one communication round and return its metrics."""
         client_ids = [c.client_id for c in self.clients]
         bytes_before = self.communicator.total_bytes()
         seconds_before = self.communicator.log.total_seconds()
+        timings: Dict[str, float] = {}
+        tick = time.perf_counter()
 
         # Server -> clients: broadcast the global model.
         received = self.communicator.broadcast(round_idx, self.server.broadcast_payload(), client_ids)
+        timings["broadcast"] = time.perf_counter() - tick
 
-        # Clients: local updates.
-        uploads: Dict[int, Dict[str, np.ndarray]] = {}
+        # Clients: local updates (optionally on the thread pool).
+        tick = time.perf_counter()
+        uploads = self._run_clients(received)
         for client in self.clients:
-            uploads[client.client_id] = client.update(received[client.client_id])
             if client.config.privacy.enabled:
                 self.accountant.record(client.client_id, client.config.privacy.epsilon)
+        timings["local_update"] = time.perf_counter() - tick
 
         # Clients -> server: gather local models, then global update.
+        tick = time.perf_counter()
         gathered = self.communicator.collect(round_idx, uploads)
+        timings["gather"] = time.perf_counter() - tick
+        tick = time.perf_counter()
         self.server.update(gathered)
+        timings["aggregate"] = time.perf_counter() - tick
 
         accuracy = loss = None
+        tick = time.perf_counter()
         if self.evaluator is not None:
             self.server.sync_model()
             accuracy, loss = self.evaluator(self.server.model)
+        timings["evaluate"] = time.perf_counter() - tick
+
+        for phase, seconds in timings.items():
+            self.phase_seconds[phase] += seconds
 
         result = RoundResult(
             round=round_idx,
@@ -129,17 +198,27 @@ class FederatedRunner:
             test_loss=loss,
             comm_bytes=self.communicator.total_bytes() - bytes_before,
             comm_seconds=self.communicator.log.total_seconds() - seconds_before,
+            phase_seconds=timings,
         )
         self.history.add(result)
         return result
 
+    def close(self) -> None:
+        """Release the client worker pool (recreated lazily if needed again)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
     def run(self, num_rounds: Optional[int] = None, callback: Optional[Callable[[RoundResult], None]] = None) -> TrainingHistory:
         """Run ``num_rounds`` rounds (default: the server config's ``num_rounds``)."""
         total = num_rounds if num_rounds is not None else self.server.config.num_rounds
-        for t in range(total):
-            result = self.run_round(t)
-            if callback is not None:
-                callback(result)
+        try:
+            for t in range(total):
+                result = self.run_round(t)
+                if callback is not None:
+                    callback(result)
+        finally:
+            self.close()
         return self.history
 
 

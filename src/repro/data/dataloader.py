@@ -31,6 +31,10 @@ class DataLoader:
         Drop the final incomplete batch.
     rng:
         Random generator used for shuffling (explicit for reproducibility).
+    dtype:
+        Optional dtype the materialised inputs are cast to *once* (the
+        float32 pipeline passes the run's dtype here so the forward pass
+        never converts per batch).  ``None`` keeps the dataset's dtype.
     """
 
     def __init__(
@@ -40,6 +44,7 @@ class DataLoader:
         shuffle: bool = False,
         drop_last: bool = False,
         rng: Optional[np.random.Generator] = None,
+        dtype=None,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -50,6 +55,21 @@ class DataLoader:
         self._rng = rng if rng is not None else np.random.default_rng()
         # Materialise once; per-epoch iteration then only does fancy indexing.
         self._inputs, self._labels = stack_dataset(dataset)
+        if dtype is not None and self._inputs.dtype != np.dtype(dtype):
+            self._inputs = self._inputs.astype(dtype)
+        # Reusable index buffers: `_order` is refilled from `_arange` and
+        # shuffled in place every epoch instead of allocating a fresh
+        # permutation array per epoch.
+        n = len(dataset)
+        self._arange = np.arange(n)
+        self._order = np.arange(n)
+        # Read-only views served by the whole-dataset fast path: mutating a
+        # yielded batch must not corrupt the cached dataset (batches from the
+        # gather path are fresh copies, as before).
+        self._inputs_ro = self._inputs.view()
+        self._inputs_ro.flags.writeable = False
+        self._labels_ro = self._labels.view()
+        self._labels_ro.flags.writeable = False
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -63,9 +83,18 @@ class DataLoader:
 
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         n = len(self.dataset)
-        order = np.arange(n)
         if self.shuffle:
+            order = self._order
+            np.copyto(order, self._arange)
             self._rng.shuffle(order)
+        else:
+            order = self._arange
+            # Whole-dataset fast path: a single in-order batch needs no
+            # fancy-indexing copy — serve read-only views of the materialised
+            # arrays. (Shuffled epochs still gather, so batches stay permuted.)
+            if n and self.batch_size >= n and not self.drop_last:
+                yield self._inputs_ro, self._labels_ro
+                return
         end = (n // self.batch_size) * self.batch_size if self.drop_last else n
         for start in range(0, end, self.batch_size):
             idx = order[start : start + self.batch_size]

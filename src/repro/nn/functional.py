@@ -3,15 +3,26 @@
 The convolution and pooling kernels use an im2col/col2im strategy so the hot
 loop is a single large matrix multiplication (per the HPC guide: vectorise,
 avoid per-element Python loops).
+
+Scratch-buffer reuse: the im2col column matrix and the zero-padded input are
+by far the largest allocations on the training hot path (tens of MB per conv
+per batch for the paper's CNN).  Both are drawn from a thread-local
+:class:`_BufferPool` keyed on the exact geometry, so batches of identical
+shape reuse the same memory instead of reallocating every forward/backward.
+A column buffer stays checked out while a recorded backward closure still
+needs it and is returned to the pool as soon as the gradient has been
+computed (or immediately, when autograd is not recording).
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "linear",
@@ -27,7 +38,36 @@ __all__ = [
     "dropout",
     "im2col",
     "col2im",
+    "legacy_kernels",
 ]
+
+
+class legacy_kernels:
+    """Context manager restoring the seed implementation's conv/pool kernels.
+
+    Inside the context, ``conv2d`` uses the original per-image einsum
+    contractions with freshly allocated N-major columns and ``max_pool2d``
+    skips the aligned fast path.  Only used as the measured *baseline* in
+    ``benchmarks/bench_hotpath.py``; results are numerically identical to the
+    optimised kernels.  Process-wide (unlike ``no_grad``) so a baseline with
+    ``parallel_clients > 1`` still runs the legacy kernels on the runner's
+    worker threads; do not enter it concurrently with an optimised run.
+    """
+
+    def __enter__(self) -> "legacy_kernels":
+        self._prev = _LEGACY_STATE[0]
+        _LEGACY_STATE[0] = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _LEGACY_STATE[0] = self._prev
+
+
+_LEGACY_STATE = [False]
+
+
+def _legacy_enabled() -> bool:
+    return _LEGACY_STATE[0]
 
 
 # --------------------------------------------------------------------- dense
@@ -63,8 +103,35 @@ def _pair(value) -> Tuple[int, int]:
     return int(value), int(value)
 
 
+class _BufferPool(threading.local):
+    """Thread-local free-lists of scratch arrays keyed by (tag, geometry, dtype).
+
+    Thread-local so parallel FL clients never hand the same scratch buffer to
+    two concurrent convolutions.
+    """
+
+    def __init__(self):
+        self.free = {}
+
+    def acquire(self, key, shape, dtype, zero: bool = False) -> np.ndarray:
+        stack = self.free.get(key)
+        if stack:
+            return stack.pop()
+        return np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
+
+    def release(self, key, buf: np.ndarray) -> None:
+        self.free.setdefault(key, []).append(buf)
+
+
+_pool = _BufferPool()
+
+
 def im2col(
-    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Rearrange image patches into columns.
 
@@ -75,8 +142,29 @@ def im2col(
 
     Returns
     -------
-    cols: array of shape ``(N, C*kh*kw, out_h*out_w)``.
+    cols: array of shape ``(N, C*kh*kw, out_h*out_w)`` (``out`` when given).
     (out_h, out_w): output spatial size.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    windows, pad_key, padded, (out_h, out_w) = _sliding_windows(x, kernel, stride, padding)
+    if out is None:
+        out = np.empty((n, c * kh * kw, out_h * out_w), dtype=x.dtype)
+    np.copyto(out.reshape(n, c, kh, kw, out_h, out_w), windows)
+    if pad_key is not None:
+        _pool.release(pad_key, padded)
+    return out, (out_h, out_w)
+
+
+def _sliding_windows(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
+):
+    """Zero-pad ``x`` (pooled buffer) and return a strided sliding-window view.
+
+    Returns ``(windows, pad_key, padded, (out_h, out_w))`` where ``windows``
+    has shape ``(N, C, kh, kw, out_h, out_w)``.  When ``pad_key`` is not None
+    the caller must release ``padded`` back to the pool after consuming the
+    view.
     """
     n, c, h, w = x.shape
     kh, kw = kernel
@@ -84,9 +172,14 @@ def im2col(
     ph, pw = padding
     out_h = (h + 2 * ph - kh) // sh + 1
     out_w = (w + 2 * pw - kw) // sw + 1
+    pad_key = None
     if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
-    # Strided sliding-window view, then gather into columns (one copy, no loop).
+        # Pooled padded buffer: created zeroed, only the interior is rewritten,
+        # so the zero border survives reuse across batches of identical shape.
+        pad_key = ("pad", x.shape, ph, pw, x.dtype)
+        padded = _pool.acquire(pad_key, (n, c, h + 2 * ph, w + 2 * pw), x.dtype, zero=True)
+        padded[:, :, ph : ph + h, pw : pw + w] = x
+        x = padded
     shape = (n, c, kh, kw, out_h, out_w)
     strides = (
         x.strides[0],
@@ -97,8 +190,7 @@ def im2col(
         x.strides[3] * sw,
     )
     windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    cols = windows.reshape(n, c * kh * kw, out_h * out_w)
-    return np.ascontiguousarray(cols), (out_h, out_w)
+    return windows, pad_key, x, (out_h, out_w)
 
 
 def col2im(
@@ -127,6 +219,38 @@ def col2im(
     return padded
 
 
+def _col2im_kmajor(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """:func:`col2im` for K-major columns of shape ``(C*kh*kw, N, P)``.
+
+    Scatter-adds through strided views of the K-major buffer directly, so no
+    layout-conversion copy of the (large) column matrix is needed.
+    """
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    # Scatter into a C-major image so source and destination slices share the
+    # same axis order (no transposed strided writes); one layout copy at the
+    # end converts back to (N, C, H, W).
+    padded = np.zeros((c, n, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    cols6 = cols.reshape(c, kh, kw, n, out_h, out_w)
+    for i in range(kh):
+        i_max = i + sh * out_h
+        for j in range(kw):
+            j_max = j + sw * out_w
+            padded[:, :, i:i_max:sh, j:j_max:sw] += cols6[:, i, j]
+    interior = padded[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else padded
+    return np.ascontiguousarray(interior.transpose(1, 0, 2, 3))
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -145,10 +269,107 @@ def conv2d(
     c_out, c_in_w, kh, kw = weight.shape
     if c_in != c_in_w:
         raise ValueError(f"conv2d channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    if _legacy_enabled():
+        return _conv2d_legacy(x, weight, bias, stride, padding)
 
-    cols, (out_h, out_w) = im2col(x.data, (kh, kw), stride, padding)
+    recording = is_grad_enabled() and (
+        x.requires_grad or weight.requires_grad or (bias is not None and bias.requires_grad)
+    )
+    # Columns are stored K-major — shape (C_in*kh*kw, N, P) — so both the
+    # forward product and the weight gradient collapse into one big GEMM over
+    # the combined (N, P) axis instead of N small per-image GEMMs.
+    kdim = c_in * kh * kw
+    cols_key = ("cols", x.data.shape, (kh, kw), stride, padding, x.data.dtype)
+    windows, pad_key, padded, (out_h, out_w) = _sliding_windows(x.data, (kh, kw), stride, padding)
+    p_dim = out_h * out_w
+    cols = _pool.acquire(cols_key, (kdim, n, p_dim), x.data.dtype)
+    np.copyto(
+        cols.reshape(c_in, kh, kw, n, out_h, out_w),
+        windows.transpose(1, 2, 3, 0, 4, 5),
+    )
+    if pad_key is not None:
+        _pool.release(pad_key, padded)
+
     w_mat = weight.data.reshape(c_out, -1)  # (C_out, C_in*kh*kw)
-    # (N, C_out, out_h*out_w) via batched matmul.
+    dt = x.data.dtype
+    fo_key = ("convout", c_out, n, p_dim, dt)
+    out_cnp = _pool.acquire(fo_key, (c_out, n, p_dim), dt)
+    np.matmul(w_mat, cols.reshape(kdim, n * p_dim), out=out_cnp.reshape(c_out, n * p_dim))
+    if bias is not None:
+        out_cnp += bias.data.reshape(c_out, 1, 1)
+    # .copy() (never ascontiguousarray) — with a size-1 axis the transpose is
+    # already contiguous and ascontiguousarray would return a *view* of the
+    # pooled buffer, which the next same-geometry conv would overwrite.
+    out = out_cnp.transpose(1, 0, 2).copy().reshape(n, c_out, out_h, out_w)
+    _pool.release(fo_key, out_cnp)
+
+    if not recording:
+        _pool.release(cols_key, cols)
+        return Tensor._make(out, (), lambda g: (), "conv2d")
+
+    x_shape = x.shape
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    # The column buffer stays checked out until the backward pass has used it.
+    # If the recorded graph is dropped without backward() (exception between
+    # forward and backward, loss probing, ...), a GC finalizer on the output
+    # tensor returns the buffer instead of leaking it; the flag guards
+    # against double-release when backward did run.  The pool is thread-local,
+    # so a finalizer firing on a different thread than the acquiring one must
+    # NOT release there (the buffer would migrate to a foreign free list) —
+    # in that rare case the buffer is simply dropped for the GC to reclaim.
+    cols_released = [False]
+    owner_thread = threading.get_ident()
+
+    def _release_cols():
+        if not cols_released[0]:
+            cols_released[0] = True
+            if threading.get_ident() == owner_thread:
+                _pool.release(cols_key, cols)
+
+    def backward(grad: np.ndarray):
+        # grad: (N, C_out, out_h, out_w) -> C_out-major (C_out, N*P) once, so
+        # both weight and input gradients are single collapsed GEMMs.
+        grad_mat = grad.reshape(n, c_out, p_dim)
+        gm_key = ("convgm", c_out, n, p_dim, dt)
+        gm_t = _pool.acquire(gm_key, (c_out, n, p_dim), dt)
+        np.copyto(gm_t, grad_mat.transpose(1, 0, 2))
+        gm_2d = gm_t.reshape(c_out, n * p_dim)
+        grad_x = None
+        grad_w = None
+        grad_b = None
+        if x.requires_grad:
+            # dL/dcols = W^T @ grad, folded back without a layout copy.
+            dc_key = ("convdcols", kdim, n, p_dim, dt)
+            dcols = _pool.acquire(dc_key, (kdim, n, p_dim), dt)
+            np.matmul(w_mat.T, gm_2d, out=dcols.reshape(kdim, n * p_dim))
+            grad_x = _col2im_kmajor(dcols, x_shape, (kh, kw), stride, padding)
+            _pool.release(dc_key, dcols)
+        if weight.requires_grad:
+            grad_w = (gm_2d @ cols.reshape(kdim, n * p_dim).T).reshape(weight.shape)
+        if bias is not None and bias.requires_grad:
+            grad_b = grad_mat.sum(axis=(0, 2))
+        _pool.release(gm_key, gm_t)
+        # The column buffer is only needed up to here; return it to the pool
+        # for the next same-shape batch.  (A second backward pass through this
+        # node would observe recycled memory — the framework, like the seed
+        # implementation, supports a single backward per graph.)
+        _release_cols()
+        if bias is None:
+            return (grad_x, grad_w)
+        return (grad_x, grad_w, grad_b)
+
+    result = Tensor._make(out, parents, backward, "conv2d")
+    weakref.finalize(result, _release_cols)
+    return result
+
+
+def _conv2d_legacy(x: Tensor, weight: Tensor, bias, stride, padding) -> Tensor:
+    """The seed implementation's conv2d (per-image einsum, fresh buffers)."""
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    cols, (out_h, out_w) = im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(c_out, -1)
     out = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
     if bias is not None:
         out = out + bias.data.reshape(1, c_out, 1)
@@ -158,13 +379,9 @@ def conv2d(
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad: np.ndarray):
-        # grad: (N, C_out, out_h, out_w)
         grad_mat = grad.reshape(n, c_out, out_h * out_w)
-        grad_x = None
-        grad_w = None
-        grad_b = None
+        grad_x = grad_w = grad_b = None
         if x.requires_grad:
-            # dL/dcols = W^T @ grad, then fold back.
             dcols = np.einsum("ok,nop->nkp", w_mat, grad_mat, optimize=True)
             grad_x = col2im(dcols, x_shape, (kh, kw), stride, padding)
         if weight.requires_grad:
@@ -179,19 +396,33 @@ def conv2d(
 
 
 def max_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
-    """2-D max pooling over ``(N, C, H, W)`` inputs."""
+    """2-D max pooling over ``(N, C, H, W)`` inputs.
+
+    Non-overlapping pools that tile the input exactly (``stride == kernel``,
+    no padding — the common CNN case) take a reshape-based fast path whose
+    argmax runs over a small contiguous trailing axis; the general case falls
+    back to im2col/col2im.  Both pick the same (first) element on ties, so
+    results are identical.
+    """
     kernel = _pair(kernel_size)
     stride = _pair(stride if stride is not None else kernel_size)
     padding = _pair(padding)
     n, c, h, w = x.shape
     kh, kw = kernel
+    if stride == kernel and padding == (0, 0) and h % kh == 0 and w % kw == 0 and not _legacy_enabled():
+        return _max_pool2d_aligned(x, kernel)
 
-    cols, (out_h, out_w) = im2col(x.data, kernel, stride, padding)
+    cols_key = ("pool", x.data.shape, kernel, stride, padding, x.data.dtype)
+    out_h = (h + 2 * padding[0] - kh) // stride[0] + 1
+    out_w = (w + 2 * padding[1] - kw) // stride[1] + 1
+    cols = _pool.acquire(cols_key, (n, c * kh * kw, out_h * out_w), x.data.dtype)
+    im2col(x.data, kernel, stride, padding, out=cols)
     # cols: (N, C*kh*kw, P) -> (N, C, kh*kw, P)
     cols = cols.reshape(n, c, kh * kw, out_h * out_w)
     arg = cols.argmax(axis=2)  # (N, C, P)
-    out = np.take_along_axis(cols, arg[:, :, None, :], axis=2).squeeze(2)
-    out = out.reshape(n, c, out_h, out_w)
+    out = cols.max(axis=2).reshape(n, c, out_h, out_w)
+    # The backward pass only needs the argmax indices, not the columns.
+    _pool.release(cols_key, cols.reshape(n, c * kh * kw, out_h * out_w))
 
     x_shape = x.shape
 
@@ -201,6 +432,36 @@ def max_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
         np.put_along_axis(dcols, arg[:, :, None, :], grad_flat[:, :, None, :], axis=2)
         dcols = dcols.reshape(n, c * kh * kw, out_h * out_w)
         return (col2im(dcols, x_shape, kernel, stride, padding),)
+
+    return Tensor._make(out, (x,), backward, "max_pool2d")
+
+
+def _max_pool2d_aligned(x: Tensor, kernel: Tuple[int, int]) -> Tensor:
+    """Fast path for non-overlapping, exactly tiling max pooling.
+
+    Rearranges each ``kh x kw`` window onto a small contiguous trailing axis
+    (one layout copy) so the argmax/max scan is sequential in memory, and the
+    backward pass is a single ``put_along_axis`` plus the inverse layout copy
+    — no im2col or col2im.  Window elements keep im2col's row-major order, so
+    argmax tie-breaking matches the general path exactly.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h, out_w = h // kh, w // kw
+    # (N, C, out_h, kh, out_w, kw) -> (N, C, out_h, out_w, kh*kw), contiguous.
+    windows = np.ascontiguousarray(
+        x.data.reshape(n, c, out_h, kh, out_w, kw).transpose(0, 1, 2, 4, 3, 5)
+    ).reshape(n, c, out_h, out_w, kh * kw)
+    arg = windows.argmax(axis=-1)
+    out = windows.max(axis=-1)
+
+    def backward(grad: np.ndarray):
+        dwin = np.zeros((n, c, out_h, out_w, kh * kw), dtype=grad.dtype)
+        np.put_along_axis(dwin, arg[..., None], grad[..., None], axis=-1)
+        dx = np.ascontiguousarray(
+            dwin.reshape(n, c, out_h, out_w, kh, kw).transpose(0, 1, 2, 4, 3, 5)
+        ).reshape(n, c, h, w)
+        return (dx,)
 
     return Tensor._make(out, (x,), backward, "max_pool2d")
 
@@ -216,7 +477,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
     m = x.data.max(axis=axis, keepdims=True)
-    shifted = x - Tensor(m)
+    shifted = x - Tensor(m, dtype=m.dtype)
     lse = shifted.exp().sum(axis=axis, keepdims=True).log()
     return shifted - lse
 
@@ -267,7 +528,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") 
 
 def mse_loss(pred: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
     """Mean squared error loss."""
-    target = target if isinstance(target, Tensor) else Tensor(target)
+    target = target if isinstance(target, Tensor) else Tensor(target, dtype=pred.data.dtype)
     diff = pred - target.detach()
     sq = diff * diff
     if reduction == "mean":
@@ -284,5 +545,5 @@ def dropout(x: Tensor, p: float = 0.5, training: bool = True, rng: Optional[np.r
     if not 0.0 <= p < 1.0:
         raise ValueError("dropout probability must be in [0, 1)")
     rng = rng if rng is not None else np.random.default_rng()
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
-    return x * Tensor(mask)
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask, dtype=mask.dtype)

@@ -69,7 +69,7 @@ class SGD(Optimizer):
     def step(self) -> None:
         """Apply one SGD update using the gradients stored on the parameters."""
         for p in self.params:
-            if p.grad is None:
+            if not p.has_grad:
                 continue
             grad = p.grad
             if self.weight_decay:
@@ -115,7 +115,7 @@ class Adam(Optimizer):
         self._t += 1
         t = self._t
         for p in self.params:
-            if p.grad is None:
+            if not p.has_grad:
                 continue
             grad = p.grad
             if self.weight_decay:

@@ -16,6 +16,7 @@ same pattern.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -24,26 +25,27 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+# Grad mode is thread-local so parallel FL clients (each running forward and
+# backward passes on its own model in a worker thread) cannot toggle each
+# other's graph recording through ``no_grad``.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager that disables graph construction (like ``torch.no_grad``)."""
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations are being recorded on the autograd graph."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
@@ -82,17 +84,22 @@ class Tensor:
     requires_grad:
         If True, gradients are accumulated in :attr:`grad` during
         :meth:`backward`.
+    dtype:
+        Target dtype (default float64).  The float32 pipeline passes the run's
+        configured dtype here so batches are not silently upcast.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op", "_grad_pinned", "_grad_seen", "__weakref__")
 
-    def __init__(self, data: ArrayLike, requires_grad: bool = False):
-        self.data: np.ndarray = _as_array(data)
-        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, dtype=None):
+        self.data: np.ndarray = _as_array(data, np.float64 if dtype is None else dtype)
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[BackwardFn] = None
         self._parents: Tuple["Tensor", ...] = ()
         self._op: str = ""
+        self._grad_pinned: bool = False
+        self._grad_seen: bool = False
 
     # ------------------------------------------------------------------ utils
     @property
@@ -120,13 +127,42 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a tensor sharing the same data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def copy(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=False)
+        return Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
-        self.grad = None
+        if self._grad_pinned and self.grad is not None:
+            self.grad.fill(0.0)
+        else:
+            self.grad = None
+        self._grad_seen = False
+
+    def pin_grad(self, buffer: np.ndarray) -> None:
+        """Accumulate gradients into ``buffer`` (a preallocated view) forever.
+
+        Once pinned, ``zero_grad`` zero-fills the buffer instead of dropping it,
+        so backward passes never allocate per-parameter gradient arrays.  Used
+        by the flat-parameter engine (:class:`repro.core.base.ModelVectorizer`).
+        ``grad`` is then never ``None``; consumers that need the seed's
+        "received no gradient" signal (the optimizers) use :attr:`has_grad`.
+        """
+        self.grad = buffer
+        self._grad_pinned = True
+        self._grad_seen = False
+
+    @property
+    def has_grad(self) -> bool:
+        """Whether a gradient has been accumulated since the last ``zero_grad``.
+
+        Equivalent to ``grad is not None`` for ordinary tensors; for pinned
+        gradient buffers (which always exist) it tracks whether any backward
+        pass actually reached this tensor.
+        """
+        if self._grad_pinned:
+            return self._grad_seen
+        return self.grad is not None
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}, op={self._op!r})"
@@ -137,8 +173,8 @@ class Tensor:
     # --------------------------------------------------------------- plumbing
     @staticmethod
     def _make(data: np.ndarray, parents: Tuple["Tensor", ...], backward: BackwardFn, op: str) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
+        requires = any(p.requires_grad for p in parents) and is_grad_enabled()
+        out = Tensor(data, requires_grad=requires, dtype=data.dtype if isinstance(data, np.ndarray) else None)
         if requires:
             out._backward = backward
             out._parents = parents
@@ -157,9 +193,9 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+        grad = _as_array(grad, self.data.dtype)
         if grad.shape != self.shape:
-            grad = np.broadcast_to(grad, self.shape).astype(np.float64)
+            grad = np.broadcast_to(grad, self.shape).astype(self.data.dtype)
 
         # Reverse topological order of the subgraph reachable from self.
         topo: List[Tensor] = []
@@ -184,11 +220,13 @@ class Tensor:
             if g is None:
                 continue
             if node._backward is None:
-                # Leaf tensor: accumulate into .grad.
+                # Leaf tensor: accumulate into .grad (a pinned flat-buffer view
+                # when the parameter belongs to a flat-engine model).
                 if node.grad is None:
-                    node.grad = g.astype(np.float64, copy=True)
+                    node.grad = g.astype(node.data.dtype, copy=True)
                 else:
                     node.grad += g
+                node._grad_seen = True
                 continue
             parent_grads = node._backward(g)
             for parent, pg in zip(node._parents, parent_grads):
@@ -216,7 +254,7 @@ class Tensor:
 
     # ------------------------------------------------------------- arithmetic
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
 
         def backward(grad: np.ndarray):
             return (_unbroadcast(grad, self.shape), _unbroadcast(grad, other.shape))
@@ -232,7 +270,7 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward, "neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
 
         def backward(grad: np.ndarray):
             return (_unbroadcast(grad, self.shape), _unbroadcast(-grad, other.shape))
@@ -240,10 +278,10 @@ class Tensor:
         return Tensor._make(self.data - other.data, (self, other), backward, "sub")
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other) - self
+        return Tensor(other, dtype=self.data.dtype) - self
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
 
         def backward(grad: np.ndarray):
             return (
@@ -256,7 +294,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
 
         def backward(grad: np.ndarray):
             return (
@@ -267,7 +305,7 @@ class Tensor:
         return Tensor._make(self.data / other.data, (self, other), backward, "div")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other) / self
+        return Tensor(other, dtype=self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         def backward(grad: np.ndarray):
@@ -276,7 +314,7 @@ class Tensor:
         return Tensor._make(self.data ** exponent, (self,), backward, "pow")
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
 
         def backward(grad: np.ndarray):
             ga = grad @ np.swapaxes(other.data, -1, -2)
@@ -312,7 +350,7 @@ class Tensor:
 
         def backward(grad: np.ndarray):
             full = self.data.max(axis=axis, keepdims=True)
-            mask = (self.data == full).astype(np.float64)
+            mask = (self.data == full).astype(self.data.dtype)
             mask /= mask.sum(axis=axis, keepdims=True)
             g = np.asarray(grad)
             if axis is not None and not keepdims:
@@ -342,7 +380,7 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * mask,)
 
-        return Tensor._make(self.data * mask, (self,), backward, "relu")
+        return Tensor._make(np.maximum(self.data, 0), (self,), backward, "relu")
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)

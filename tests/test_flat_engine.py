@@ -1,0 +1,278 @@
+"""Regression tests for the zero-copy flat-parameter engine, the dtype
+pipeline, and parallel client execution (see repro.core.base docstring)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.comm import state_dict_nbytes
+from repro.core import (
+    FLConfig,
+    MLP,
+    ModelVectorizer,
+    PaperCNN,
+    build_federation,
+)
+from repro.data import TensorDataset, iid_partition
+
+
+def tiny_model(seed=0):
+    return MLP(6, 3, hidden_sizes=(8,), rng=np.random.default_rng(seed))
+
+
+def tiny_dataset(n=60, dim=6, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((classes, dim)) * 3.0
+    y = rng.integers(0, classes, n)
+    x = centers[y] + rng.standard_normal((n, dim))
+    return TensorDataset(x, y)
+
+
+def run_federation(algorithm="iiadmm", rounds=3, epsilon=None, **cfg_kwargs):
+    train = tiny_dataset(90)
+    test = tiny_dataset(45, seed=1)
+    clients = iid_partition(train, 3, rng=np.random.default_rng(0))
+    config = FLConfig(
+        algorithm=algorithm,
+        num_rounds=rounds,
+        local_steps=2,
+        batch_size=16,
+        rho=2.0,
+        zeta=2.0,
+        lr=0.05,
+        seed=0,
+        **cfg_kwargs,
+    )
+    if epsilon is not None:
+        config = config.with_privacy(epsilon)
+    runner = build_federation(
+        config, lambda: tiny_model(7), clients, test
+    )
+    history = runner.run()
+    return runner, history
+
+
+class TestFlatBufferAliasing:
+    def test_params_are_views_into_flat_buffer(self):
+        model = tiny_model()
+        vec = ModelVectorizer(model)
+        for _, p in model.named_parameters():
+            assert np.shares_memory(p.data, vec.flat_params)
+            assert np.shares_memory(p.grad, vec.flat_grads)
+
+    def test_views_survive_load_state_dict(self):
+        model = tiny_model()
+        vec = ModelVectorizer(model)
+        model.load_state_dict(tiny_model(seed=3).state_dict())
+        for _, p in model.named_parameters():
+            assert np.shares_memory(p.data, vec.flat_params)
+        # The buffer reflects the newly loaded values.
+        np.testing.assert_array_equal(vec.flat_params, vec.to_vector())
+
+    def test_views_survive_optimizer_step(self):
+        model = tiny_model()
+        vec = ModelVectorizer(model)
+        x = np.random.default_rng(0).standard_normal((8, 6))
+        y = np.array([0, 1, 2, 0, 1, 2, 0, 1])
+        opt = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+        before = vec.to_vector()
+        nn.CrossEntropyLoss()(model(nn.Tensor(x)), y).backward()
+        opt.step()
+        for _, p in model.named_parameters():
+            assert np.shares_memory(p.data, vec.flat_params)
+        assert np.linalg.norm(vec.flat_params - before) > 0
+
+    def test_load_vector_writes_through_views(self):
+        model = tiny_model()
+        vec = ModelVectorizer(model)
+        vec.load_vector(np.zeros(vec.dim))
+        for _, p in model.named_parameters():
+            assert np.all(p.data == 0.0)
+            assert np.shares_memory(p.data, vec.flat_params)
+
+    def test_grad_buffer_accumulates_and_zeroes_in_place(self):
+        model = tiny_model()
+        vec = ModelVectorizer(model)
+        x = np.random.default_rng(1).standard_normal((5, 6))
+        y = np.array([0, 1, 2, 0, 1])
+        nn.CrossEntropyLoss()(model(nn.Tensor(x)), y).backward()
+        g = vec.grad_vector()
+        assert g is vec.flat_grads  # zero-copy view
+        assert np.linalg.norm(g) > 0
+        model.zero_grad()
+        assert np.all(vec.flat_grads == 0.0)
+        for _, p in model.named_parameters():
+            assert np.shares_memory(p.grad, vec.flat_grads)
+
+    def test_optimizer_skips_params_without_gradients(self):
+        """Pinned (never-None) grad buffers must not break the optimizers'
+        'received no gradient -> skip' contract, e.g. under weight decay."""
+
+        class TwoHeads(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.used = nn.Linear(4, 2, rng=np.random.default_rng(0))
+                self.unused = nn.Linear(4, 2, rng=np.random.default_rng(1))
+
+            def forward(self, x):
+                return self.used(x)
+
+        model = TwoHeads()
+        ModelVectorizer(model)  # flat engine pins all gradients
+        frozen_before = model.unused.weight.data.copy()
+        x = np.random.default_rng(2).standard_normal((6, 4))
+        opt = nn.SGD(model.parameters(), lr=0.1, weight_decay=0.01)
+        model.zero_grad()
+        nn.CrossEntropyLoss()(model(nn.Tensor(x)), np.array([0, 1, 0, 1, 0, 1])).backward()
+        opt.step()
+        assert model.used.weight.has_grad
+        assert not model.unused.weight.has_grad
+        np.testing.assert_array_equal(model.unused.weight.data, frozen_before)
+
+    def test_copy_mode_preserves_seed_semantics(self):
+        model = tiny_model()
+        vec = ModelVectorizer(model, mode="copy")
+        for _, p in model.named_parameters():
+            assert not p._grad_pinned
+        v = vec.to_vector()
+        v[:] = 0.0  # snapshot: mutating it must not touch the model
+        assert np.linalg.norm(vec.to_vector()) > 0
+
+
+class TestDtypePipeline:
+    def test_float32_halves_payload_bytes(self):
+        r64, _ = run_federation(dtype="float64", rounds=1)
+        r32, _ = run_federation(dtype="float32", rounds=1)
+        n64 = state_dict_nbytes(r64.server.model.state_dict())
+        n32 = state_dict_nbytes(r32.server.model.state_dict())
+        assert n64 == 2 * n32
+        assert r32.history.rounds[0].comm_bytes * 2 == r64.history.rounds[0].comm_bytes
+
+    def test_float32_pipeline_stays_float32(self):
+        runner, _ = run_federation(dtype="float32", rounds=2)
+        assert runner.server.global_params.dtype == np.float32
+        for client in runner.clients:
+            assert client.vectorizer.flat_params.dtype == np.float32
+            assert client.vectorizer.flat_grads.dtype == np.float32
+
+    @pytest.mark.parametrize("algorithm", ["fedavg", "iiadmm", "iceadmm"])
+    def test_flat_float64_matches_copy_engine_bitwise(self, algorithm):
+        r_flat, h_flat = run_federation(algorithm, engine="flat", dtype="float64")
+        r_copy, h_copy = run_federation(algorithm, engine="copy", dtype="float64")
+        np.testing.assert_array_equal(r_flat.server.global_params, r_copy.server.global_params)
+        for a, b in zip(h_flat.rounds, h_copy.rounds):
+            assert a.test_accuracy == b.test_accuracy
+            assert a.test_loss == b.test_loss
+
+    def test_copy_engine_rejects_float32(self):
+        with pytest.raises(ValueError):
+            FLConfig(engine="copy", dtype="float32")
+
+    def test_float32_learns_comparably(self):
+        _, h32 = run_federation(dtype="float32", rounds=4)
+        _, h64 = run_federation(dtype="float64", rounds=4)
+        assert abs(h32.final_accuracy - h64.final_accuracy) < 0.1
+
+
+class TestParallelClients:
+    @pytest.mark.parametrize("algorithm", ["fedavg", "iiadmm"])
+    def test_parallel_matches_serial_bitwise(self, algorithm):
+        r_ser, h_ser = run_federation(algorithm, parallel_clients=1)
+        r_par, h_par = run_federation(algorithm, parallel_clients=3)
+        assert r_par.max_workers == 3
+        np.testing.assert_array_equal(r_ser.server.global_params, r_par.server.global_params)
+        for a, b in zip(h_ser.rounds, h_par.rounds):
+            assert a.test_accuracy == b.test_accuracy
+            assert a.test_loss == b.test_loss
+
+    def test_parallel_matches_serial_under_privacy(self):
+        # Per-client RNGs make DP noise draws independent of thread schedule.
+        _, h_ser = run_federation("iiadmm", parallel_clients=1, epsilon=5.0)
+        _, h_par = run_federation("iiadmm", parallel_clients=3, epsilon=5.0)
+        for a, b in zip(h_ser.rounds, h_par.rounds):
+            assert a.test_loss == b.test_loss
+
+    def test_round_records_phase_timings(self):
+        _, history = run_federation(rounds=1)
+        phases = history.rounds[0].phase_seconds
+        assert set(phases) == {"broadcast", "local_update", "gather", "aggregate", "evaluate"}
+        assert phases["local_update"] > 0
+
+
+class TestKernelFastPaths:
+    def test_conv_pool_kernels_match_legacy(self):
+        """Pooled-buffer K-major conv + aligned pooling == seed kernels."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 1, 12, 12))
+        y = np.array([0, 1, 2, 0])
+
+        def grads(legacy):
+            model = PaperCNN(1, 3, image_size=(12, 12), hidden=8, conv_channels=(3, 4),
+                             rng=np.random.default_rng(5))
+            vec = ModelVectorizer(model)
+            if legacy:
+                with nn.functional.legacy_kernels():
+                    loss = nn.CrossEntropyLoss()(model(nn.Tensor(x)), y)
+                    loss.backward()
+            else:
+                loss = nn.CrossEntropyLoss()(model(nn.Tensor(x)), y)
+                loss.backward()
+            return float(loss.item()), vec.grad_vector().copy()
+
+        loss_new, g_new = grads(False)
+        loss_old, g_old = grads(True)
+        assert loss_new == pytest.approx(loss_old, rel=1e-12)
+        np.testing.assert_allclose(g_new, g_old, rtol=1e-9, atol=1e-12)
+
+    def test_conv_output_never_aliases_pooled_buffer(self):
+        """With a size-1 batch the transposed GEMM output is already
+        contiguous; the conv result must still be a private copy, not a view
+        of the pooled buffer the next same-geometry conv overwrites."""
+        from repro.nn import functional as F
+
+        rng = np.random.default_rng(0)
+        w = nn.Tensor(rng.standard_normal((3, 2, 3, 3)))
+        x1 = nn.Tensor(rng.standard_normal((1, 2, 6, 6)))
+        x2 = nn.Tensor(rng.standard_normal((1, 2, 6, 6)))
+        out1 = F.conv2d(x1, w, padding=1)
+        snapshot = out1.data.copy()
+        F.conv2d(x2, w, padding=1)
+        np.testing.assert_array_equal(out1.data, snapshot)
+
+    def test_conv_buffer_pool_reuse_is_stable(self):
+        """Two identical batches through pooled buffers give identical grads."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((3, 1, 8, 8))
+        y = np.array([0, 1, 0])
+        model = PaperCNN(1, 2, image_size=(8, 8), hidden=4, conv_channels=(2, 3),
+                         rng=np.random.default_rng(9))
+        vec = ModelVectorizer(model)
+        results = []
+        for _ in range(2):
+            vec.zero_grad()
+            nn.CrossEntropyLoss()(model(nn.Tensor(x)), y).backward()
+            results.append(vec.grad_vector().copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+
+class TestDataLoaderFastPath:
+    def test_full_batch_no_shuffle_serves_arrays_directly(self):
+        from repro.data import DataLoader
+
+        ds = tiny_dataset(10)
+        loader = DataLoader(ds, batch_size=32, shuffle=False)
+        x, y = next(iter(loader))
+        # Zero-copy views of the materialised arrays, read-only so consumer
+        # mutation cannot corrupt the cached dataset.
+        assert np.shares_memory(x, loader._inputs) and np.shares_memory(y, loader._labels)
+        assert not x.flags.writeable
+        with pytest.raises(ValueError):
+            x[0] = 0.0
+
+    def test_dtype_cast_happens_once(self):
+        from repro.data import DataLoader
+
+        ds = tiny_dataset(10)
+        loader = DataLoader(ds, batch_size=4, dtype=np.float32)
+        for x, _ in loader:
+            assert x.dtype == np.float32
