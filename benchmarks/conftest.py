@@ -57,18 +57,27 @@ def once(benchmark):
 def hotpath_store():
     """Read/compare/update access to the recorded hot-path measurements.
 
-    ``check_and_update(record)`` gates ``record`` against the previously
-    recorded run — failing on a ``REGRESSION_TOLERANCE`` drop in the
-    load-invariant speedup ratio, or an ``ABSOLUTE_TOLERANCE`` collapse in
-    raw rounds/sec (which catches regressions shared by both configurations)
-    — and writes it to ``BENCH_hotpath.json`` only when the gate passes, so
-    a regressed run cannot lower the bar for its own re-run.
+    ``BENCH_hotpath.json`` holds the synchronous rounds/sec record at the top
+    level plus an ``"async"`` section with the event-driven scenario's
+    events/sec.  ``check_and_update(record)`` gates the sync record against
+    the previously recorded run — failing on a ``REGRESSION_TOLERANCE`` drop
+    in the load-invariant speedup ratio, or an ``ABSOLUTE_TOLERANCE`` collapse
+    in raw rounds/sec (which catches regressions shared by both
+    configurations).  ``check_and_update_async(record)`` gates the async
+    section on an events/sec collapse.  Both merge into the existing file
+    (each preserves the other's section) and only write when their gate
+    passes, so a regressed run cannot lower the bar for its own re-run.
     """
 
     def load():
         if HOTPATH_PATH.exists():
             return json.loads(HOTPATH_PATH.read_text())
         return None
+
+    def _merge_write(update):
+        data = load() or {}
+        data.update(update)
+        HOTPATH_PATH.write_text(json.dumps(data, indent=2) + "\n")
 
     def check_and_update(record):
         previous = load()
@@ -102,7 +111,7 @@ def hotpath_store():
         if failure is None:
             # Only record the new measurement when it passes the gate, so a
             # regressed run cannot ratchet the baseline down for re-runs.
-            HOTPATH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+            _merge_write(record)
         else:
             pytest.fail(
                 "hot-path throughput regression: " + failure +
@@ -110,4 +119,28 @@ def hotpath_store():
                 "set REPRO_BENCH_ACCEPT=1 to accept the new numbers"
             )
 
-    return SimpleNamespace(path=HOTPATH_PATH, load=load, check_and_update=check_and_update)
+    def check_and_update_async(record):
+        previous = (load() or {}).get("async")
+        if previous and previous.get("workload") != record.get("workload"):
+            previous = None
+        old_eps = (previous or {}).get("events_per_sec")
+        if (
+            old_eps
+            and os.environ.get("REPRO_BENCH_ACCEPT", "0") != "1"
+            and record["events_per_sec"] < (1.0 - ABSOLUTE_TOLERANCE) * old_eps
+        ):
+            pytest.fail(
+                "async event-loop throughput regression: events/sec collapsed "
+                f"{old_eps:.1f} -> {record['events_per_sec']:.1f} "
+                f"(>{ABSOLUTE_TOLERANCE:.0%} even allowing for machine load) — "
+                "BENCH_hotpath.json keeps the previous baseline; "
+                "set REPRO_BENCH_ACCEPT=1 to accept the new numbers"
+            )
+        _merge_write({"async": record})
+
+    return SimpleNamespace(
+        path=HOTPATH_PATH,
+        load=load,
+        check_and_update=check_and_update,
+        check_and_update_async=check_and_update_async,
+    )

@@ -19,10 +19,14 @@ Subpackages
     The federated-learning framework itself: ``BaseServer``/``BaseClient``,
     FedAvg, ICEADMM, and the paper's new IIADMM algorithm, plus configuration,
     metrics, and runners.
+``repro.asyncfl``
+    Event-driven asynchronous federation: virtual-clock scheduler, client
+    participation samplers, and staleness-aware aggregation (FedAsync,
+    FedBuff, sampled synchronous rounds).
 ``repro.harness``
     Experiment harnesses that regenerate each table/figure of the paper.
 """
 
 __version__ = "0.1.0"
 
-__all__ = ["nn", "data", "comm", "simulator", "privacy", "core", "harness", "__version__"]
+__all__ = ["nn", "data", "comm", "simulator", "privacy", "core", "asyncfl", "harness", "__version__"]

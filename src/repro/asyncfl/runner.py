@@ -1,0 +1,387 @@
+"""Event-driven federated training on a virtual clock.
+
+:class:`AsyncRunner` is the asynchronous counterpart of
+:class:`repro.core.runner.FederatedRunner`.  Instead of lock-stepped rounds it
+simulates a timeline: every dispatched client pays a download latency (its
+:class:`repro.comm.latency.LinkModel`), a compute time (its
+:class:`repro.simulator.device.DeviceSpec` under the
+:class:`~repro.simulator.device.LocalUpdateCostModel`, inflated by any
+sampler-injected straggler slowdown), and an upload latency — and the server
+reacts to upload *arrivals* through an :class:`repro.asyncfl.strategies.
+AsyncServer` (FedAsync mixing, FedBuff buffering, or sampled synchronous
+rounds).  The result is wall-clock-to-accuracy, not just rounds-to-accuracy.
+
+Determinism and sync equivalence
+--------------------------------
+Events are processed in ``(virtual time, schedule order)`` order; all events
+sharing the current virtual time are drained before any freed dispatch slot is
+refilled, so an aggregation triggered by the last simultaneous arrival is
+visible to every replacement download.  Client updates only depend on the
+dispatched payload snapshot and the client's own state, so they may execute
+eagerly on a thread pool (``FLConfig.parallel_clients``) without changing a
+single bit of the history.  Consequently, with full participation, zero-cost
+links, identical devices, and ``FedBuffStrategy(buffer_size=num_clients)``,
+the produced :class:`~repro.core.runner.TrainingHistory` is bit-for-bit the
+synchronous :class:`FederatedRunner`'s.
+
+The runner mirrors ``FederatedRunner``'s API — ``history``,
+``phase_seconds``, ``run()``, ``close()``, context management — so harnesses
+and benchmarks drive either interchangeably.  Each completed global update is
+recorded as one :class:`~repro.core.runner.RoundResult` whose
+``wall_clock_seconds`` is the virtual arrival time and whose
+``participating_clients`` lists the aggregated cohort.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from .. import nn
+from ..comm.latency import LinkModel
+from ..comm.serialization import state_dict_nbytes
+from ..core.base import GLOBAL_KEY, BaseClient, BaseServer
+from ..core.config import FLConfig
+from ..core.metrics import Evaluator
+from ..core.runner import RoundResult, TrainingHistory, build_endpoints
+from ..data import Dataset
+from ..privacy import PrivacyAccountant
+from ..simulator.device import A100, DeviceSpec, LocalUpdateCostModel
+from .events import EventLoop
+from .sampling import ClientSampler, FullParticipationSampler, UniformSampler
+from .strategies import AsyncServer, AsyncStrategy, FedBuffStrategy
+
+__all__ = ["ZERO_LINK", "AsyncRunner", "build_async_federation"]
+
+#: a free link: zero latency, infinite bandwidth — transfers take 0 simulated
+#: seconds, which is what the sync-equivalence guarantees assume.
+ZERO_LINK = LinkModel(latency=0.0, bandwidth=math.inf)
+
+_COMPUTE_DONE = "compute_done"
+_ARRIVAL = "arrival"
+
+
+def _per_client(value, num_clients: int, kind: str) -> List:
+    """Broadcast a scalar spec to one entry per client, or validate a sequence."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != num_clients:
+            raise ValueError(f"need one {kind} per client ({num_clients}), got {len(value)}")
+        return list(value)
+    return [value] * num_clients
+
+
+class AsyncRunner:
+    """Runs the event-driven federated-learning loop on a virtual clock."""
+
+    def __init__(
+        self,
+        server: BaseServer,
+        clients: Sequence[BaseClient],
+        strategy: Optional[AsyncStrategy] = None,
+        sampler: Optional[ClientSampler] = None,
+        evaluator: Optional[Evaluator] = None,
+        accountant: Optional[PrivacyAccountant] = None,
+        cost_model: Optional[LocalUpdateCostModel] = None,
+        devices: Union[DeviceSpec, Sequence[DeviceSpec], None] = None,
+        link: Union[LinkModel, Sequence[LinkModel], None] = None,
+        concurrency: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ):
+        if not clients:
+            raise ValueError("at least one client is required")
+        if server.num_clients != len(clients):
+            raise ValueError("server.num_clients must match the number of clients")
+        self.server = server
+        self.clients = list(clients)
+        self._client_by_id = {c.client_id: c for c in self.clients}
+        if len(self._client_by_id) != len(self.clients):
+            raise ValueError("client ids must be unique")
+        config = server.config
+        self.strategy = strategy if strategy is not None else FedBuffStrategy(len(clients))
+        buffer_size = getattr(self.strategy, "buffer_size", None)
+        if buffer_size is not None and buffer_size > len(clients):
+            # The buffer keeps one (freshest) entry per client, so it could
+            # never fill and the event loop would spin forever.
+            raise ValueError(
+                f"buffer_size ({buffer_size}) cannot exceed the number of clients ({len(clients)})"
+            )
+        if config.adaptive_rho and hasattr(server, "duals"):
+            # Clients grow rho once per *their own* update while the server
+            # grows it once per aggregation; under partial participation or
+            # staleness the schedules diverge and the dual replicas (IIADMM)
+            # or aggregation penalties (ICEADMM) silently drift apart.
+            raise ValueError(
+                "adaptive_rho is not supported by asyncfl for ADMM-family algorithms: "
+                "per-client rho schedules diverge under partial participation/staleness"
+            )
+        self.sampler = (
+            sampler if sampler is not None else FullParticipationSampler(len(clients), seed=config.seed)
+        )
+        self.evaluator = evaluator
+        self.accountant = accountant if accountant is not None else PrivacyAccountant()
+        self.cost_model = (
+            cost_model if cost_model is not None else LocalUpdateCostModel(local_steps=config.local_steps)
+        )
+        self.devices: List[DeviceSpec] = _per_client(devices if devices is not None else A100, len(clients), "device")
+        self.links: List[LinkModel] = _per_client(link if link is not None else ZERO_LINK, len(clients), "link")
+        if concurrency is None:
+            concurrency = len(clients)
+        if not 1 <= concurrency <= len(clients):
+            raise ValueError("concurrency must be in [1, num_clients]")
+        self.concurrency = int(concurrency)
+
+        if max_workers is None:
+            max_workers = config.parallel_clients
+        if max_workers == 0:  # 0 = one worker per core, as in FederatedRunner
+            max_workers = os.cpu_count() or 1
+        self.max_workers = max(1, int(max_workers))
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+        self.async_server = AsyncServer(server, self.strategy)
+        self.history = TrainingHistory()
+        self._clock = EventLoop()
+        self._in_flight: set = set()
+        self._pending_slots: List[int] = []
+        self._need_cohort = False
+        self._primed = False
+        #: total events handled on the virtual timeline (the benchmark metric)
+        self.events_processed = 0
+        #: cumulative real wall-clock seconds per phase (FederatedRunner API)
+        self.phase_seconds: Dict[str, float] = {
+            "broadcast": 0.0,
+            "local_update": 0.0,
+            "gather": 0.0,
+            "aggregate": 0.0,
+            "evaluate": 0.0,
+        }
+        self._round_timings: Dict[str, float] = {k: 0.0 for k in self.phase_seconds}
+        self._comm_bytes = 0
+        self._comm_bytes_last = 0
+        self._sim_comm_seconds = 0.0
+        self._sim_comm_seconds_last = 0.0
+
+    # ----------------------------------------------------------------- clock
+    @property
+    def now(self) -> float:
+        """Current virtual time in simulated seconds."""
+        return self._clock.now
+
+    # ------------------------------------------------------------- execution
+    def _charge(self, phase: str, seconds: float) -> None:
+        self.phase_seconds[phase] += seconds
+        self._round_timings[phase] += seconds
+
+    def _submit(self, client: BaseClient, payload) -> Optional[Future]:
+        """Start the client's local update eagerly when running parallel."""
+        if self.max_workers > 1 and len(self.clients) > 1:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=min(self.max_workers, len(self.clients)),
+                    thread_name_prefix="asyncfl-client",
+                )
+            return self._executor.submit(client.update, payload)
+        return None
+
+    def _dispatch(self, cid: int) -> None:
+        """Send the current global model to one client and schedule its compute."""
+        tick = time.perf_counter()
+        payload, version = self.async_server.dispatch()
+        nbytes = state_dict_nbytes(payload)
+        self._comm_bytes += nbytes
+        download = self.links[cid].transfer_time(nbytes)
+        self._sim_comm_seconds += download
+        client = self._client_by_id[cid]
+        compute = self.sampler.compute_multiplier(cid) * self.cost_model.local_update_time(
+            self.devices[cid], client.num_samples
+        )
+        future = self._submit(client, payload)
+        self._clock.schedule_after(
+            download + compute,
+            _COMPUTE_DONE,
+            cid=cid,
+            payload=payload,
+            version=version,
+            future=future,
+        )
+        self._in_flight.add(cid)
+        self._charge("broadcast", time.perf_counter() - tick)
+
+    def _handle_compute_done(self, event) -> None:
+        cid = event.data["cid"]
+        client = self._client_by_id[cid]
+        tick = time.perf_counter()
+        future = event.data["future"]
+        upload = future.result() if future is not None else client.update(event.data["payload"])
+        self._charge("local_update", time.perf_counter() - tick)
+        if client.config.privacy.enabled:
+            self.accountant.record(cid, client.config.privacy.epsilon)
+        nbytes = state_dict_nbytes(upload)
+        self._comm_bytes += nbytes
+        uplink = self.links[cid].transfer_time(nbytes)
+        self._sim_comm_seconds += uplink
+        self._clock.schedule_after(
+            uplink,
+            _ARRIVAL,
+            cid=cid,
+            upload=upload,
+            version=event.data["version"],
+            dispatched_global=event.data["payload"][GLOBAL_KEY],
+        )
+
+    def _handle_arrival(self, event, callback) -> None:
+        cid = event.data["cid"]
+        self._in_flight.discard(cid)
+        tick = time.perf_counter()
+        participants = self.async_server.receive(
+            cid, event.data["upload"], event.data["version"], event.data["dispatched_global"]
+        )
+        self._charge("aggregate", time.perf_counter() - tick)
+        if participants is not None:
+            self._record_round(participants, callback)
+            if self.strategy.round_based:
+                self._need_cohort = True
+        if not self.strategy.round_based:
+            self._pending_slots.append(cid)
+
+    def _record_round(self, participants, callback) -> None:
+        accuracy = loss = None
+        tick = time.perf_counter()
+        if self.evaluator is not None:
+            self.server.sync_model()
+            accuracy, loss = self.evaluator(self.server.model)
+        self._charge("evaluate", time.perf_counter() - tick)
+        result = RoundResult(
+            round=len(self.history),
+            test_accuracy=accuracy,
+            test_loss=loss,
+            comm_bytes=self._comm_bytes - self._comm_bytes_last,
+            comm_seconds=self._sim_comm_seconds - self._sim_comm_seconds_last,
+            phase_seconds=dict(self._round_timings),
+            wall_clock_seconds=self.now,
+            participating_clients=tuple(participants),
+        )
+        self._comm_bytes_last = self._comm_bytes
+        self._sim_comm_seconds_last = self._sim_comm_seconds
+        self._round_timings = {k: 0.0 for k in self.phase_seconds}
+        self.history.add(result)
+        if callback is not None:
+            callback(result)
+
+    # ------------------------------------------------------------ dispatching
+    def _dispatch_cohort(self) -> None:
+        cohort = self.sampler.sample_cohort(frozenset(self._in_flight))
+        begin_round = getattr(self.strategy, "begin_round", None)
+        if begin_round is not None:
+            begin_round(cohort)
+        for cid in cohort:
+            self._dispatch(cid)
+
+    def _prime(self) -> None:
+        if self.strategy.round_based:
+            self._dispatch_cohort()
+        else:
+            for _ in range(self.concurrency):
+                self._dispatch(self.sampler.sample_one(frozenset(self._in_flight)))
+        self._primed = True
+
+    def _flush_dispatches(self) -> None:
+        """Refill freed slots — after the current virtual instant fully drains."""
+        if self._need_cohort:
+            self._need_cohort = False
+            self._dispatch_cohort()
+        slots, self._pending_slots = self._pending_slots, []
+        for _ in slots:
+            self._dispatch(self.sampler.sample_one(frozenset(self._in_flight)))
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        num_rounds: Optional[int] = None,
+        callback: Optional[Callable[[RoundResult], None]] = None,
+    ) -> TrainingHistory:
+        """Simulate until ``num_rounds`` further global updates completed."""
+        total = num_rounds if num_rounds is not None else self.server.config.num_rounds
+        target = len(self.history) + total
+        try:
+            if not self._primed:
+                self._prime()
+            elif not self._clock:
+                # Resuming after a previous run() hit its target with the
+                # queue drained: the replacement dispatches it withheld are
+                # still pending — issue them now so the timeline restarts.
+                self._flush_dispatches()
+            while len(self.history) < target and self._clock:
+                now = self._clock.peek_time()
+                # Drain every event at this virtual instant before refilling
+                # any dispatch slot: simultaneous arrivals must all see the
+                # same aggregation boundary (the sync-equivalence invariant).
+                while self._clock and self._clock.peek_time() == now:
+                    event = self._clock.pop()
+                    self.events_processed += 1
+                    if event.kind == _COMPUTE_DONE:
+                        self._handle_compute_done(event)
+                    else:
+                        self._handle_arrival(event, callback)
+                    if len(self.history) >= target:
+                        break
+                if len(self.history) >= target:
+                    break
+                self._flush_dispatches()
+        finally:
+            self.close()
+        return self.history
+
+    def close(self) -> None:
+        """Release the client worker pool (recreated lazily if needed again)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "AsyncRunner":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def build_async_federation(
+    config: FLConfig,
+    model_fn: Callable[[], nn.Module],
+    client_datasets: Sequence[Dataset],
+    test_dataset: Optional[Dataset] = None,
+    strategy: Optional[AsyncStrategy] = None,
+    sampler: Optional[ClientSampler] = None,
+    cost_model: Optional[LocalUpdateCostModel] = None,
+    devices: Union[DeviceSpec, Sequence[DeviceSpec], None] = None,
+    link: Union[LinkModel, Sequence[LinkModel], None] = None,
+    concurrency: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> AsyncRunner:
+    """Construct an :class:`AsyncRunner` for a named algorithm.
+
+    Server and clients come from the same :func:`repro.core.runner.
+    build_endpoints` that :func:`~repro.core.runner.build_federation` uses, so
+    an async run over the same datasets starts from bit-identical state.
+    When ``sampler`` is omitted, ``config.client_fraction`` selects it:
+    1.0 gives :class:`FullParticipationSampler`, anything lower a
+    :class:`UniformSampler` of that fraction.
+    """
+    seed = config.seed if seed is None else seed
+    server, clients = build_endpoints(config, model_fn, client_datasets, seed=seed)
+    if sampler is None and config.client_fraction < 1.0:
+        sampler = UniformSampler(len(clients), fraction=config.client_fraction, seed=seed)
+    evaluator = Evaluator(test_dataset) if test_dataset is not None else None
+    return AsyncRunner(
+        server,
+        clients,
+        strategy=strategy,
+        sampler=sampler,
+        evaluator=evaluator,
+        cost_model=cost_model,
+        devices=devices,
+        link=link,
+        concurrency=concurrency,
+    )

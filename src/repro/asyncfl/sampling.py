@@ -1,0 +1,216 @@
+"""Client participation sampling for event-driven federation.
+
+Cross-device FL never talks to every client every round: the server samples a
+cohort (or a single replacement, to keep a fixed number of clients in flight)
+from a fleet whose members differ in data volume, availability, and speed.
+Every sampler here is seeded and fully deterministic: the same seed yields the
+same participation schedule draw-for-draw, which is what makes async runs
+reproducible and lets the test suite assert serial == parallel histories.
+
+Hierarchy
+---------
+:class:`ClientSampler`
+    Abstract base: ``sample_cohort`` (a round's participant set),
+    ``sample_one`` (a single replacement dispatch), and
+    ``compute_multiplier`` (per-client slowdown injected into the device cost
+    model — 1.0 unless a subclass marks the client a straggler).
+:class:`FullParticipationSampler`
+    Every client, every round; ``sample_one`` cycles round-robin.
+:class:`UniformSampler`
+    A uniform-random fraction of the fleet without replacement.
+:class:`WeightedSampler`
+    Sampling probability proportional to each client's sample count
+    (importance sampling of data-heavy clients).
+:class:`AvailabilityTraceSampler`
+    Wraps any base sampler with a seeded availability trace: each draw each
+    client is independently offline with probability ``dropout``, and a fixed
+    seeded subset of clients are stragglers whose simulated compute is
+    inflated by ``straggler_slowdown``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ClientSampler",
+    "FullParticipationSampler",
+    "UniformSampler",
+    "WeightedSampler",
+    "AvailabilityTraceSampler",
+]
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+class ClientSampler(ABC):
+    """Base class of the deterministic participation samplers."""
+
+    def __init__(self, num_clients: int, seed: int = 0):
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        self.num_clients = int(num_clients)
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ hooks
+    @abstractmethod
+    def sample_cohort(self, exclude: FrozenSet[int] = _EMPTY) -> Tuple[int, ...]:
+        """The next round's participant set (sorted, never empty).
+
+        ``exclude`` lists clients that must not be drawn (e.g. still in
+        flight under an asynchronous strategy).
+        """
+
+    @abstractmethod
+    def sample_one(self, exclude: FrozenSet[int] = _EMPTY) -> int:
+        """A single replacement client for one freed dispatch slot."""
+
+    def compute_multiplier(self, client_id: int) -> float:
+        """Multiplier on the client's simulated compute time (1.0 = nominal)."""
+        return 1.0
+
+    # ---------------------------------------------------------------- helpers
+    def _available(self, exclude: FrozenSet[int]) -> List[int]:
+        avail = [c for c in range(self.num_clients) if c not in exclude]
+        if not avail:
+            raise RuntimeError("no clients available to sample (all excluded)")
+        return avail
+
+
+class FullParticipationSampler(ClientSampler):
+    """Every client participates; replacements cycle round-robin from 0."""
+
+    def __init__(self, num_clients: int, seed: int = 0):
+        super().__init__(num_clients, seed)
+        self._next = 0
+
+    def sample_cohort(self, exclude: FrozenSet[int] = _EMPTY) -> Tuple[int, ...]:
+        return tuple(self._available(exclude))
+
+    def sample_one(self, exclude: FrozenSet[int] = _EMPTY) -> int:
+        for _ in range(self.num_clients):
+            cid = self._next
+            self._next = (self._next + 1) % self.num_clients
+            if cid not in exclude:
+                return cid
+        raise RuntimeError("no clients available to sample (all excluded)")
+
+
+class UniformSampler(ClientSampler):
+    """A uniform fraction of the fleet, drawn without replacement."""
+
+    def __init__(self, num_clients: int, fraction: float = 0.1, seed: int = 0):
+        super().__init__(num_clients, seed)
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = float(fraction)
+
+    def _cohort_size(self, num_available: int) -> int:
+        k = max(1, int(round(self.fraction * self.num_clients)))
+        return min(k, num_available)
+
+    def sample_cohort(self, exclude: FrozenSet[int] = _EMPTY) -> Tuple[int, ...]:
+        avail = self._available(exclude)
+        k = self._cohort_size(len(avail))
+        idx = self.rng.choice(len(avail), size=k, replace=False)
+        return tuple(sorted(avail[int(i)] for i in idx))
+
+    def sample_one(self, exclude: FrozenSet[int] = _EMPTY) -> int:
+        avail = self._available(exclude)
+        return avail[int(self.rng.integers(len(avail)))]
+
+
+class WeightedSampler(ClientSampler):
+    """Sampling probability proportional to each client's sample count."""
+
+    def __init__(self, sample_counts: Sequence[int], fraction: float = 0.1, seed: int = 0):
+        super().__init__(len(sample_counts), seed)
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        counts = np.asarray(sample_counts, dtype=np.float64)
+        if np.any(counts < 0) or counts.sum() <= 0:
+            raise ValueError("sample_counts must be non-negative with a positive sum")
+        self.fraction = float(fraction)
+        self.sample_counts = counts
+
+    def _probabilities(self, avail: List[int]) -> np.ndarray:
+        weights = self.sample_counts[avail]
+        total = weights.sum()
+        if total <= 0:  # every available client is empty: fall back to uniform
+            return np.full(len(avail), 1.0 / len(avail))
+        return weights / total
+
+    def sample_cohort(self, exclude: FrozenSet[int] = _EMPTY) -> Tuple[int, ...]:
+        avail = self._available(exclude)
+        k = min(max(1, int(round(self.fraction * self.num_clients))), len(avail))
+        idx = self.rng.choice(len(avail), size=k, replace=False, p=self._probabilities(avail))
+        return tuple(sorted(avail[int(i)] for i in idx))
+
+    def sample_one(self, exclude: FrozenSet[int] = _EMPTY) -> int:
+        avail = self._available(exclude)
+        return avail[int(self.rng.choice(len(avail), p=self._probabilities(avail)))]
+
+
+class AvailabilityTraceSampler(ClientSampler):
+    """Availability trace + straggler injection around any base sampler.
+
+    On every draw each non-excluded client is independently offline with
+    probability ``dropout`` (a fresh seeded coin per client per draw — an
+    i.i.d. availability trace).  A fixed ``straggler_fraction`` of clients,
+    chosen once at construction, run ``straggler_slowdown`` times slower than
+    their device's nominal throughput.
+    """
+
+    def __init__(
+        self,
+        base: ClientSampler,
+        dropout: float = 0.1,
+        straggler_fraction: float = 0.0,
+        straggler_slowdown: float = 3.0,
+        seed: int = 0,
+        max_retries: int = 10,
+    ):
+        super().__init__(base.num_clients, seed)
+        if not 0.0 <= dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if not 0.0 <= straggler_fraction <= 1.0:
+            raise ValueError("straggler_fraction must be in [0, 1]")
+        if straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+        self.base = base
+        self.dropout = float(dropout)
+        self.straggler_slowdown = float(straggler_slowdown)
+        self.max_retries = int(max_retries)
+        num_stragglers = int(straggler_fraction * self.num_clients)
+        self.stragglers: FrozenSet[int] = frozenset(
+            int(c) for c in self.rng.choice(self.num_clients, size=num_stragglers, replace=False)
+        )
+
+    def _offline(self) -> FrozenSet[int]:
+        draws = self.rng.random(self.num_clients)
+        return frozenset(c for c in range(self.num_clients) if draws[c] < self.dropout)
+
+    def sample_cohort(self, exclude: FrozenSet[int] = _EMPTY) -> Tuple[int, ...]:
+        for _ in range(self.max_retries):
+            merged = frozenset(exclude) | self._offline()
+            if len(merged) < self.num_clients:
+                return self.base.sample_cohort(merged)
+        # Pathological dropout: everyone kept flipping offline — ignore the
+        # trace rather than deadlocking the federation.
+        return self.base.sample_cohort(frozenset(exclude))
+
+    def sample_one(self, exclude: FrozenSet[int] = _EMPTY) -> int:
+        for _ in range(self.max_retries):
+            merged = frozenset(exclude) | self._offline()
+            if len(merged) < self.num_clients:
+                return self.base.sample_one(merged)
+        return self.base.sample_one(frozenset(exclude))
+
+    def compute_multiplier(self, client_id: int) -> float:
+        if client_id in self.stragglers:
+            return self.straggler_slowdown
+        return self.base.compute_multiplier(client_id)

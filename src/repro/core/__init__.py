@@ -8,7 +8,7 @@ from .iiadmm import IIADMMClient, IIADMMServer
 from .metrics import Evaluator, evaluate
 from .models import MLP, LogisticRegression, PaperCNN, build_model
 from .registry import available_algorithms, get_algorithm, register_algorithm
-from .runner import FederatedRunner, RoundResult, TrainingHistory, build_federation
+from .runner import FederatedRunner, RoundResult, TrainingHistory, build_endpoints, build_federation
 
 __all__ = [
     "FLConfig",
@@ -34,5 +34,6 @@ __all__ = [
     "FederatedRunner",
     "RoundResult",
     "TrainingHistory",
+    "build_endpoints",
     "build_federation",
 ]

@@ -93,6 +93,12 @@ class FLConfig:
     engine: str = "flat"
     parallel_clients: int = 1
 
+    # Fraction of clients sampled per round/dispatch by the event-driven
+    # asyncfl subsystem (1.0 = full participation).  The synchronous
+    # FederatedRunner always uses every client; repro.asyncfl's samplers and
+    # build_async_federation consume this knob.
+    client_fraction: float = 1.0
+
     def __post_init__(self) -> None:
         if self.num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
@@ -120,6 +126,8 @@ class FLConfig:
             raise ValueError("the legacy 'copy' engine only supports float64")
         if self.parallel_clients < 0:
             raise ValueError("parallel_clients must be >= 0 (0 = one thread per core)")
+        if not 0.0 < self.client_fraction <= 1.0:
+            raise ValueError("client_fraction must be in (0, 1]")
         # Note: the algorithm name is resolved against the plug-and-play
         # registry at federation-build time, so user-registered algorithms are
         # accepted here without modification.

@@ -102,13 +102,24 @@ class ICEADMMServer(BaseServer):
     def rho(self) -> float:
         return self._rho
 
-    def update(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
-        if not payloads:
-            raise ValueError("no client payloads to aggregate")
-        for cid, payload in payloads.items():
-            self.primals[cid] = np.asarray(payload[PRIMAL_KEY])
-            self.duals[cid] = np.asarray(payload[DUAL_KEY])
+    def ingest(self, cid: int, payload: Mapping[str, np.ndarray], dispatched_global: np.ndarray) -> None:
+        """Store one client's transmitted primal/dual pair.
 
+        Unlike IIADMM's incremental dual replay, the ICEADMM dual travels as
+        *absolute* state, so re-ingesting a fresher upload from the same
+        client simply replaces the pair (``dispatched_global`` is unused; the
+        signature matches :meth:`IIADMMServer.ingest` so the asyncfl
+        strategies treat both uniformly).
+        """
+        self.primals[cid] = np.asarray(payload[PRIMAL_KEY])
+        self.duals[cid] = np.asarray(payload[DUAL_KEY])
+
+    def aggregate_global(self) -> None:
+        """Recompute ``w = (1/P) Σ_p (z_p − λ_p/ρ)`` over all clients.
+
+        Clients not heard from since the last aggregation contribute their
+        last-known pair (the partial-participation form).
+        """
         rho = self._rho
         s = self._scratch
         acc = np.zeros_like(self.global_params)
@@ -122,3 +133,10 @@ class ICEADMMServer(BaseServer):
             self._rho *= self.config.rho_growth
         self.round += 1
         self.sync_model()
+
+    def update(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
+        if not payloads:
+            raise ValueError("no client payloads to aggregate")
+        for cid, payload in payloads.items():
+            self.ingest(cid, payload, self.global_params)
+        self.aggregate_global()

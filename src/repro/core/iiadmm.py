@@ -108,22 +108,32 @@ class IIADMMServer(BaseServer):
     def rho(self) -> float:
         return self._rho
 
-    def update(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
-        if not payloads:
-            raise ValueError("no client payloads to aggregate")
-        rho = self._rho
-        w = self.global_params
+    def ingest(self, cid: int, payload: Mapping[str, np.ndarray], dispatched_global: np.ndarray) -> None:
+        """Line 6 for one client: replay its dual update from the received primal.
+
+        ``dispatched_global`` must be the global model the client computed
+        against — for the synchronous loop that is the current one, but under
+        staleness (repro.asyncfl) it is the snapshot the client downloaded;
+        using anything else desynchronises the "independent but identical"
+        dual replicas.  Must be called exactly once per client upload: the
+        replay is an *increment*, mirroring the client's own line-21 update.
+        """
+        z = np.asarray(payload[PRIMAL_KEY])
+        self.primals[cid] = z
         s = self._scratch
+        np.subtract(dispatched_global, z, out=s)
+        s *= self._rho
+        self.duals[cid] += s
 
-        # Line 6: duplicate dual update using the received primals (in place).
-        for cid, payload in payloads.items():
-            z = np.asarray(payload[PRIMAL_KEY])
-            self.primals[cid] = z
-            np.subtract(w, z, out=s)
-            s *= rho
-            self.duals[cid] += s
+    def aggregate_global(self) -> None:
+        """Line 3: recompute ``w = (1/P) Σ_p (z_p − λ_p/ρ)`` over all clients.
 
-        # Line 3 (next round's global update): w = (1/P) Σ_p (z_p − λ_p/ρ).
+        Clients whose uploads were not ingested since the last aggregation
+        contribute their last-known primal/dual — the partial-participation
+        form of the global update.
+        """
+        rho = self._rho
+        s = self._scratch
         acc = np.zeros_like(self.global_params)
         for cid in range(self.num_clients):
             np.divide(self.duals[cid], rho, out=s)
@@ -135,6 +145,14 @@ class IIADMMServer(BaseServer):
             self._rho *= self.config.rho_growth
         self.round += 1
         self.sync_model()
+
+    def update(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
+        if not payloads:
+            raise ValueError("no client payloads to aggregate")
+        w = self.global_params
+        for cid, payload in payloads.items():
+            self.ingest(cid, payload, w)
+        self.aggregate_global()
 
     def consensus_residual(self) -> float:
         """L2 norm of the primal consensus residual ``max_p ||w − z_p||`` (diagnostic)."""

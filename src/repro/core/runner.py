@@ -50,7 +50,7 @@ from .config import FLConfig
 from .metrics import Evaluator
 from .registry import get_algorithm
 
-__all__ = ["RoundResult", "TrainingHistory", "FederatedRunner", "build_federation"]
+__all__ = ["RoundResult", "TrainingHistory", "FederatedRunner", "build_endpoints", "build_federation"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,12 @@ class RoundResult:
     #: wall-clock seconds per phase of this round (broadcast, local_update,
     #: gather, aggregate, evaluate); ``None`` for externally built results.
     phase_seconds: Optional[Dict[str, float]] = None
+    #: *simulated* wall-clock seconds at which this round completed on the
+    #: asyncfl virtual clock; ``None`` for the real-time synchronous runner.
+    wall_clock_seconds: Optional[float] = None
+    #: ids of the clients whose updates were aggregated this round; ``None``
+    #: for externally built results.
+    participating_clients: Optional[Tuple[int, ...]] = None
 
 
 @dataclass
@@ -166,11 +172,13 @@ class FederatedRunner:
         received = self.communicator.broadcast(round_idx, self.server.broadcast_payload(), client_ids)
         timings["broadcast"] = time.perf_counter() - tick
 
-        # Clients: local updates (optionally on the thread pool).
+        # Clients: local updates (optionally on the thread pool).  Privacy
+        # budget is charged only to clients that actually released an update
+        # this round, so partial participation cannot over-count epsilon.
         tick = time.perf_counter()
         uploads = self._run_clients(received)
         for client in self.clients:
-            if client.config.privacy.enabled:
+            if client.client_id in uploads and client.config.privacy.enabled:
                 self.accountant.record(client.client_id, client.config.privacy.epsilon)
         timings["local_update"] = time.perf_counter() - tick
 
@@ -199,6 +207,7 @@ class FederatedRunner:
             comm_bytes=self.communicator.total_bytes() - bytes_before,
             comm_seconds=self.communicator.log.total_seconds() - seconds_before,
             phase_seconds=timings,
+            participating_clients=tuple(sorted(uploads)),
         )
         self.history.add(result)
         return result
@@ -208,6 +217,12 @@ class FederatedRunner:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def __enter__(self) -> "FederatedRunner":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def run(self, num_rounds: Optional[int] = None, callback: Optional[Callable[[RoundResult], None]] = None) -> TrainingHistory:
         """Run ``num_rounds`` rounds (default: the server config's ``num_rounds``)."""
@@ -220,6 +235,39 @@ class FederatedRunner:
         finally:
             self.close()
         return self.history
+
+
+def build_endpoints(
+    config: FLConfig,
+    model_fn: Callable[[], nn.Module],
+    client_datasets: Sequence[Dataset],
+    seed: Optional[int] = None,
+) -> Tuple[BaseServer, List[BaseClient]]:
+    """Instantiate the registered server and clients for a named algorithm.
+
+    This is the construction shared by :func:`build_federation` and
+    :func:`repro.asyncfl.build_async_federation`: one model per endpoint, all
+    synchronised to the server's initial parameters (the shared ``z^1`` of
+    Algorithm 1), and per-client RNGs seeded ``seed + 1000 + client_id`` — so
+    a sync and an async run over the same datasets start from bit-identical
+    state.
+    """
+    seed = config.seed if seed is None else seed
+    server_cls, client_cls = get_algorithm(config.algorithm)
+
+    server_model = model_fn()
+    initial_state = server_model.state_dict()
+    sample_counts = [len(d) for d in client_datasets]
+    server = server_cls(server_model, config, num_clients=len(client_datasets), client_sample_counts=sample_counts)
+
+    clients = []
+    for cid, dataset in enumerate(client_datasets):
+        model = model_fn()
+        model.load_state_dict(initial_state)
+        clients.append(
+            client_cls(cid, model, dataset, config, rng=np.random.default_rng(seed + 1000 + cid))
+        )
+    return server, clients
 
 
 def build_federation(
@@ -246,21 +294,6 @@ def build_federation(
     test_dataset:
         Optional server-side test data for the validation routine.
     """
-    seed = config.seed if seed is None else seed
-    server_cls, client_cls = get_algorithm(config.algorithm)
-
-    server_model = model_fn()
-    initial_state = server_model.state_dict()
-    sample_counts = [len(d) for d in client_datasets]
-    server = server_cls(server_model, config, num_clients=len(client_datasets), client_sample_counts=sample_counts)
-
-    clients = []
-    for cid, dataset in enumerate(client_datasets):
-        model = model_fn()
-        model.load_state_dict(initial_state)
-        clients.append(
-            client_cls(cid, model, dataset, config, rng=np.random.default_rng(seed + 1000 + cid))
-        )
-
+    server, clients = build_endpoints(config, model_fn, client_datasets, seed=seed)
     evaluator = Evaluator(test_dataset) if test_dataset is not None else None
     return FederatedRunner(server, clients, communicator=communicator, evaluator=evaluator)

@@ -10,9 +10,16 @@ comm        Figure 4a/4b — gRPC vs MPI communication times
 hetero      Section IV-E — A100 vs V100 load imbalance
 volume      Section III-A/IV-D — per-round communication volume
 ablation    DESIGN.md ablations — proximal term ζ, batching
+async       beyond the paper — sync vs FedAsync vs FedBuff wall clock
 ==========  =======================================================
 """
 
+from .async_compare import (
+    AsyncCompareResult,
+    AsyncCompareRow,
+    AsyncCompareSettings,
+    run_async_compare,
+)
 from .ablation import (
     AblationResult,
     AblationRow,
@@ -24,7 +31,7 @@ from .comm_compare import BoxStats, CommCompareResult, CommCompareSettings, run_
 from .comm_volume import CommVolumeResult, CommVolumeRow, CommVolumeSettings, run_comm_volume
 from .fig2 import Fig2Cell, Fig2Result, Fig2Settings, default_epsilons, run_fig2
 from .hetero import HeteroResult, HeteroSettings, run_hetero
-from .reporting import format_check, format_series, format_table
+from .reporting import format_check, format_history, format_series, format_table
 from .scaling import ScalingPoint, ScalingResult, ScalingSettings, run_scaling
 from .table1 import PAPER_TABLE1, framework_capabilities, render_table1, verify_appfl_column
 
@@ -32,6 +39,11 @@ __all__ = [
     "format_table",
     "format_series",
     "format_check",
+    "format_history",
+    "AsyncCompareSettings",
+    "AsyncCompareRow",
+    "AsyncCompareResult",
+    "run_async_compare",
     "PAPER_TABLE1",
     "framework_capabilities",
     "verify_appfl_column",

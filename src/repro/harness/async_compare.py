@@ -1,0 +1,242 @@
+"""Sync vs FedAsync vs FedBuff: simulated wall-clock-to-accuracy.
+
+The paper (and every harness up to here) reports *rounds*-to-accuracy under a
+synchronous loop that blocks on the slowest client.  This scenario runs the
+Fig. 2 MNIST-CNN workload on a heterogeneous device mix (A100 / V100 / CPU
+clients behind a TCP link) and compares three server modes on the
+:mod:`repro.asyncfl` virtual clock:
+
+* ``sync``     — full-participation synchronous rounds
+  (:class:`~repro.asyncfl.strategies.SyncRoundStrategy`: dispatch the whole
+  fleet, block until the slowest device reports);
+* ``fedasync`` — staleness-weighted mixing on every arrival;
+* ``fedbuff``  — buffered aggregation with ``buffer_size K < num_clients``.
+
+Every mode gets the same total client-update budget, so the comparison is
+"same work, different orchestration": the async modes win on wall clock
+because fast devices never idle waiting for the CPU straggler.  The headline
+number per mode is the *simulated seconds to reach the target accuracy*.
+
+Environment overrides (used by the benchmark): ``REPRO_ROUNDS``,
+``REPRO_LOCAL_STEPS``, ``REPRO_TRAIN_SIZE``, ``REPRO_CLIENTS``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..asyncfl import (
+    AsyncRunner,
+    FedAsyncStrategy,
+    FedBuffStrategy,
+    SyncRoundStrategy,
+    build_async_federation,
+)
+from ..comm import TCPLinkModel
+from ..core import FLConfig, build_model
+from ..data import load_dataset
+from ..simulator import DEVICE_CATALOG, DeviceSpec
+from .reporting import format_history, format_table
+
+__all__ = ["AsyncCompareSettings", "AsyncCompareRow", "AsyncCompareResult", "run_async_compare"]
+
+MODES = ("sync", "fedasync", "fedbuff")
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@dataclass(frozen=True)
+class AsyncCompareSettings:
+    """Scaled-down settings of the async-vs-sync wall-clock comparison.
+
+    Defaults keep the scenario in CI-friendly seconds; raise them (or the
+    ``REPRO_*`` environment variables) to approach the paper-scale Fig. 2
+    workload.  ``device_mix`` is cycled over the clients, so the default mix
+    yields a fleet where the slowest (CPU) client is ~17x slower than an A100.
+    """
+
+    dataset: str = "mnist"
+    model: str = "cnn"
+    algorithm: str = "fedavg"
+    num_clients: int = 6
+    train_size: int = 360
+    test_size: int = 120
+    num_rounds: int = 4  # synchronous rounds; async modes get the same update budget
+    local_steps: int = 2
+    batch_size: int = 64
+    lr: float = 0.05
+    rho: float = 10.0
+    zeta: float = 10.0
+    seed: int = 0
+    target_accuracy: float = 0.5
+    device_mix: Tuple[str, ...] = ("A100", "V100", "CPU")
+    fedasync_alpha: float = 0.6
+    staleness: str = "polynomial"
+    fedbuff_k: Optional[int] = None  # default: half the fleet
+
+    @staticmethod
+    def from_env() -> "AsyncCompareSettings":
+        """Settings with environment-variable overrides applied."""
+        return AsyncCompareSettings(
+            num_rounds=_env_int("REPRO_ROUNDS", 4),
+            local_steps=_env_int("REPRO_LOCAL_STEPS", 2),
+            train_size=_env_int("REPRO_TRAIN_SIZE", 360),
+            num_clients=_env_int("REPRO_CLIENTS", 6),
+        )
+
+    def devices(self) -> List[DeviceSpec]:
+        """One device per client, cycling the configured mix."""
+        return [DEVICE_CATALOG[self.device_mix[i % len(self.device_mix)]] for i in range(self.num_clients)]
+
+
+@dataclass(frozen=True)
+class AsyncCompareRow:
+    """Outcome of one server mode."""
+
+    mode: str
+    server_rounds: int
+    client_updates: int
+    final_accuracy: float
+    best_accuracy: float
+    sim_seconds_total: float
+    sim_seconds_to_target: Optional[float]  # None: target never reached
+    mean_staleness: float
+    max_staleness: int
+
+
+@dataclass
+class AsyncCompareResult:
+    """All mode rows plus the per-round histories for rendering/tests."""
+
+    target_accuracy: float
+    rows: List[AsyncCompareRow] = field(default_factory=list)
+    histories: Dict[str, object] = field(default_factory=dict)
+
+    def row(self, mode: str) -> AsyncCompareRow:
+        for r in self.rows:
+            if r.mode == mode:
+                return r
+        raise KeyError(mode)
+
+    def speedup_to_target(self, mode: str, baseline: str = "sync") -> Optional[float]:
+        """Wall-clock speedup of ``mode`` over ``baseline`` to the target accuracy."""
+        fast, slow = self.row(mode), self.row(baseline)
+        if fast.sim_seconds_to_target is None or slow.sim_seconds_to_target is None:
+            return None
+        return slow.sim_seconds_to_target / fast.sim_seconds_to_target
+
+    def render(self) -> str:
+        rows = []
+        for r in self.rows:
+            rows.append(
+                [
+                    r.mode,
+                    r.server_rounds,
+                    r.client_updates,
+                    round(r.final_accuracy, 3),
+                    round(r.best_accuracy, 3),
+                    round(r.sim_seconds_total, 2),
+                    "never" if r.sim_seconds_to_target is None else round(r.sim_seconds_to_target, 2),
+                    round(r.mean_staleness, 2),
+                    r.max_staleness,
+                ]
+            )
+        table = format_table(
+            [
+                "mode",
+                "rounds",
+                "updates",
+                "final_acc",
+                "best_acc",
+                "sim_total_s",
+                f"sim_s_to_acc>={self.target_accuracy:g}",
+                "staleness_mean",
+                "staleness_max",
+            ],
+            rows,
+            title="Async federation: simulated wall clock to target accuracy",
+        )
+        parts = [table]
+        for mode, history in self.histories.items():
+            parts.append(format_history(history, title=f"\n[{mode}] per-round history"))
+        return "\n".join(parts)
+
+
+def _seconds_to_target(history, target: float) -> Optional[float]:
+    for r in history.rounds:
+        if r.test_accuracy is not None and r.test_accuracy >= target and r.wall_clock_seconds is not None:
+            return float(r.wall_clock_seconds)
+    return None
+
+
+def _summarise(mode: str, runner: AsyncRunner, target: float) -> AsyncCompareRow:
+    history = runner.history
+    return AsyncCompareRow(
+        mode=mode,
+        server_rounds=len(history),
+        client_updates=len(runner.async_server.staleness_log),
+        final_accuracy=float(history.final_accuracy),
+        best_accuracy=float(history.best_accuracy),
+        sim_seconds_total=float(runner.now),
+        sim_seconds_to_target=_seconds_to_target(history, target),
+        mean_staleness=runner.async_server.mean_staleness(),
+        max_staleness=runner.async_server.max_staleness(),
+    )
+
+
+def run_async_compare(settings: Optional[AsyncCompareSettings] = None, verbose: bool = False) -> AsyncCompareResult:
+    """Run the sync / FedAsync / FedBuff comparison and return all rows."""
+    settings = settings if settings is not None else AsyncCompareSettings()
+    clients, test, spec = load_dataset(
+        settings.dataset,
+        num_clients=settings.num_clients,
+        train_size=settings.train_size,
+        test_size=settings.test_size,
+        seed=settings.seed,
+    )
+    config = FLConfig(
+        algorithm=settings.algorithm,
+        num_rounds=settings.num_rounds,
+        local_steps=settings.local_steps,
+        batch_size=settings.batch_size,
+        lr=settings.lr,
+        rho=settings.rho,
+        zeta=settings.zeta,
+        seed=settings.seed,
+    )
+
+    def model_fn():
+        return build_model(
+            settings.model, spec.image_shape, spec.num_classes, rng=np.random.default_rng(settings.seed + 42)
+        )
+
+    devices = settings.devices()
+    link = TCPLinkModel()
+    P = settings.num_clients
+    update_budget = settings.num_rounds * P  # total client updates in the sync run
+    K = settings.fedbuff_k if settings.fedbuff_k is not None else max(1, P // 2)
+
+    plans = {
+        "sync": (SyncRoundStrategy(), settings.num_rounds),
+        "fedasync": (FedAsyncStrategy(alpha=settings.fedasync_alpha, staleness=settings.staleness), update_budget),
+        "fedbuff": (FedBuffStrategy(K), update_budget // K),
+    }
+    result = AsyncCompareResult(target_accuracy=settings.target_accuracy)
+    for mode, (strategy, rounds) in plans.items():
+        with build_async_federation(
+            config, model_fn, clients, test, strategy=strategy, devices=devices, link=link
+        ) as runner:
+            runner.run(rounds)
+            result.rows.append(_summarise(mode, runner, settings.target_accuracy))
+            result.histories[mode] = runner.history
+        if verbose:  # pragma: no cover - console helper
+            row = result.rows[-1]
+            print(f"async_compare {mode}: acc={row.final_accuracy:.3f} sim={row.sim_seconds_total:.1f}s")
+    return result

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Sequence
 
-__all__ = ["format_table", "format_series", "format_check"]
+__all__ = ["format_table", "format_series", "format_check", "format_history"]
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
@@ -38,6 +38,32 @@ def format_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_l
     for x, y in zip(xs, ys):
         lines.append(f"  {_fmt(x):>10} : {_fmt(y)}")
     return "\n".join(lines)
+
+
+def format_history(history, title: str = "") -> str:
+    """Per-round table of a :class:`repro.core.runner.TrainingHistory`.
+
+    Surfaces the simulated ``wall_clock_seconds`` (asyncfl virtual clock;
+    ``-`` for the real-time synchronous runner) and the number of
+    participating clients alongside accuracy/loss and communication volume.
+    """
+    rows = []
+    for r in history.rounds:
+        rows.append(
+            [
+                r.round,
+                "-" if r.test_accuracy is None else round(r.test_accuracy, 4),
+                "-" if r.test_loss is None else round(r.test_loss, 4),
+                round(r.comm_bytes / 1e6, 3),
+                "-" if r.wall_clock_seconds is None else round(r.wall_clock_seconds, 3),
+                "-" if r.participating_clients is None else len(r.participating_clients),
+            ]
+        )
+    return format_table(
+        ["round", "test_acc", "test_loss", "comm_MB", "sim_clock_s", "clients"],
+        rows,
+        title=title,
+    )
 
 
 def format_check(description: str, expected: str, observed: str, ok: bool) -> str:

@@ -1,4 +1,4 @@
-"""Tests for the experiment harnesses (table1, fig2, scaling, comm, hetero, volume, ablation)."""
+"""Tests for the experiment harnesses (table1, fig2, scaling, comm, hetero, volume, ablation, async)."""
 
 import math
 
@@ -7,6 +7,8 @@ import pytest
 
 from repro.harness import (
     AblationSettings,
+    AsyncCompareSettings,
+    run_async_compare,
     CommCompareSettings,
     CommVolumeSettings,
     Fig2Settings,
@@ -185,6 +187,63 @@ class TestHeteroAndVolume:
     def test_comm_volume_render(self):
         result = run_comm_volume(CommVolumeSettings(num_rounds=1, train_size=80, hidden=8))
         assert "2.00" in result.render()
+
+
+class TestAsyncCompare:
+    @pytest.fixture(scope="class")
+    def result(self):
+        settings = AsyncCompareSettings(
+            model="mlp",
+            num_clients=6,
+            train_size=240,
+            test_size=80,
+            num_rounds=2,
+            local_steps=1,
+            target_accuracy=0.3,
+        )
+        return run_async_compare(settings)
+
+    def test_all_modes_present(self, result):
+        assert {r.mode for r in result.rows} == {"sync", "fedasync", "fedbuff"}
+        with pytest.raises(KeyError):
+            result.row("unknown")
+
+    def test_equal_update_budgets(self, result):
+        sync = result.row("sync")
+        assert sync.client_updates == 2 * 6
+        assert result.row("fedasync").client_updates == sync.client_updates
+        # FedBuff flushes in buffers of K; budget matches up to in-flight tail.
+        assert result.row("fedbuff").server_rounds == sync.client_updates // 3
+
+    def test_sync_round_has_zero_staleness_and_slowest_clock(self, result):
+        sync = result.row("sync")
+        assert sync.max_staleness == 0
+        # The synchronous mode blocks on the CPU straggler every round: its
+        # simulated wall clock dominates both async modes'.
+        assert sync.sim_seconds_total > result.row("fedasync").sim_seconds_total
+        assert sync.sim_seconds_total > result.row("fedbuff").sim_seconds_total
+
+    def test_wall_clock_to_target(self, result):
+        for row in result.rows:
+            if row.sim_seconds_to_target is not None:
+                assert 0 < row.sim_seconds_to_target <= row.sim_seconds_total
+        speedup = result.speedup_to_target("fedbuff")
+        assert speedup is None or speedup > 0
+
+    def test_render(self, result):
+        out = result.render()
+        assert "simulated wall clock" in out.lower()
+        assert "sim_clock_s" in out  # per-round histories included
+        assert "fedbuff" in out
+
+    def test_settings_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLIENTS", "9")
+        assert AsyncCompareSettings.from_env().num_clients == 9
+
+    def test_device_mix_cycles(self):
+        settings = AsyncCompareSettings(num_clients=5)
+        names = [d.name for d in settings.devices()]
+        assert names == ["A100", "V100", "CPU", "A100", "V100"]
 
 
 class TestAblation:
