@@ -12,6 +12,11 @@ aggregate, evaluate) for two configurations of the same workload:
   (``parallel_clients=0`` = one worker per core; on a single-core host this
   resolves to serial, where threading would only add overhead).
 
+A third bench measures the wire-codec stack: bytes-per-round of
+``delta|int8`` versus the identity codec on the same workload (the paper's
+communication axis, now measured rather than synthetic) plus raw
+encode/decode MB/s, recorded into the ``"codec"`` section.
+
 Results are written to ``BENCH_hotpath.json`` at the repo root so future PRs
 have a perf trajectory; the conftest-provided ``hotpath_store`` fixture fails
 the run when throughput regresses >20% against the recorded measurement (with
@@ -63,7 +68,7 @@ WORKLOAD = {
 }
 
 
-def _build_runner(engine, dtype, parallel_clients):
+def _build_runner(engine, dtype, parallel_clients, codec="identity"):
     clients, test, spec = load_dataset(
         "mnist",
         num_clients=NUM_CLIENTS,
@@ -82,6 +87,7 @@ def _build_runner(engine, dtype, parallel_clients):
         engine=engine,
         dtype=dtype,
         parallel_clients=parallel_clients,
+        codec=codec,
     )
     model_fn = lambda: build_model(
         "cnn", spec.image_shape, spec.num_classes, rng=np.random.default_rng(42)
@@ -227,3 +233,63 @@ def test_async_events_per_sec(hotpath_store):
     print("\nasync hotpath: " + json.dumps(record, indent=2))
     assert best["events"] >= 2 * num_rounds  # every round takes >= buffer_size arrivals
     hotpath_store.check_and_update_async(record)
+
+
+def test_codec_wire_reduction(hotpath_store):
+    """Wire-codec bench: bytes-per-round reduction + encode/decode MB/s.
+
+    Runs the Fig. 2 MNIST-CNN workload (float64, the paper's numerics) under
+    the default identity codec and under ``delta|int8`` — client updates
+    encoded against the dispatched global, then int8-quantized — asserting
+    the acceptance bar: the compressed run still reaches the identity arm's
+    accuracy (loose tolerance at smoke scale) with >= 4x fewer measured
+    on-wire bytes.  Also micro-measures the codec stack's encode/decode
+    throughput on a model-sized vector.  Everything lands in
+    ``BENCH_hotpath.json``'s "codec" section behind the conftest gate.
+    """
+    from repro.comm import resolve_codec
+    from repro.core.base import PRIMAL_KEY
+
+    identity = _build_runner("flat", "float64", 1, codec="identity")
+    h_identity = identity.run()
+    compressed = _build_runner("flat", "float64", 1, codec="delta|int8")
+    h_compressed = compressed.run()
+
+    bytes_identity = h_identity.total_comm_bytes() / ROUNDS
+    bytes_codec = h_compressed.total_comm_bytes() / ROUNDS
+    reduction = bytes_identity / bytes_codec
+
+    # Encode/decode throughput of the compressed stack on a model-sized vector.
+    dim = identity.server.vectorizer.dim
+    rng = np.random.default_rng(0)
+    ref = rng.standard_normal(dim)
+    vec = ref + 0.01 * rng.standard_normal(dim)
+    pipeline = resolve_codec("delta|int8")
+    reps = 5 if SMOKE else 20
+    raw_mb = vec.nbytes / 1e6
+    start = time.perf_counter()
+    for _ in range(reps):
+        packet = pipeline.encode_state({PRIMAL_KEY: vec}, reference={PRIMAL_KEY: ref})
+    encode_mbps = reps * raw_mb / (time.perf_counter() - start)
+    start = time.perf_counter()
+    for _ in range(reps):
+        pipeline.decode_state(packet, reference={PRIMAL_KEY: ref})
+    decode_mbps = reps * raw_mb / (time.perf_counter() - start)
+
+    record = {
+        "workload": {**WORKLOAD, "codec": "delta|int8", "dtype": "float64"},
+        "identity_bytes_per_round": int(bytes_identity),
+        "codec_bytes_per_round": int(bytes_codec),
+        "wire_reduction": round(reduction, 2),
+        "identity_accuracy": h_identity.final_accuracy,
+        "codec_accuracy": h_compressed.final_accuracy,
+        "model_dim": dim,
+        "encode_mb_per_sec": round(encode_mbps, 1),
+        "decode_mb_per_sec": round(decode_mbps, 1),
+    }
+    print("\ncodec: " + json.dumps(record, indent=2))
+
+    # Acceptance: target accuracy reached with >= 4x measured byte reduction.
+    assert reduction >= 4.0, f"expected >=4x wire-byte reduction, got {reduction:.2f}x"
+    assert h_compressed.final_accuracy >= h_identity.final_accuracy - 0.15
+    hotpath_store.check_and_update_codec(record)

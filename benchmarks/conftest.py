@@ -59,14 +59,19 @@ def hotpath_store():
 
     ``BENCH_hotpath.json`` holds the synchronous rounds/sec record at the top
     level plus an ``"async"`` section with the event-driven scenario's
-    events/sec.  ``check_and_update(record)`` gates the sync record against
+    events/sec and a ``"codec"`` section with the wire-codec measurements
+    (encode/decode MB/s and bytes-per-round/wire-reduction on the Fig. 2
+    workload).  ``check_and_update(record)`` gates the sync record against
     the previously recorded run — failing on a ``REGRESSION_TOLERANCE`` drop
     in the load-invariant speedup ratio, or an ``ABSOLUTE_TOLERANCE`` collapse
     in raw rounds/sec (which catches regressions shared by both
     configurations).  ``check_and_update_async(record)`` gates the async
-    section on an events/sec collapse.  Both merge into the existing file
-    (each preserves the other's section) and only write when their gate
-    passes, so a regressed run cannot lower the bar for its own re-run.
+    section on an events/sec collapse; ``check_and_update_codec(record)``
+    gates the codec section on an encode-throughput collapse or a
+    wire-reduction regression (byte counts are deterministic, so that arm
+    uses the tight tolerance).  All merge into the existing file (each
+    preserves the others' sections) and only write when their gate passes,
+    so a regressed run cannot lower the bar for its own re-run.
     """
 
     def load():
@@ -138,9 +143,35 @@ def hotpath_store():
             )
         _merge_write({"async": record})
 
+    def check_and_update_codec(record):
+        previous = (load() or {}).get("codec")
+        if previous and previous.get("workload") != record.get("workload"):
+            previous = None
+        accept = os.environ.get("REPRO_BENCH_ACCEPT", "0") == "1"
+        failure = None
+        old_reduction = (previous or {}).get("wire_reduction")
+        old_mbps = (previous or {}).get("encode_mb_per_sec")
+        if old_reduction and not accept and record["wire_reduction"] < (1.0 - REGRESSION_TOLERANCE) * old_reduction:
+            # Byte counts are deterministic — a drop here is a real codec
+            # accounting/compression regression, not machine load.
+            failure = f"wire reduction regressed {old_reduction:.2f}x -> {record['wire_reduction']:.2f}x"
+        elif old_mbps and not accept and record["encode_mb_per_sec"] < (1.0 - ABSOLUTE_TOLERANCE) * old_mbps:
+            failure = (
+                f"codec encode throughput collapsed {old_mbps:.1f} -> "
+                f"{record['encode_mb_per_sec']:.1f} MB/s (>{ABSOLUTE_TOLERANCE:.0%})"
+            )
+        if failure is not None:
+            pytest.fail(
+                "wire-codec regression: " + failure +
+                " — BENCH_hotpath.json keeps the previous baseline; "
+                "set REPRO_BENCH_ACCEPT=1 to accept the new numbers"
+            )
+        _merge_write({"codec": record})
+
     return SimpleNamespace(
         path=HOTPATH_PATH,
         load=load,
         check_and_update=check_and_update,
         check_and_update_async=check_and_update_async,
+        check_and_update_codec=check_and_update_codec,
     )

@@ -11,6 +11,16 @@ reacts to upload *arrivals* through an :class:`repro.asyncfl.strategies.
 AsyncServer` (FedAsync mixing, FedBuff buffering, or sampled synchronous
 rounds).  The result is wall-clock-to-accuracy, not just rounds-to-accuracy.
 
+Model movement uses the same codec-aware :class:`~repro.core.exchange.
+PacketExchange` as the synchronous runner: dispatches and uploads are
+:class:`~repro.comm.codecs.UpdatePacket` objects, and both link latencies and
+``comm_bytes`` are charged from each packet's measured post-codec ``nbytes``
+— so a compressing ``FLConfig.codec`` directly shortens the simulated
+timeline.  Upload packets are encoded against the *dispatched* global
+snapshot (the delta-codec reference), which composes with the staleness
+bookkeeping: ``ingest`` decodes each arrival against the exact global that
+client trained on, under any buffering or overwrites.
+
 Determinism and sync equivalence
 --------------------------------
 Events are processed in ``(virtual time, schedule order)`` order; all events
@@ -42,9 +52,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from .. import nn
 from ..comm.latency import LinkModel
-from ..comm.serialization import state_dict_nbytes
 from ..core.base import GLOBAL_KEY, BaseClient, BaseServer
 from ..core.config import FLConfig
+from ..core.exchange import PacketExchange
 from ..core.metrics import Evaluator
 from ..core.runner import RoundResult, TrainingHistory, build_endpoints
 from ..data import Dataset
@@ -141,6 +151,20 @@ class AsyncRunner:
         self._executor: Optional[ThreadPoolExecutor] = None
 
         self.async_server = AsyncServer(server, self.strategy)
+        # Every dispatch/upload flows through the same codec-aware exchange
+        # as the synchronous runner; link latency and comm_bytes below are
+        # driven by the encoded packets' measured nbytes.  Clients must share
+        # the stack: their lossy-wire bookkeeping (IIADMM's reconcile stash)
+        # is derived from their own config's codec.
+        self.exchange = PacketExchange(config.codec)
+        for client in self.clients:
+            if PacketExchange(client.config.codec).spec != self.exchange.spec:
+                raise ValueError(
+                    f"client {client.client_id} was built with codec "
+                    f"{client.config.codec!r} but the server config uses "
+                    f"{config.codec!r}; all endpoints must share one codec stack"
+                )
+        self._dispatch_cache: Optional[tuple] = None  # (model version, encoded packet)
         self.history = TrainingHistory()
         self._clock = EventLoop()
         self._in_flight: set = set()
@@ -188,11 +212,20 @@ class AsyncRunner:
     def _dispatch(self, cid: int) -> None:
         """Send the current global model to one client and schedule its compute."""
         tick = time.perf_counter()
-        payload, version = self.async_server.dispatch()
-        nbytes = state_dict_nbytes(payload)
+        # Encode once per model version: the global model only changes when
+        # the version bumps, so concurrent dispatches of the same version
+        # reuse one packet (each client still decodes its own fresh payload).
+        if self._dispatch_cache is not None and self._dispatch_cache[0] == self.async_server.version:
+            version, packet = self.async_server.version, self._dispatch_cache[1]
+        else:
+            payload, version = self.async_server.dispatch()
+            packet = self.exchange.encode_dispatch(payload)
+            self._dispatch_cache = (version, packet)
+        nbytes = packet.nbytes
         self._comm_bytes += nbytes
         download = self.links[cid].transfer_time(nbytes)
         self._sim_comm_seconds += download
+        payload = self.exchange.open_dispatch(packet)
         client = self._client_by_id[cid]
         compute = self.sampler.compute_multiplier(cid) * self.cost_model.local_update_time(
             self.devices[cid], client.num_samples
@@ -218,7 +251,16 @@ class AsyncRunner:
         self._charge("local_update", time.perf_counter() - tick)
         if client.config.privacy.enabled:
             self.accountant.record(cid, client.config.privacy.epsilon)
-        nbytes = state_dict_nbytes(upload)
+        # Encode the upload against the *dispatched* global (delta reference;
+        # DP noise was already applied inside client.update), reconcile any
+        # lossy-codec client state with the decoded echo, and charge the
+        # uplink with the packet's true post-codec bytes.
+        tick = time.perf_counter()
+        dispatched_global = event.data["payload"][GLOBAL_KEY]
+        packet = self.exchange.encode_upload(upload, dispatched_global)
+        self.exchange.reconcile(client, upload, packet, dispatched_global)
+        self._charge("gather", time.perf_counter() - tick)
+        nbytes = packet.nbytes
         self._comm_bytes += nbytes
         uplink = self.links[cid].transfer_time(nbytes)
         self._sim_comm_seconds += uplink
@@ -226,9 +268,9 @@ class AsyncRunner:
             uplink,
             _ARRIVAL,
             cid=cid,
-            upload=upload,
+            upload=packet,
             version=event.data["version"],
-            dispatched_global=event.data["payload"][GLOBAL_KEY],
+            dispatched_global=dispatched_global,
         )
 
     def _handle_arrival(self, event, callback) -> None:

@@ -13,13 +13,15 @@ round.  Under partial participation and staleness three things change:
    *every* upload — an increment skipped for any arrival silently drifts the
    two "independent but identical" dual copies apart.
 
-The ADMM servers expose that contract as ``ingest(cid, payload,
-dispatched_global)`` + ``aggregate_global()`` (see
-:class:`repro.core.iiadmm.IIADMMServer`): :class:`AsyncServer` ingests every
-arrival exactly once — even uploads a buffer later overwrites — and
+Every server now exposes that contract as ``ingest(cid, payload,
+dispatched_global)`` + ``finalize_round(payloads)`` (see
+:class:`repro.core.base.BaseServer`): :class:`AsyncServer` ingests every
+arrival exactly once — decoding a codec-encoded
+:class:`~repro.comm.codecs.UpdatePacket` at that single point, and replaying
+ADMM per-upload state even for uploads a buffer later overwrites — and
 :func:`apply_partial_update` performs the partial-participation-aware global
-update (for a full cohort with fresh models it is bit-for-bit the synchronous
-one).  On top of it:
+update over the decoded payloads (for a full cohort with fresh models it is
+bit-for-bit the synchronous one).  On top of it:
 
 * :class:`SyncRoundStrategy` — classic sampled synchronous FL: wait for the
   whole sampled cohort, then aggregate.
@@ -84,22 +86,25 @@ def staleness_weight(staleness: int, kind: str = "polynomial", a: float = 0.5, b
 def apply_partial_update(server: BaseServer, items: Sequence[Item]) -> None:
     """Aggregate a (possibly partial) cohort of uploads into the global model.
 
-    ``items`` are ``(client_id, payload, dispatched_global)`` triples; they are
-    sorted by client id so aggregation order never depends on arrival order.
-    ADMM-family servers (those exposing ``aggregate_global``) had every
-    upload's primal/dual state ingested at arrival time by
-    :meth:`AsyncServer.receive`, so only the all-clients global recomputation
-    remains — non-participants contribute their last-known state.  Everything
-    else delegates to ``server.update`` over the participants (FedAvg is
-    already subset-safe: it renormalises its weights over the payloads).
+    ``items`` are ``(client_id, payload, dispatched_global)`` triples whose
+    payloads were already decoded/ingested at arrival time by
+    :meth:`AsyncServer.receive`; they are sorted by client id so aggregation
+    order never depends on arrival order.  ``server.finalize_round`` does the
+    rest: for the ADMM family the per-upload primal/dual state is already
+    absorbed and only the all-clients global recomputation remains
+    (non-participants contribute their last-known state); FedAvg renormalises
+    its weights over the participating payloads.
     """
     if not items:
         raise ValueError("no client uploads to aggregate")
     items = sorted(items, key=lambda it: it[0])
-    if hasattr(server, "aggregate_global"):
-        server.aggregate_global()
+    payloads = {cid: payload for cid, payload, _ in items}
+    if server.uses_legacy_update and not hasattr(server, "aggregate_global"):
+        # A plug-and-play server that customised only the legacy update():
+        # drive it directly (pre-codec async contract) so the override runs.
+        server.update(payloads)
     else:
-        server.update({cid: payload for cid, payload, _ in items})
+        server.finalize_round(payloads)
 
 
 def _async_candidate(server: BaseServer, cid: int, payload: Mapping[str, np.ndarray]) -> np.ndarray:
@@ -243,20 +248,23 @@ class AsyncServer:
     def receive(
         self,
         cid: int,
-        payload: Mapping[str, np.ndarray],
+        payload,
         dispatched_version: int,
         dispatched_global: np.ndarray,
     ) -> Optional[Tuple[int, ...]]:
         """Hand one arrived upload to the strategy; returns participants on a
-        completed global update (and bumps the model version)."""
-        # Per-upload state ingestion happens here, once per arrival, BEFORE
-        # any buffering: IIADMM's dual replay is an increment (with the
-        # dispatched w), so even an upload that a buffer later overwrites
-        # must leave its increment behind or the server/client dual replicas
-        # drift apart.
-        ingest = getattr(self.server, "ingest", None)
-        if ingest is not None:
-            ingest(cid, payload, dispatched_global)
+        completed global update (and bumps the model version).
+
+        ``payload`` may be a codec-encoded ``UpdatePacket`` or a decoded
+        mapping; either way ``server.ingest`` runs here, once per arrival,
+        BEFORE any buffering — it is the single server-side decode point
+        (``dispatched_global`` is the delta reference), and IIADMM's dual
+        replay is an increment (with the dispatched w), so even an upload
+        that a buffer later overwrites must leave its increment behind or
+        the server/client dual replicas drift apart.  Strategies then only
+        ever see decoded payloads.
+        """
+        payload = self.server.ingest(cid, payload, dispatched_global)
         staleness = self.version - dispatched_version
         self.staleness_log.append(staleness)
         participants = self.strategy.on_upload(self.server, cid, payload, staleness, dispatched_global)

@@ -1,28 +1,36 @@
 """Communicator interface used by the FL runners.
 
-A *communicator* moves model payloads (state dicts of numpy arrays) between
-the server endpoint and client endpoints, and charges *simulated* wall-clock
-seconds for each transfer into a :class:`repro.comm.records.CommLog`.
+A *communicator* moves model payloads between the server endpoint and client
+endpoints, and charges *simulated* wall-clock seconds for each transfer into
+a :class:`repro.comm.records.CommLog`.  Since the wire-codec refactor the
+payload of record is the typed :class:`~repro.comm.codecs.UpdatePacket`
+(codec-encoded tensors + metadata + true ``nbytes``); plain state dicts are
+still accepted so low-level tests and user code can drive the transports
+directly.
 
 The whole federation runs inside one Python process (that is how APPFL's MPI
 simulation mode works too — each MPI rank simulates many clients); what
 differs between communicator implementations is the *cost model* applied to
-each transfer, and whether payloads are deep-copied to emulate process
-isolation.
+each transfer — always driven by the *measured post-codec* byte count — and
+whether payloads are deep-copied to emulate process isolation.
 """
 
 from __future__ import annotations
 
 import copy
 from abc import ABC, abstractmethod
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Mapping, Sequence, Union
 
 import numpy as np
 
+from .codecs import UpdatePacket
 from .records import CommLog, CommRecord
-from .serialization import state_dict_nbytes
+from .serialization import payload_nbytes
 
 __all__ = ["Communicator", "server_endpoint", "client_endpoint"]
+
+#: what the transports move: a codec-encoded packet, or a raw state dict
+Payload = Union[UpdatePacket, Mapping[str, np.ndarray]]
 
 SERVER = "server"
 
@@ -55,30 +63,34 @@ class Communicator(ABC):
     def _uplink_time(self, nbytes: int, num_clients: int) -> float:
         """Simulated seconds for one client to send ``nbytes`` to the server."""
 
-    def _isolate(self, payload: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Copy a payload so sender and receiver cannot alias each other's arrays."""
+    def _isolate(self, payload: Payload) -> Payload:
+        """Copy a payload so sender and receiver cannot alias each other's arrays.
+
+        ``UpdatePacket`` payloads pass through uncopied: packets are treated
+        as immutable value objects, and decoding one always materialises
+        fresh arrays, so the endpoints can never alias live model memory
+        through a packet.
+        """
+        if isinstance(payload, UpdatePacket):
+            return payload
         return {k: np.array(v, copy=True) for k, v in payload.items()}
 
     # ------------------------------------------------------------------- API
-    def broadcast(
-        self, round_idx: int, payload: Mapping[str, np.ndarray], client_ids: Sequence[int]
-    ) -> Dict[int, Dict[str, np.ndarray]]:
+    def broadcast(self, round_idx: int, payload: Payload, client_ids: Sequence[int]) -> Dict[int, Payload]:
         """Send the global model to every client; returns per-client copies."""
-        nbytes = state_dict_nbytes(payload)
-        out: Dict[int, Dict[str, np.ndarray]] = {}
+        nbytes = payload_nbytes(payload)
+        out: Dict[int, Payload] = {}
         for cid in client_ids:
             seconds = self._downlink_time(nbytes, len(client_ids))
             self.log.add(CommRecord(round_idx, client_endpoint(cid), "recv_global", nbytes, seconds))
             out[cid] = self._isolate(payload)
         return out
 
-    def collect(
-        self, round_idx: int, payloads: Mapping[int, Mapping[str, np.ndarray]]
-    ) -> Dict[int, Dict[str, np.ndarray]]:
+    def collect(self, round_idx: int, payloads: Mapping[int, Payload]) -> Dict[int, Payload]:
         """Send each client's local update to the server; returns server-side copies."""
-        out: Dict[int, Dict[str, np.ndarray]] = {}
+        out: Dict[int, Payload] = {}
         for cid, payload in payloads.items():
-            nbytes = state_dict_nbytes(payload)
+            nbytes = payload_nbytes(payload)
             seconds = self._uplink_time(nbytes, len(payloads))
             self.log.add(CommRecord(round_idx, client_endpoint(cid), "send_local", nbytes, seconds))
             out[cid] = self._isolate(payload)

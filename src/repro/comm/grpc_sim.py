@@ -7,6 +7,12 @@ RDMA-enabled MPI path avoids, (iii) TCP transport, and (iv) round-to-round
 jitter from shared network traffic.  The paper observes up to ~10× higher
 cumulative communication time than MPI and ~30× spread between rounds
 (Figures 4a and 4b); the defaults here are calibrated to that regime.
+
+Payloads are :class:`~repro.comm.codecs.UpdatePacket` objects (or raw state
+dicts): every per-RPC cost below is charged on the *post-codec* byte count,
+so a quantizing/sparsifying codec stack directly shrinks the simulated
+serialisation and TCP transfer times exactly as it would shrink a protobuf
+message on a real channel.
 """
 
 from __future__ import annotations

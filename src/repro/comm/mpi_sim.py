@@ -8,6 +8,9 @@ GPU-to-GPU RDMA transfers.
 The communicator charges each client the simulated time of the collective it
 participates in, so the resulting :class:`~repro.comm.records.CommLog` can be
 aggregated exactly like the paper's per-round ``MPI.gather`` timings.
+Payloads are :class:`~repro.comm.codecs.UpdatePacket` objects (or raw state
+dicts); collective costs scale with the measured post-codec byte count, so a
+compressing codec stack shrinks the simulated ``bcast``/``gather`` times.
 """
 
 from __future__ import annotations

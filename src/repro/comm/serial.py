@@ -10,9 +10,12 @@ __all__ = ["SerialCommunicator"]
 class SerialCommunicator(Communicator):
     """Moves payloads with no simulated communication cost.
 
-    Payloads are still deep-copied between endpoints so algorithm code cannot
-    accidentally rely on shared mutable arrays — the same isolation a real
-    multi-process deployment would enforce.
+    Dict payloads are still deep-copied between endpoints so algorithm code
+    cannot accidentally rely on shared mutable arrays — the same isolation a
+    real multi-process deployment would enforce.  ``UpdatePacket`` payloads
+    are immutable value objects whose decode materialises fresh arrays, so
+    they move without copying; their post-codec ``nbytes`` still land in the
+    communication log.
     """
 
     protocol = "serial"

@@ -12,25 +12,40 @@ Two jobs:
    (name, dtype, shape, raw bytes), standing in for gRPC's protocol-buffer
    serialisation.  Encoding/decoding real bytes lets the gRPC simulator charge
    a realistic CPU cost and lets tests assert exact round-tripping.
+   :func:`encode_packet`/:func:`decode_packet` do the same for the codec-aware
+   :class:`~repro.comm.codecs.UpdatePacket` (encoded tensors + per-stage codec
+   metadata), which is what the runners actually move since the wire-codec
+   refactor.
+
+Sizing is *post-codec* and dtype-aware: :func:`payload_nbytes` reports the
+measured on-wire bytes of whatever crosses the link — the encoded arrays and
+codec metadata of an ``UpdatePacket``, or the raw (correct-dtype) tensor
+bytes of a plain state dict — never a float64 full-tensor assumption.
 """
 
 from __future__ import annotations
 
 import struct
 from collections import OrderedDict
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Tuple, Union
 
 import numpy as np
 
+from .codecs import PacketEntry, UpdatePacket
+
 __all__ = [
     "state_dict_nbytes",
+    "payload_nbytes",
     "flatten_state_dict",
     "unflatten_state_dict",
     "encode_state_dict",
     "decode_state_dict",
+    "encode_packet",
+    "decode_packet",
 ]
 
 _MAGIC = b"RPRO"
+_PACKET_MAGIC = b"RPKT"
 
 
 def state_dict_nbytes(state: Mapping[str, np.ndarray]) -> int:
@@ -41,6 +56,17 @@ def state_dict_nbytes(state: Mapping[str, np.ndarray]) -> int:
     format would on a real deployment.
     """
     return int(sum(np.asarray(v).nbytes for v in state.values()))
+
+
+def payload_nbytes(payload: Union[UpdatePacket, Mapping[str, np.ndarray]]) -> int:
+    """True on-wire bytes of a transported payload.
+
+    ``UpdatePacket``: the measured post-codec size (encoded tensors + codec
+    metadata).  Plain state dict: the raw, dtype-correct tensor bytes.
+    """
+    if isinstance(payload, UpdatePacket):
+        return payload.nbytes
+    return state_dict_nbytes(payload)
 
 
 def flatten_state_dict(state: Mapping[str, np.ndarray]) -> Tuple[np.ndarray, "OrderedDict[str, Tuple[Tuple[int, ...], int]]"]:
@@ -79,19 +105,8 @@ def encode_state_dict(state: Mapping[str, np.ndarray]) -> bytes:
     """Serialise a state dict to bytes (length-prefixed records)."""
     parts = [_MAGIC, struct.pack("<I", len(state))]
     for name, value in state.items():
-        arr = np.ascontiguousarray(value)
-        name_b = name.encode("utf-8")
-        dtype_b = str(arr.dtype).encode("ascii")
-        shape = arr.shape
-        parts.append(struct.pack("<H", len(name_b)))
-        parts.append(name_b)
-        parts.append(struct.pack("<H", len(dtype_b)))
-        parts.append(dtype_b)
-        parts.append(struct.pack("<B", len(shape)))
-        parts.append(struct.pack(f"<{len(shape)}q", *shape) if shape else b"")
-        raw = arr.tobytes()
-        parts.append(struct.pack("<Q", len(raw)))
-        parts.append(raw)
+        parts.append(_pack_str(name))
+        parts.append(_pack_array(np.asarray(value)))
     return b"".join(parts)
 
 
@@ -104,21 +119,132 @@ def decode_state_dict(payload: bytes) -> "OrderedDict[str, np.ndarray]":
     offset += 4
     out: "OrderedDict[str, np.ndarray]" = OrderedDict()
     for _ in range(count):
-        (name_len,) = struct.unpack_from("<H", payload, offset)
-        offset += 2
-        name = payload[offset : offset + name_len].decode("utf-8")
-        offset += name_len
-        (dtype_len,) = struct.unpack_from("<H", payload, offset)
-        offset += 2
-        dtype = np.dtype(payload[offset : offset + dtype_len].decode("ascii"))
-        offset += dtype_len
+        name, offset = _unpack_str(payload, offset)
+        out[name], offset = _unpack_array(payload, offset)
+    return out
+
+
+# ------------------------------------------------------------ packet encoding
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _unpack_str(payload: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from("<H", payload, offset)
+    offset += 2
+    return payload[offset : offset + length].decode("utf-8"), offset + length
+
+
+def _pack_array(arr: np.ndarray) -> bytes:
+    arr = np.ascontiguousarray(arr)
+    raw = arr.tobytes()
+    return (
+        _pack_str(str(arr.dtype))
+        + struct.pack("<B", arr.ndim)
+        + (struct.pack(f"<{arr.ndim}q", *arr.shape) if arr.ndim else b"")
+        + struct.pack("<Q", len(raw))
+        + raw
+    )
+
+
+def _unpack_array(payload: bytes, offset: int) -> Tuple[np.ndarray, int]:
+    dtype_s, offset = _unpack_str(payload, offset)
+    (ndim,) = struct.unpack_from("<B", payload, offset)
+    offset += 1
+    shape = struct.unpack_from(f"<{ndim}q", payload, offset) if ndim else ()
+    offset += 8 * ndim
+    (raw_len,) = struct.unpack_from("<Q", payload, offset)
+    offset += 8
+    arr = np.frombuffer(payload[offset : offset + raw_len], dtype=np.dtype(dtype_s)).reshape(shape).copy()
+    return arr, offset + raw_len
+
+
+def _pack_meta_value(value) -> bytes:
+    if isinstance(value, bool):
+        return b"B" + struct.pack("<B", int(value))
+    if isinstance(value, (int, np.integer)):
+        return b"I" + struct.pack("<q", int(value))
+    if isinstance(value, (float, np.floating)):
+        return b"F" + struct.pack("<d", float(value))
+    if isinstance(value, str):
+        return b"S" + _pack_str(value)
+    if isinstance(value, np.ndarray):
+        return b"A" + _pack_array(value)
+    raise TypeError(f"unsupported codec metadata value type {type(value).__name__}")
+
+
+def _unpack_meta_value(payload: bytes, offset: int):
+    tag = payload[offset : offset + 1]
+    offset += 1
+    if tag == b"B":
+        (v,) = struct.unpack_from("<B", payload, offset)
+        return bool(v), offset + 1
+    if tag == b"I":
+        (v,) = struct.unpack_from("<q", payload, offset)
+        return int(v), offset + 8
+    if tag == b"F":
+        (v,) = struct.unpack_from("<d", payload, offset)
+        return float(v), offset + 8
+    if tag == b"S":
+        return _unpack_str(payload, offset)
+    if tag == b"A":
+        return _unpack_array(payload, offset)
+    raise ValueError(f"corrupt packet metadata tag {tag!r}")
+
+
+def encode_packet(packet: UpdatePacket) -> bytes:
+    """Serialise an :class:`~repro.comm.codecs.UpdatePacket` to wire bytes.
+
+    This is the packet counterpart of :func:`encode_state_dict` — the format
+    a real gRPC/MPI transport would put on the network: codec spec, then per
+    tensor the layout header, the encoded data blob, and each codec stage's
+    metadata (quantization scales, sparse indices, ...).
+    """
+    parts = [_PACKET_MAGIC, _pack_str(packet.codec), struct.pack("<I", len(packet.entries))]
+    for key, entry in packet.entries.items():
+        parts.append(_pack_str(key))
+        parts.append(_pack_str(entry.dtype))
+        parts.append(struct.pack("<B", len(entry.shape)))
+        if entry.shape:
+            parts.append(struct.pack(f"<{len(entry.shape)}q", *entry.shape))
+        parts.append(_pack_array(entry.data))
+        parts.append(struct.pack("<B", len(entry.meta)))
+        for meta in entry.meta:
+            parts.append(struct.pack("<H", len(meta)))
+            for mkey, mval in meta.items():
+                parts.append(_pack_str(mkey))
+                parts.append(_pack_meta_value(mval))
+    return b"".join(parts)
+
+
+def decode_packet(payload: bytes) -> UpdatePacket:
+    """Inverse of :func:`encode_packet`."""
+    if payload[:4] != _PACKET_MAGIC:
+        raise ValueError("not a repro-serialised update packet")
+    offset = 4
+    codec, offset = _unpack_str(payload, offset)
+    (count,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    entries: "OrderedDict[str, PacketEntry]" = OrderedDict()
+    for _ in range(count):
+        key, offset = _unpack_str(payload, offset)
+        dtype_s, offset = _unpack_str(payload, offset)
         (ndim,) = struct.unpack_from("<B", payload, offset)
         offset += 1
-        shape = struct.unpack_from(f"<{ndim}q", payload, offset) if ndim else ()
+        shape = tuple(struct.unpack_from(f"<{ndim}q", payload, offset)) if ndim else ()
         offset += 8 * ndim
-        (raw_len,) = struct.unpack_from("<Q", payload, offset)
-        offset += 8
-        arr = np.frombuffer(payload[offset : offset + raw_len], dtype=dtype).reshape(shape).copy()
-        offset += raw_len
-        out[name] = arr
-    return out
+        data, offset = _unpack_array(payload, offset)
+        (nstages,) = struct.unpack_from("<B", payload, offset)
+        offset += 1
+        metas = []
+        for _ in range(nstages):
+            (nitems,) = struct.unpack_from("<H", payload, offset)
+            offset += 2
+            meta = {}
+            for _ in range(nitems):
+                mkey, offset = _unpack_str(payload, offset)
+                meta[mkey], offset = _unpack_meta_value(payload, offset)
+            metas.append(meta)
+        entries[key] = PacketEntry(shape, dtype_s, data, tuple(metas))
+    return UpdatePacket(codec, entries)

@@ -2,6 +2,7 @@
 
 from .base import BaseClient, BaseServer, ModelVectorizer
 from .config import FLConfig, PrivacyConfig
+from .exchange import PacketExchange
 from .fedavg import FedAvgClient, FedAvgServer
 from .iceadmm import ICEADMMClient, ICEADMMServer
 from .iiadmm import IIADMMClient, IIADMMServer
@@ -16,6 +17,7 @@ __all__ = [
     "BaseServer",
     "BaseClient",
     "ModelVectorizer",
+    "PacketExchange",
     "FedAvgServer",
     "FedAvgClient",
     "ICEADMMServer",

@@ -53,6 +53,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import nn
+from ..comm.codecs import UpdatePacket, resolve_codec
 from ..comm.serialization import flatten_state_dict, unflatten_state_dict
 from ..data import DataLoader, Dataset
 from ..privacy import Mechanism, NoPrivacy, clip_by_norm, make_mechanism
@@ -229,8 +230,30 @@ class BaseClient:
 
     # ------------------------------------------------------------------ hooks
     def update(self, global_payload: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Run one round of local training; return the payload to upload."""
+        """Run one round of local training; return the payload to upload.
+
+        Differential privacy note: clip/noise the returned values *here*
+        (via :meth:`clip_gradient` / :meth:`privatize`).  The wire codec
+        encodes the payload only after this method returns, so quantization
+        and sparsification are post-processing of the already-released value
+        and the DP guarantee survives any configured codec stack.
+        """
         raise NotImplementedError("BaseClient subclasses must implement update()")
+
+    def reconcile_upload(
+        self, sent: Mapping[str, np.ndarray], echo: Mapping[str, np.ndarray]
+    ) -> None:
+        """React to what the server will actually decode from this upload.
+
+        Called by the exchange layer after the payload returned by
+        :meth:`update` was encoded with a *lossy* codec stack: ``sent`` is
+        the exact payload this client produced, ``echo`` the decoded form
+        every server-side consumer will see.  Stateful clients whose
+        bookkeeping must mirror the server's — IIADMM's "independent but
+        identical" dual replicas — replay that bookkeeping here against
+        ``echo``.  Never called for lossless (identity) stacks; the default
+        is a no-op.
+        """
 
     # ------------------------------------------------------------- primitives
     @property
@@ -293,9 +316,19 @@ class BaseClient:
 class BaseServer:
     """Base class for FL servers.
 
-    Subclasses implement :meth:`update`, which consumes the payloads gathered
-    from clients and produces the next global model (stored in
-    :attr:`global_params`).
+    Subclasses implement the round aggregation — either the granular pair
+    the runners drive directly:
+
+    * :meth:`ingest` — per-upload decode + bookkeeping, called exactly once
+      per arriving client upload (packets are decoded here, the single
+      server-side decode point);
+    * :meth:`finalize_round` — produce the next global model from the
+      round's decoded uploads (stored in :attr:`global_params`);
+
+    or the classic one-shot :meth:`update` of the paper's plug-and-play API
+    ("inherit ``BaseServer`` and implement the virtual function
+    ``update()``"), which the default :meth:`finalize_round` delegates to —
+    existing user-defined algorithms keep working unchanged.
     """
 
     def __init__(
@@ -323,9 +356,70 @@ class BaseServer:
         self.round = 0
 
     # ------------------------------------------------------------------ hooks
+    def ingest(
+        self,
+        cid: int,
+        payload: "Mapping[str, np.ndarray] | UpdatePacket",
+        dispatched_global: np.ndarray,
+    ) -> Dict[str, np.ndarray]:
+        """Decode one client upload; returns the decoded payload.
+
+        This is the *single* server-side decode point: an
+        :class:`~repro.comm.codecs.UpdatePacket` is decoded here exactly
+        once (``dispatched_global`` — the global snapshot the client trained
+        against, as threaded through by the sync and async runners — is the
+        delta-codec reference), and an already-decoded mapping passes
+        through untouched.  Subclasses override to add per-upload state
+        bookkeeping (e.g. IIADMM's dual replay) and must call ``super()``.
+        """
+        if isinstance(payload, UpdatePacket):
+            return resolve_codec(payload.codec).decode_state(
+                payload, reference={PRIMAL_KEY: np.asarray(dispatched_global)}
+            )
+        return dict(payload)
+
+    @property
+    def uses_legacy_update(self) -> bool:
+        """True when this server's most-derived ``update()`` override is newer
+        than its most-derived ``finalize_round()`` override.
+
+        That is the signature of a plug-and-play server that customised only
+        ``update()`` (possibly subclassing a built-in algorithm): the runners
+        then drive ``update()`` directly — the pre-codec contract — instead
+        of the ingest/finalize pair, so the override is never silently
+        bypassed.
+        """
+        update_cls = next(c for c in type(self).__mro__ if "update" in vars(c))
+        finalize_cls = next(c for c in type(self).__mro__ if "finalize_round" in vars(c))
+        return update_cls is not finalize_cls and issubclass(update_cls, finalize_cls)
+
+    def finalize_round(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
+        """Produce the next global model from one round's *decoded* uploads.
+
+        ``payloads`` were each passed through :meth:`ingest` already; no
+        decoding happens here.  The default delegates to the legacy
+        :meth:`update` so plug-and-play servers that only override
+        ``update()`` keep working.
+        """
+        if type(self).update is BaseServer.update:
+            raise NotImplementedError(
+                "BaseServer subclasses must implement finalize_round() (or the legacy update())"
+            )
+        self.update(payloads)
+
     def update(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
-        """Aggregate client payloads into a new global model (in place)."""
-        raise NotImplementedError("BaseServer subclasses must implement update()")
+        """Aggregate client payloads into a new global model (in place).
+
+        One-shot convenience equal to ingesting every payload against the
+        current global model and finalizing the round — the synchronous
+        pre-codec contract.  Accepts raw dicts or ``UpdatePacket`` payloads.
+        """
+        if type(self).finalize_round is BaseServer.finalize_round:
+            raise NotImplementedError("BaseServer subclasses must implement update()")
+        if not payloads:
+            raise ValueError("no client payloads to aggregate")
+        w = self.global_params
+        self.finalize_round({cid: self.ingest(cid, payload, w) for cid, payload in payloads.items()})
 
     # ------------------------------------------------------------------- API
     def broadcast_payload(self) -> Dict[str, np.ndarray]:

@@ -93,6 +93,15 @@ class FLConfig:
     engine: str = "flat"
     parallel_clients: int = 1
 
+    # Wire codec stack for every model exchange (see repro.comm.codecs): a
+    # "|"-separated spec applied left-to-right at encode time, e.g.
+    # "identity" (default: bit-for-bit the uncompressed behaviour), "fp16",
+    # "int8", "topk:0.1", or composites like "delta|int8|topk:0.1" (client
+    # updates encoded against the dispatched global model, quantized, then
+    # sparsified).  DP clipping/noising always happens before encoding, so
+    # the privacy guarantee is unaffected by the chosen stack.
+    codec: str = "identity"
+
     # Fraction of clients sampled per round/dispatch by the event-driven
     # asyncfl subsystem (1.0 = full participation).  The synchronous
     # FederatedRunner always uses every client; repro.asyncfl's samplers and
@@ -126,6 +135,11 @@ class FLConfig:
             raise ValueError("the legacy 'copy' engine only supports float64")
         if self.parallel_clients < 0:
             raise ValueError("parallel_clients must be >= 0 (0 = one thread per core)")
+        # Validate the codec spec eagerly so a typo fails at config time, not
+        # mid-run (lazy import keeps repro.core importable standalone).
+        from ..comm.codecs import parse_codec
+
+        parse_codec(self.codec)
         if not 0.0 < self.client_fraction <= 1.0:
             raise ValueError("client_fraction must be in (0, 1]")
         # Note: the algorithm name is resolved against the plug-and-play

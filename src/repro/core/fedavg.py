@@ -64,9 +64,15 @@ class FedAvgClient(BaseClient):
 
 
 class FedAvgServer(BaseServer):
-    """FedAvg server: (weighted) average of the client parameters."""
+    """FedAvg server: (weighted) average of the client parameters.
 
-    def update(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
+    Aggregation lives in :meth:`finalize_round` over the round's decoded
+    uploads (a subset of clients is fine: the weights renormalise over the
+    participants); the inherited :meth:`BaseServer.update` keeps the classic
+    one-shot API.
+    """
+
+    def finalize_round(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
         if not payloads:
             raise ValueError("no client payloads to aggregate")
         weights = self.client_weights()

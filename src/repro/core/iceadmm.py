@@ -102,17 +102,23 @@ class ICEADMMServer(BaseServer):
     def rho(self) -> float:
         return self._rho
 
-    def ingest(self, cid: int, payload: Mapping[str, np.ndarray], dispatched_global: np.ndarray) -> None:
+    def ingest(self, cid: int, payload, dispatched_global: np.ndarray) -> Dict[str, np.ndarray]:
         """Store one client's transmitted primal/dual pair.
 
-        Unlike IIADMM's incremental dual replay, the ICEADMM dual travels as
-        *absolute* state, so re-ingesting a fresher upload from the same
-        client simply replaces the pair (``dispatched_global`` is unused; the
-        signature matches :meth:`IIADMMServer.ingest` so the asyncfl
-        strategies treat both uniformly).
+        Accepts an :class:`~repro.comm.codecs.UpdatePacket` (decoded exactly
+        once by ``super().ingest``; under a ``delta`` codec the primal is
+        reconstructed against ``dispatched_global``, the dual travels
+        standalone) or an already-decoded mapping.  Unlike IIADMM's
+        incremental dual replay, the ICEADMM dual travels as *absolute*
+        state, so re-ingesting a fresher upload from the same client simply
+        replaces the pair, and a lossy wire merely means the server
+        aggregates a quantized view of the client's state — no cross-replica
+        invariant to maintain.
         """
+        payload = super().ingest(cid, payload, dispatched_global)
         self.primals[cid] = np.asarray(payload[PRIMAL_KEY])
         self.duals[cid] = np.asarray(payload[DUAL_KEY])
+        return payload
 
     def aggregate_global(self) -> None:
         """Recompute ``w = (1/P) Σ_p (z_p − λ_p/ρ)`` over all clients.
@@ -134,9 +140,6 @@ class ICEADMMServer(BaseServer):
         self.round += 1
         self.sync_model()
 
-    def update(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
-        if not payloads:
-            raise ValueError("no client payloads to aggregate")
-        for cid, payload in payloads.items():
-            self.ingest(cid, payload, self.global_params)
+    def finalize_round(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
+        """Per-upload pairs were stored by :meth:`ingest`; only the global update remains."""
         self.aggregate_global()

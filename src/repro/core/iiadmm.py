@@ -24,6 +24,7 @@ from typing import Dict, Mapping
 
 import numpy as np
 
+from ..comm.codecs import resolve_codec
 from ..privacy import IADMMSensitivity
 from .base import GLOBAL_KEY, PRIMAL_KEY, BaseClient, BaseServer
 
@@ -31,7 +32,14 @@ __all__ = ["IIADMMClient", "IIADMMServer"]
 
 
 class IIADMMClient(BaseClient):
-    """IIADMM client: batched inexact primal updates + local dual update."""
+    """IIADMM client: batched inexact primal updates + local dual update.
+
+    Under a lossy wire codec the server decodes a primal ẑ that differs from
+    the transmitted one; both dual replicas must then be driven by ẑ, so the
+    client re-derives its line-21 update from the decoded echo in
+    :meth:`reconcile_upload` (bitwise the same computation the server's
+    line-6 replay performs).
+    """
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -40,6 +48,14 @@ class IIADMMClient(BaseClient):
         self.dual = np.zeros(self.vectorizer.dim, dtype=self.vectorizer.dtype)
         self.primal = self.vectorizer.to_vector()
         self._rho = self.config.rho
+        # Lossy-codec bookkeeping for reconcile_upload: the pre-update dual,
+        # the dispatched global, and the rho the round's dual update used.
+        self._lossy_wire = resolve_codec(self.config.codec).lossy
+        self._dual_base = (
+            np.empty(self.vectorizer.dim, dtype=self.vectorizer.dtype) if self._lossy_wire else None
+        )
+        self._sent_global: np.ndarray = None
+        self._sent_rho = self._rho
 
     @property
     def rho(self) -> float:
@@ -78,7 +94,13 @@ class IIADMMClient(BaseClient):
         # primal (perturbed under DP) — otherwise the client's dual and the
         # server's replica (line 6, which only sees the transmitted value)
         # would silently drift apart and the two updates would no longer be
-        # "independent but identical" as Algorithm 1 requires.
+        # "independent but identical" as Algorithm 1 requires.  Under a lossy
+        # codec the server sees the *decoded* primal instead; stash what
+        # reconcile_upload needs to replay this update from the echo.
+        if self._lossy_wire:
+            np.copyto(self._dual_base, self.dual)
+            self._sent_global = w
+            self._sent_rho = rho
         np.subtract(w, upload, out=s)
         s *= rho
         self.dual += s
@@ -88,6 +110,21 @@ class IIADMMClient(BaseClient):
         self.round += 1
         # Line 22 / line 5: only the primal is communicated.
         return {PRIMAL_KEY: upload}
+
+    def reconcile_upload(self, sent: Mapping[str, np.ndarray], echo: Mapping[str, np.ndarray]) -> None:
+        """Replay the line-21 dual update from the server-decoded primal.
+
+        ``λ_p ← λ_p^{before} + ρ (w − ẑ_p)`` computed with the same fused
+        operations (and the same ``w``, ``ρ``, ``ẑ``) as the server's line-6
+        replay in :meth:`IIADMMServer.ingest`, so the two replicas stay
+        *bitwise* identical even though the wire was lossy.
+        """
+        if not self._lossy_wire:
+            return
+        s = self._scratch
+        np.subtract(self._sent_global, echo[PRIMAL_KEY], out=s)
+        s *= self._sent_rho
+        np.add(self._dual_base, s, out=self.dual)
 
 
 class IIADMMServer(BaseServer):
@@ -108,22 +145,27 @@ class IIADMMServer(BaseServer):
     def rho(self) -> float:
         return self._rho
 
-    def ingest(self, cid: int, payload: Mapping[str, np.ndarray], dispatched_global: np.ndarray) -> None:
+    def ingest(self, cid: int, payload, dispatched_global: np.ndarray) -> Dict[str, np.ndarray]:
         """Line 6 for one client: replay its dual update from the received primal.
 
+        Accepts an :class:`~repro.comm.codecs.UpdatePacket` (decoded exactly
+        once by ``super().ingest``) or an already-decoded mapping.
         ``dispatched_global`` must be the global model the client computed
         against — for the synchronous loop that is the current one, but under
         staleness (repro.asyncfl) it is the snapshot the client downloaded;
         using anything else desynchronises the "independent but identical"
         dual replicas.  Must be called exactly once per client upload: the
-        replay is an *increment*, mirroring the client's own line-21 update.
+        replay is an *increment*, mirroring the client's own line-21 update
+        (the reconcile_upload form when the wire codec is lossy).
         """
+        payload = super().ingest(cid, payload, dispatched_global)
         z = np.asarray(payload[PRIMAL_KEY])
         self.primals[cid] = z
         s = self._scratch
         np.subtract(dispatched_global, z, out=s)
         s *= self._rho
         self.duals[cid] += s
+        return payload
 
     def aggregate_global(self) -> None:
         """Line 3: recompute ``w = (1/P) Σ_p (z_p − λ_p/ρ)`` over all clients.
@@ -146,12 +188,8 @@ class IIADMMServer(BaseServer):
         self.round += 1
         self.sync_model()
 
-    def update(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
-        if not payloads:
-            raise ValueError("no client payloads to aggregate")
-        w = self.global_params
-        for cid, payload in payloads.items():
-            self.ingest(cid, payload, w)
+    def finalize_round(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
+        """Per-upload state was absorbed by :meth:`ingest`; only line 3 remains."""
         self.aggregate_global()
 
     def consensus_residual(self) -> float:

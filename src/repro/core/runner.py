@@ -24,11 +24,23 @@ Uploads are collected in client order regardless of thread completion order,
 keeping aggregation deterministic.
 
 The runner also records wall-clock seconds per phase — ``broadcast``
-(serialize + downlink copy), ``local_update``, ``gather`` (serialize +
-uplink copy), ``aggregate``, and ``evaluate`` — cumulatively in
-:attr:`FederatedRunner.phase_seconds` and per round on
-:attr:`RoundResult.phase_seconds`; ``benchmarks/bench_hotpath.py`` turns
-these into the repo's rounds/sec trajectory.
+(codec encode + downlink + client-side decode), ``local_update``, ``gather``
+(codec encode + uplink), ``aggregate`` (server-side decode + global update),
+and ``evaluate`` — cumulatively in :attr:`FederatedRunner.phase_seconds` and
+per round on :attr:`RoundResult.phase_seconds`;
+``benchmarks/bench_hotpath.py`` turns these into the repo's rounds/sec
+trajectory.
+
+Wire codecs
+-----------
+Every model exchange flows through one :class:`~repro.core.exchange.
+PacketExchange` (selected by ``FLConfig.codec``): the broadcast payload is
+encoded into a single :class:`~repro.comm.codecs.UpdatePacket`, the
+communicator charges its measured post-codec ``nbytes``, each client decodes
+its own copy, uploads are encoded against the dispatched global (the
+delta-codec reference) and decoded exactly once inside
+:meth:`BaseServer.ingest`.  ``codec="identity"`` (the default) is bit-for-bit
+the pre-codec behaviour, including the reported communication volume.
 """
 
 from __future__ import annotations
@@ -45,8 +57,9 @@ from .. import nn
 from ..comm import Communicator, SerialCommunicator
 from ..data import Dataset
 from ..privacy import PrivacyAccountant
-from .base import BaseClient, BaseServer
+from .base import GLOBAL_KEY, BaseClient, BaseServer
 from .config import FLConfig
+from .exchange import PacketExchange
 from .metrics import Evaluator
 from .registry import get_algorithm
 
@@ -126,6 +139,18 @@ class FederatedRunner:
         self.server = server
         self.clients = list(clients)
         self.communicator = communicator if communicator is not None else SerialCommunicator()
+        # One codec pipeline for every exchange.  FLConfig.codec is the single
+        # source of truth: clients derive their lossy-wire bookkeeping (e.g.
+        # IIADMM's reconcile stash) from the same config, so a mismatched
+        # client codec would silently break those invariants — fail fast.
+        self.exchange = PacketExchange(server.config.codec)
+        for client in self.clients:
+            if PacketExchange(client.config.codec).spec != self.exchange.spec:
+                raise ValueError(
+                    f"client {client.client_id} was built with codec "
+                    f"{client.config.codec!r} but the server config uses "
+                    f"{server.config.codec!r}; all endpoints must share one codec stack"
+                )
         self.evaluator = evaluator
         self.accountant = accountant if accountant is not None else PrivacyAccountant()
         self.history = TrainingHistory()
@@ -168,26 +193,59 @@ class FederatedRunner:
         timings: Dict[str, float] = {}
         tick = time.perf_counter()
 
-        # Server -> clients: broadcast the global model.
-        received = self.communicator.broadcast(round_idx, self.server.broadcast_payload(), client_ids)
+        # Server -> clients: encode the global model into one UpdatePacket,
+        # transport it (the communicator charges packet.nbytes), and decode a
+        # fresh payload per client.  The round's dispatched-global reference
+        # must be bitwise what every client saw: under a lossy codec that
+        # requires a server-side decode of the same packet; lossless stacks
+        # skip the extra decode since encode/decode is bit-transparent.
+        broadcast_payload = self.server.broadcast_payload()
+        packet = self.exchange.encode_dispatch(broadcast_payload)
+        received = self.communicator.broadcast(round_idx, packet, client_ids)
+        payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in client_ids}
+        if self.exchange.lossy:
+            dispatched_global = self.exchange.open_dispatch(packet)[GLOBAL_KEY]
+        else:
+            dispatched_global = broadcast_payload[GLOBAL_KEY]
         timings["broadcast"] = time.perf_counter() - tick
 
         # Clients: local updates (optionally on the thread pool).  Privacy
         # budget is charged only to clients that actually released an update
         # this round, so partial participation cannot over-count epsilon.
+        # Any DP clipping/noising happens inside client.update — before the
+        # codec encode below — so the guarantee survives quantization.
         tick = time.perf_counter()
-        uploads = self._run_clients(received)
+        uploads = self._run_clients(payloads)
         for client in self.clients:
             if client.client_id in uploads and client.config.privacy.enabled:
                 self.accountant.record(client.client_id, client.config.privacy.epsilon)
         timings["local_update"] = time.perf_counter() - tick
 
-        # Clients -> server: gather local models, then global update.
+        # Clients -> server: encode each upload against the dispatched
+        # global, reconcile lossy-codec client state with the decoded echo,
+        # and transport the packets.
         tick = time.perf_counter()
-        gathered = self.communicator.collect(round_idx, uploads)
+        packets = {}
+        for client in self.clients:
+            cid = client.client_id
+            packets[cid] = self.exchange.encode_upload(uploads[cid], payloads[cid][GLOBAL_KEY])
+            self.exchange.reconcile(client, uploads[cid], packets[cid], payloads[cid][GLOBAL_KEY])
+        gathered = self.communicator.collect(round_idx, packets)
         timings["gather"] = time.perf_counter() - tick
+
+        # Server: decode each upload exactly once (ingest) and finalize.  A
+        # plug-and-play server whose only customisation is the legacy
+        # update() keeps the seed contract: update() is driven directly (it
+        # decodes via ingest internally), so the override is never bypassed.
         tick = time.perf_counter()
-        self.server.update(gathered)
+        if self.server.uses_legacy_update:
+            self.server.update(gathered)
+        else:
+            decoded = {
+                cid: self.server.ingest(cid, payload, dispatched_global)
+                for cid, payload in gathered.items()
+            }
+            self.server.finalize_round(decoded)
         timings["aggregate"] = time.perf_counter() - tick
 
         accuracy = loss = None

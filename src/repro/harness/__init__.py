@@ -27,7 +27,16 @@ from .ablation import (
     run_batching_ablation,
     run_zeta_ablation,
 )
-from .comm_compare import BoxStats, CommCompareResult, CommCompareSettings, run_comm_compare
+from .comm_compare import (
+    BoxStats,
+    CodecSweepResult,
+    CodecSweepRow,
+    CodecSweepSettings,
+    CommCompareResult,
+    CommCompareSettings,
+    run_codec_sweep,
+    run_comm_compare,
+)
 from .comm_volume import CommVolumeResult, CommVolumeRow, CommVolumeSettings, run_comm_volume
 from .fig2 import Fig2Cell, Fig2Result, Fig2Settings, default_epsilons, run_fig2
 from .hetero import HeteroResult, HeteroSettings, run_hetero
@@ -61,6 +70,10 @@ __all__ = [
     "CommCompareResult",
     "BoxStats",
     "run_comm_compare",
+    "CodecSweepSettings",
+    "CodecSweepRow",
+    "CodecSweepResult",
+    "run_codec_sweep",
     "HeteroSettings",
     "HeteroResult",
     "run_hetero",

@@ -11,6 +11,12 @@ for comparison, over RDMA-enabled MPI.  The paper reports
 
 The reproduction runs the same exchange pattern through the gRPC and MPI
 channel simulators and reports the same statistics.
+
+Beyond the paper, :func:`run_codec_sweep` adds the *wire-codec* arm of the
+communication story: the same Fig. 2 MNIST-CNN workload trained under
+different codec stacks (identity vs fp16 vs int8 vs delta+topk), reporting
+measured on-wire bytes per round and — the figure of merit for a
+communication-bound deployment — **bytes to target accuracy**.
 """
 
 from __future__ import annotations
@@ -28,10 +34,20 @@ from ..comm import (
     MPISimCommunicator,
     state_dict_nbytes,
 )
-from ..core import build_model
+from ..core import FLConfig, build_federation, build_model
+from ..data import load_dataset
 from .reporting import format_series, format_table
 
-__all__ = ["CommCompareSettings", "BoxStats", "CommCompareResult", "run_comm_compare"]
+__all__ = [
+    "CommCompareSettings",
+    "BoxStats",
+    "CommCompareResult",
+    "run_comm_compare",
+    "CodecSweepSettings",
+    "CodecSweepRow",
+    "CodecSweepResult",
+    "run_codec_sweep",
+]
 
 PAPER_BOXPLOT_CLIENTS = (1, 5, 100, 150, 200)
 
@@ -163,6 +179,162 @@ def run_comm_compare(settings: Optional[CommCompareSettings] = None) -> CommComp
                 median=float(np.percentile(times, 50)),
                 q3=float(np.percentile(times, 75)),
                 maximum=float(times.max()),
+            )
+        )
+    return result
+
+
+# ------------------------------------------------------------- codec sweep
+@dataclass(frozen=True)
+class CodecSweepSettings:
+    """Settings of the wire-codec sweep on the Fig. 2 MNIST-CNN workload."""
+
+    codecs: Tuple[str, ...] = ("identity", "fp16", "int8", "delta|int8|topk:0.1")
+    algorithm: str = "iiadmm"
+    dataset: str = "mnist"
+    model: str = "cnn"
+    num_clients: int = 4
+    num_rounds: int = 6
+    local_steps: int = 2
+    batch_size: int = 64
+    train_size: int = 512
+    test_size: int = 256
+    rho: float = 10.0
+    zeta: float = 10.0
+    #: target accuracy for bytes-to-target; ``None`` derives it from the
+    #: identity arm's best accuracy minus ``target_margin``
+    target_accuracy: Optional[float] = None
+    target_margin: float = 0.02
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class CodecSweepRow:
+    """Measured outcome of one codec stack."""
+
+    codec: str
+    final_accuracy: float
+    best_accuracy: float
+    bytes_per_round: int
+    total_bytes: int
+    #: identity bytes/round divided by this stack's bytes/round
+    wire_reduction: float
+    #: first round (1-based) whose test accuracy reached the target, or None
+    rounds_to_target: Optional[int]
+    #: cumulative on-wire bytes through that round, or None
+    bytes_to_target: Optional[int]
+
+
+@dataclass
+class CodecSweepResult:
+    """Rows of the sweep plus the shared target accuracy."""
+
+    target_accuracy: float = 0.0
+    rows: List[CodecSweepRow] = field(default_factory=list)
+
+    def row(self, codec: str) -> CodecSweepRow:
+        for r in self.rows:
+            if r.codec == codec:
+                return r
+        raise KeyError(codec)
+
+    def best_bytes_to_target(self) -> CodecSweepRow:
+        """The stack reaching the target with the fewest on-wire bytes."""
+        reached = [r for r in self.rows if r.bytes_to_target is not None]
+        if not reached:
+            raise ValueError("no codec stack reached the target accuracy")
+        return min(reached, key=lambda r: r.bytes_to_target)
+
+    def render(self) -> str:
+        rows = [
+            [
+                r.codec,
+                round(r.final_accuracy, 3),
+                r.bytes_per_round,
+                f"{r.wire_reduction:.1f}x",
+                r.rounds_to_target if r.rounds_to_target is not None else "-",
+                r.bytes_to_target if r.bytes_to_target is not None else "-",
+            ]
+            for r in self.rows
+        ]
+        return format_table(
+            ["codec", "final acc", "B/round", "reduction", "rounds→target", "B→target"],
+            rows,
+            title=f"Wire-codec sweep (Fig. 2 workload, target acc {self.target_accuracy:.3f})",
+        )
+
+
+def run_codec_sweep(settings: Optional[CodecSweepSettings] = None) -> CodecSweepResult:
+    """Train the Fig. 2 workload under each codec stack; report bytes-to-target.
+
+    The ``identity`` arm always runs (prepended when missing) — it anchors
+    the target accuracy and the wire-reduction baseline.  All arms share
+    datasets, model init, and seeds, so the only varying factor is the codec.
+    """
+    settings = settings if settings is not None else CodecSweepSettings()
+    clients, test, spec = load_dataset(
+        settings.dataset,
+        num_clients=settings.num_clients,
+        train_size=settings.train_size,
+        test_size=settings.test_size,
+        seed=settings.seed,
+    )
+
+    def model_fn():
+        return build_model(
+            settings.model, spec.image_shape, spec.num_classes, rng=np.random.default_rng(42)
+        )
+
+    codecs = list(settings.codecs)
+    if "identity" not in codecs:
+        codecs.insert(0, "identity")
+
+    histories = {}
+    for codec in codecs:
+        config = FLConfig(
+            algorithm=settings.algorithm,
+            num_rounds=settings.num_rounds,
+            local_steps=settings.local_steps,
+            batch_size=settings.batch_size,
+            rho=settings.rho,
+            zeta=settings.zeta,
+            seed=settings.seed,
+            codec=codec,
+        )
+        histories[codec] = build_federation(
+            config, model_fn, clients, test, seed=settings.seed
+        ).run()
+
+    identity = histories["identity"]
+    target = (
+        settings.target_accuracy
+        if settings.target_accuracy is not None
+        else (identity.best_accuracy or 0.0) - settings.target_margin
+    )
+    identity_bpr = identity.total_comm_bytes() / max(1, len(identity))
+
+    result = CodecSweepResult(target_accuracy=float(target))
+    for codec in codecs:
+        history = histories[codec]
+        bytes_per_round = history.total_comm_bytes() / max(1, len(history))
+        rounds_to_target = bytes_to_target = None
+        cumulative = 0
+        for i, r in enumerate(history.rounds):
+            cumulative += r.comm_bytes
+            if r.test_accuracy is not None and r.test_accuracy >= target:
+                rounds_to_target = i + 1
+                bytes_to_target = cumulative
+                break
+        result.rows.append(
+            CodecSweepRow(
+                codec=codec,
+                final_accuracy=float(history.final_accuracy or 0.0),
+                best_accuracy=float(history.best_accuracy or 0.0),
+                bytes_per_round=int(round(bytes_per_round)),
+                total_bytes=history.total_comm_bytes(),
+                wire_reduction=float(identity_bpr / bytes_per_round) if bytes_per_round else 1.0,
+                rounds_to_target=rounds_to_target,
+                bytes_to_target=bytes_to_target,
             )
         )
     return result

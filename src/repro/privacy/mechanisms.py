@@ -8,6 +8,15 @@ upper bound on the sensitivity of the update and ``ε`` is the privacy budget
 
 A Gaussian mechanism is also provided as an extension point (the paper lists
 more advanced DP methods as future work).
+
+Ordering with wire codecs: clipping and perturbation run inside
+``BaseClient.update`` — *before* the payload reaches the codec stack
+(``FLConfig.codec``) in the exchange layer.  Quantization, sparsification,
+and delta encoding are therefore post-processing of an already-released
+value, which cannot weaken the ε-DP guarantee (the post-processing
+invariance of differential privacy).  The reverse order — noising quantized
+values — would let the discrete grid leak information, so the pipeline never
+encodes before perturbing.
 """
 
 from __future__ import annotations

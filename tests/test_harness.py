@@ -188,6 +188,57 @@ class TestHeteroAndVolume:
         result = run_comm_volume(CommVolumeSettings(num_rounds=1, train_size=80, hidden=8))
         assert "2.00" in result.render()
 
+    def test_comm_volume_codec_shrinks_wire_bytes(self):
+        raw = run_comm_volume(CommVolumeSettings(num_rounds=1, train_size=80, hidden=8))
+        packed = run_comm_volume(
+            CommVolumeSettings(num_rounds=1, train_size=80, hidden=8, codec="int8")
+        )
+        for algorithm in ("fedavg", "iceadmm", "iiadmm"):
+            assert (
+                packed.row(algorithm).uplink_bytes_per_client_round
+                < raw.row(algorithm).uplink_bytes_per_client_round / 4
+            )
+        # The algorithmic 2x uplink claim survives quantization.
+        assert packed.uplink_ratio("iceadmm", "iiadmm") == pytest.approx(2.0, rel=0.05)
+        assert "int8" in packed.render()
+
+
+class TestCodecSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.harness import CodecSweepSettings, run_codec_sweep
+
+        return run_codec_sweep(
+            CodecSweepSettings(
+                model="mlp",
+                num_clients=2,
+                num_rounds=3,
+                local_steps=2,
+                train_size=160,
+                test_size=80,
+                target_margin=0.05,
+            )
+        )
+
+    def test_all_arms_present(self, result):
+        assert [r.codec for r in result.rows][0] == "identity"
+        assert {"identity", "fp16", "int8", "delta|int8|topk:0.1"} <= {r.codec for r in result.rows}
+
+    def test_wire_reduction_ordering(self, result):
+        assert result.row("identity").wire_reduction == pytest.approx(1.0)
+        assert result.row("fp16").wire_reduction == pytest.approx(4.0, rel=0.05)  # f64 -> f16
+        assert result.row("int8").wire_reduction > 4.0
+
+    def test_bytes_to_target_favours_compression(self, result):
+        identity = result.row("identity")
+        assert identity.rounds_to_target is not None  # target derived from itself
+        best = result.best_bytes_to_target()
+        assert best.bytes_to_target <= identity.bytes_to_target
+
+    def test_render(self, result):
+        out = result.render()
+        assert "B→target" in out and "identity" in out
+
 
 class TestAsyncCompare:
     @pytest.fixture(scope="class")
