@@ -293,3 +293,46 @@ def test_codec_wire_reduction(hotpath_store):
     assert reduction >= 4.0, f"expected >=4x wire-byte reduction, got {reduction:.2f}x"
     assert h_compressed.final_accuracy >= h_identity.final_accuracy - 0.15
     hotpath_store.check_and_update_codec(record)
+
+
+def test_scale_virtualization(hotpath_store):
+    """Client-virtualization gauges: clients/GB + materialize/evict µs.
+
+    Runs one round of the virtual-population workload (tiny per-client MLP
+    shards behind a ``ClientStateStore``) and records how many spilled
+    clients fit in a GB of blob storage and how many microseconds one
+    materialise/evict cycle costs — the scalability counterpart of the
+    rounds/sec figure, recorded into BENCH_hotpath.json's "scale" section
+    behind the conftest gate.
+    """
+    from repro.harness.scaling import PopulationSweepSettings, run_population_sweep
+
+    population = 2_000 if SMOKE else 10_000
+    live_cap = 64
+    settings = PopulationSweepSettings(populations=(population,), live_cap=live_cap)
+    point = run_population_sweep(settings).point(population)
+
+    record = {
+        "workload": {
+            "population": population,
+            "live_cap": live_cap,
+            "algorithm": settings.algorithm,
+            "samples_per_client": settings.samples_per_client,
+            "input_dim": settings.input_dim,
+            "hidden": settings.hidden,
+            "smoke": SMOKE,
+        },
+        "round_seconds": round(point.round_seconds, 4),
+        "clients_per_gb": int(point.clients_per_gb),
+        "store_nbytes": point.store_nbytes,
+        "materialize_us": round(point.materialize_us, 2),
+        "evict_us": round(point.evict_us, 2),
+        "peak_live": point.peak_live,
+        "peak_rss_mb": round(point.peak_rss_mb, 1),
+    }
+    print("\nscale: " + json.dumps(record, indent=2))
+
+    # The memory bound is the product contract, not just a perf number.
+    assert point.peak_live <= live_cap
+    assert point.evictions > 0  # the cap actually forced spills
+    hotpath_store.check_and_update_scale(record)

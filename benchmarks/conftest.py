@@ -59,9 +59,12 @@ def hotpath_store():
 
     ``BENCH_hotpath.json`` holds the synchronous rounds/sec record at the top
     level plus an ``"async"`` section with the event-driven scenario's
-    events/sec and a ``"codec"`` section with the wire-codec measurements
+    events/sec, a ``"codec"`` section with the wire-codec measurements
     (encode/decode MB/s and bytes-per-round/wire-reduction on the Fig. 2
-    workload).  ``check_and_update(record)`` gates the sync record against
+    workload), and a ``"scale"`` section with the client-virtualization
+    gauges (clients/GB of spilled state, materialise/evict µs).  Every gate
+    tolerates a missing file *or* section — a first run records a fresh
+    baseline instead of KeyError-ing.  ``check_and_update(record)`` gates the sync record against
     the previously recorded run — failing on a ``REGRESSION_TOLERANCE`` drop
     in the load-invariant speedup ratio, or an ``ABSOLUTE_TOLERANCE`` collapse
     in raw rounds/sec (which catches regressions shared by both
@@ -90,7 +93,10 @@ def hotpath_store():
             # Different REPRO_* sizing: absolute numbers are not comparable;
             # treat as a fresh baseline rather than a regression.
             previous = None
-        old_rps = (previous or {}).get("optimized", {}).get("rounds_per_sec")
+        # Every lookup below tolerates a missing/partial section: on a first
+        # run (or a hand-pruned BENCH_hotpath.json) there is simply no gate,
+        # never a KeyError.
+        old_rps = ((previous or {}).get("optimized") or {}).get("rounds_per_sec")
         old_speedup = (previous or {}).get("speedup")
         failure = None
         if old_rps and old_speedup and os.environ.get("REPRO_BENCH_ACCEPT", "0") != "1":
@@ -125,7 +131,7 @@ def hotpath_store():
             )
 
     def check_and_update_async(record):
-        previous = (load() or {}).get("async")
+        previous = (load() or {}).get("async") or None
         if previous and previous.get("workload") != record.get("workload"):
             previous = None
         old_eps = (previous or {}).get("events_per_sec")
@@ -144,7 +150,7 @@ def hotpath_store():
         _merge_write({"async": record})
 
     def check_and_update_codec(record):
-        previous = (load() or {}).get("codec")
+        previous = (load() or {}).get("codec") or None
         if previous and previous.get("workload") != record.get("workload"):
             previous = None
         accept = os.environ.get("REPRO_BENCH_ACCEPT", "0") == "1"
@@ -168,10 +174,41 @@ def hotpath_store():
             )
         _merge_write({"codec": record})
 
+    def check_and_update_scale(record):
+        previous = (load() or {}).get("scale") or None
+        if previous and previous.get("workload") != record.get("workload"):
+            previous = None
+        accept = os.environ.get("REPRO_BENCH_ACCEPT", "0") == "1"
+        failure = None
+        old_cpg = (previous or {}).get("clients_per_gb")
+        old_mat = (previous or {}).get("materialize_us")
+        if old_cpg and not accept and record["clients_per_gb"] < (1.0 - REGRESSION_TOLERANCE) * old_cpg:
+            # Blob sizes are deterministic — fewer clients/GB means the state
+            # blobs genuinely grew, not that the machine was busy.
+            failure = f"clients/GB regressed {old_cpg} -> {record['clients_per_gb']}"
+        elif (
+            old_mat
+            and not accept
+            and record["materialize_us"] > old_mat / (1.0 - ABSOLUTE_TOLERANCE)
+        ):
+            failure = (
+                f"materialise cost grew {old_mat:.1f} -> "
+                f"{record['materialize_us']:.1f} µs/client (>{1.0 / (1.0 - ABSOLUTE_TOLERANCE):.1f}x, "
+                "even allowing for machine load)"
+            )
+        if failure is not None:
+            pytest.fail(
+                "client-virtualization regression: " + failure +
+                " — BENCH_hotpath.json keeps the previous baseline; "
+                "set REPRO_BENCH_ACCEPT=1 to accept the new numbers"
+            )
+        _merge_write({"scale": record})
+
     return SimpleNamespace(
         path=HOTPATH_PATH,
         load=load,
         check_and_update=check_and_update,
         check_and_update_async=check_and_update_async,
         check_and_update_codec=check_and_update_codec,
+        check_and_update_scale=check_and_update_scale,
     )

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# One-command regression gate: tier-1 unit suite (golden traces included)
+# plus the BENCH_hotpath.json perf-regression benches.
+#
+#   scripts/check.sh            # tier-1 + bench gates (the pre-merge check)
+#   scripts/check.sh --slow     # additionally run the slow sweep tier
+#
+# Environment knobs pass through: REPRO_SMOKE=0 scales the benches up,
+# REPRO_BENCH_ACCEPT=1 accepts new bench baselines after an intentional
+# change.  Golden traces are regenerated separately (and deliberately, with
+# review) via `pytest tests/test_golden_trace.py --update-golden`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+run_slow=0
+for arg in "$@"; do
+  case "$arg" in
+    --slow) run_slow=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: unit suite + golden traces =="
+python -m pytest -x -q
+
+if [ "$run_slow" -eq 1 ]; then
+  echo "== slow tier: heavyweight sweeps =="
+  python -m pytest -x -q -m slow
+fi
+
+echo "== bench gates: BENCH_hotpath.json regression checks =="
+python -m pytest benchmarks/bench_hotpath.py -x -q
+
+echo "All checks passed."

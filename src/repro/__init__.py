@@ -23,10 +23,14 @@ Subpackages
     Event-driven asynchronous federation: virtual-clock scheduler, client
     participation samplers, and staleness-aware aggregation (FedAsync,
     FedBuff, sampled synchronous rounds).
+``repro.scale``
+    Client virtualization for large populations: memory-bounded
+    ``ClientStateStore`` (LRU of live clients over serialized state blobs)
+    and deterministic ``RunCheckpoint`` checkpoint/resume.
 ``repro.harness``
     Experiment harnesses that regenerate each table/figure of the paper.
 """
 
 __version__ = "0.1.0"
 
-__all__ = ["nn", "data", "comm", "simulator", "privacy", "core", "asyncfl", "harness", "__version__"]
+__all__ = ["nn", "data", "comm", "simulator", "privacy", "core", "asyncfl", "scale", "harness", "__version__"]

@@ -81,6 +81,34 @@ class EventLoop:
         self._now = event.time
         return event
 
+    # ------------------------------------------------------------ persistence
+    @property
+    def sequence(self) -> int:
+        """Next insertion sequence number (part of the deterministic order)."""
+        return self._seq
+
+    def snapshot_events(self) -> List[Event]:
+        """All pending events in ``(time, seq)`` order (the heap untouched)."""
+        return sorted(self._heap)
+
+    def load(self, now: float, sequence: int, events) -> None:
+        """Restore the loop to a checkpointed state.
+
+        ``events`` are ``(time, seq, kind, data)`` tuples (or :class:`Event`
+        instances); their original sequence numbers are preserved so ties
+        break exactly as they would have in the uninterrupted run.
+        """
+        heap: List[Event] = []
+        for ev in events:
+            if not isinstance(ev, Event):
+                time_, seq, kind, data = ev
+                ev = Event(time=float(time_), seq=int(seq), kind=str(kind), data=dict(data))
+            heap.append(ev)
+        heapq.heapify(heap)
+        self._heap = heap
+        self._now = float(now)
+        self._seq = int(sequence)
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -40,6 +40,19 @@ and benchmarks drive either interchangeably.  Each completed global update is
 recorded as one :class:`~repro.core.runner.RoundResult` whose
 ``wall_clock_seconds`` is the virtual arrival time and whose
 ``participating_clients`` lists the aggregated cohort.
+
+Virtual populations and checkpointing
+-------------------------------------
+Clients may be supplied as a :class:`repro.scale.ClientStateStore`
+(``client_store=``) instead of a list: a client then materialises when the
+sampler dispatches it, stays pinned while in flight, and spills its
+persistent state back to the store once its upload is encoded — population
+size no longer bounds memory (see :func:`repro.scale.
+build_virtual_async_federation`).  ``run(..., max_events=N)`` stops after a
+bounded number of timeline events, and ``run()`` exits *compose*: together
+with :meth:`AsyncRunner.quiesce` this is what lets
+:class:`repro.scale.RunCheckpoint` capture a run at an arbitrary event count
+and resume it bit-identically.
 """
 
 from __future__ import annotations
@@ -89,7 +102,7 @@ class AsyncRunner:
     def __init__(
         self,
         server: BaseServer,
-        clients: Sequence[BaseClient],
+        clients: Optional[Sequence[BaseClient]] = None,
         strategy: Optional[AsyncStrategy] = None,
         sampler: Optional[ClientSampler] = None,
         evaluator: Optional[Evaluator] = None,
@@ -99,24 +112,32 @@ class AsyncRunner:
         link: Union[LinkModel, Sequence[LinkModel], None] = None,
         concurrency: Optional[int] = None,
         max_workers: Optional[int] = None,
+        client_store=None,
     ):
-        if not clients:
+        if (clients is None or not list(clients)) and client_store is None:
             raise ValueError("at least one client is required")
-        if server.num_clients != len(clients):
+        if clients and client_store is not None:
+            raise ValueError("pass either clients or client_store, not both")
+        self._store = client_store
+        self.clients = list(clients) if clients else []
+        num_clients = client_store.num_clients if client_store is not None else len(self.clients)
+        if server.num_clients != num_clients:
             raise ValueError("server.num_clients must match the number of clients")
+        self.num_clients = num_clients
         self.server = server
-        self.clients = list(clients)
         self._client_by_id = {c.client_id: c for c in self.clients}
-        if len(self._client_by_id) != len(self.clients):
+        if self.clients and len(self._client_by_id) != len(self.clients):
             raise ValueError("client ids must be unique")
+        #: store-backed clients currently checked out (dispatch -> upload encode)
+        self._active: Dict[int, BaseClient] = {}
         config = server.config
-        self.strategy = strategy if strategy is not None else FedBuffStrategy(len(clients))
+        self.strategy = strategy if strategy is not None else FedBuffStrategy(num_clients)
         buffer_size = getattr(self.strategy, "buffer_size", None)
-        if buffer_size is not None and buffer_size > len(clients):
+        if buffer_size is not None and buffer_size > num_clients:
             # The buffer keeps one (freshest) entry per client, so it could
             # never fill and the event loop would spin forever.
             raise ValueError(
-                f"buffer_size ({buffer_size}) cannot exceed the number of clients ({len(clients)})"
+                f"buffer_size ({buffer_size}) cannot exceed the number of clients ({num_clients})"
             )
         if config.adaptive_rho and hasattr(server, "duals"):
             # Clients grow rho once per *their own* update while the server
@@ -128,19 +149,29 @@ class AsyncRunner:
                 "per-client rho schedules diverge under partial participation/staleness"
             )
         self.sampler = (
-            sampler if sampler is not None else FullParticipationSampler(len(clients), seed=config.seed)
+            sampler if sampler is not None else FullParticipationSampler(num_clients, seed=config.seed)
         )
         self.evaluator = evaluator
         self.accountant = accountant if accountant is not None else PrivacyAccountant()
         self.cost_model = (
             cost_model if cost_model is not None else LocalUpdateCostModel(local_steps=config.local_steps)
         )
-        self.devices: List[DeviceSpec] = _per_client(devices if devices is not None else A100, len(clients), "device")
-        self.links: List[LinkModel] = _per_client(link if link is not None else ZERO_LINK, len(clients), "link")
+        self.devices: List[DeviceSpec] = _per_client(devices if devices is not None else A100, num_clients, "device")
+        self.links: List[LinkModel] = _per_client(link if link is not None else ZERO_LINK, num_clients, "link")
         if concurrency is None:
-            concurrency = len(clients)
-        if not 1 <= concurrency <= len(clients):
+            # Store-backed populations default to the store's live-client cap:
+            # every in-flight client is pinned, so more concurrency than cap
+            # could never be materialised anyway.
+            concurrency = (
+                min(client_store.live_cap, num_clients) if client_store is not None else num_clients
+            )
+        if not 1 <= concurrency <= num_clients:
             raise ValueError("concurrency must be in [1, num_clients]")
+        if client_store is not None and concurrency > client_store.live_cap:
+            raise ValueError(
+                f"concurrency ({concurrency}) exceeds the client store's live_cap "
+                f"({client_store.live_cap}); in-flight clients stay pinned"
+            )
         self.concurrency = int(concurrency)
 
         if max_workers is None:
@@ -157,12 +188,16 @@ class AsyncRunner:
         # the stack: their lossy-wire bookkeeping (IIADMM's reconcile stash)
         # is derived from their own config's codec.
         self.exchange = PacketExchange(config.codec)
-        for client in self.clients:
-            if PacketExchange(client.config.codec).spec != self.exchange.spec:
+        store_config = getattr(client_store, "config", None)
+        endpoint_codecs = [c.config.codec for c in self.clients]
+        if store_config is not None:
+            endpoint_codecs.append(store_config.codec)
+        for codec in endpoint_codecs:
+            if PacketExchange(codec).spec != self.exchange.spec:
                 raise ValueError(
-                    f"client {client.client_id} was built with codec "
-                    f"{client.config.codec!r} but the server config uses "
-                    f"{config.codec!r}; all endpoints must share one codec stack"
+                    f"an endpoint was built with codec {codec!r} but the server "
+                    f"config uses {config.codec!r}; all endpoints must share "
+                    f"one codec stack"
                 )
         self._dispatch_cache: Optional[tuple] = None  # (model version, encoded packet)
         self.history = TrainingHistory()
@@ -198,12 +233,36 @@ class AsyncRunner:
         self.phase_seconds[phase] += seconds
         self._round_timings[phase] += seconds
 
+    def _acquire(self, cid: int) -> BaseClient:
+        """The live client for ``cid`` — checked out (and pinned) from the
+        store in virtual mode, a plain lookup in eager mode.  In store mode a
+        client acquired at dispatch stays pinned until the upload is encoded
+        (:meth:`_handle_compute_done` releases it); resumed checkpoints may
+        re-acquire a client here whose dispatch happened before the save."""
+        if self._store is None:
+            return self._client_by_id[cid]
+        client = self._active.get(cid)
+        if client is None:
+            client = self._store.checkout(cid)
+            self._active[cid] = client
+        return client
+
+    def _release(self, cid: int) -> None:
+        if self._store is not None and cid in self._active:
+            del self._active[cid]
+            self._store.release(cid)
+
     def _submit(self, client: BaseClient, payload) -> Optional[Future]:
-        """Start the client's local update eagerly when running parallel."""
-        if self.max_workers > 1 and len(self.clients) > 1:
+        """Start the client's local update eagerly when running parallel.
+
+        Works for store-backed populations too: a dispatched client is pinned
+        until its upload is encoded, so the instance stays valid while the
+        pool runs it.
+        """
+        if self.max_workers > 1 and self.num_clients > 1:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
-                    max_workers=min(self.max_workers, len(self.clients)),
+                    max_workers=min(self.max_workers, self.num_clients),
                     thread_name_prefix="asyncfl-client",
                 )
             return self._executor.submit(client.update, payload)
@@ -226,7 +285,7 @@ class AsyncRunner:
         download = self.links[cid].transfer_time(nbytes)
         self._sim_comm_seconds += download
         payload = self.exchange.open_dispatch(packet)
-        client = self._client_by_id[cid]
+        client = self._acquire(cid)
         compute = self.sampler.compute_multiplier(cid) * self.cost_model.local_update_time(
             self.devices[cid], client.num_samples
         )
@@ -244,10 +303,17 @@ class AsyncRunner:
 
     def _handle_compute_done(self, event) -> None:
         cid = event.data["cid"]
-        client = self._client_by_id[cid]
+        client = self._acquire(cid)
         tick = time.perf_counter()
-        future = event.data["future"]
-        upload = future.result() if future is not None else client.update(event.data["payload"])
+        future = event.data.get("future")
+        if "upload" in event.data:
+            # Quiesced/checkpointed event: client.update already ran (eagerly
+            # or forced at save time) and its result travelled with the event.
+            upload = event.data["upload"]
+        elif future is not None:
+            upload = future.result()
+        else:
+            upload = client.update(event.data["payload"])
         self._charge("local_update", time.perf_counter() - tick)
         if client.config.privacy.enabled:
             self.accountant.record(cid, client.config.privacy.epsilon)
@@ -259,6 +325,7 @@ class AsyncRunner:
         dispatched_global = event.data["payload"][GLOBAL_KEY]
         packet = self.exchange.encode_upload(upload, dispatched_global)
         self.exchange.reconcile(client, upload, packet, dispatched_global)
+        self._release(cid)  # store mode: pinned since dispatch, now spillable
         self._charge("gather", time.perf_counter() - tick)
         nbytes = packet.nbytes
         self._comm_bytes += nbytes
@@ -343,10 +410,21 @@ class AsyncRunner:
         self,
         num_rounds: Optional[int] = None,
         callback: Optional[Callable[[RoundResult], None]] = None,
+        max_events: Optional[int] = None,
     ) -> TrainingHistory:
-        """Simulate until ``num_rounds`` further global updates completed."""
+        """Simulate until ``num_rounds`` further global updates completed.
+
+        ``max_events`` bounds how many further timeline events this call
+        processes — the interruption point for checkpoint tests and
+        cooperative schedulers.  Stopping mid-instant is safe: the pending
+        queue, withheld dispatch slots, and virtual clock survive on the
+        runner (and in a :class:`repro.scale.RunCheckpoint`), and the next
+        ``run`` call first drains the rest of the instant before refilling
+        slots, exactly as the uninterrupted loop would have.
+        """
         total = num_rounds if num_rounds is not None else self.server.config.num_rounds
         target = len(self.history) + total
+        event_budget = math.inf if max_events is None else int(max_events)
         try:
             if not self._primed:
                 self._prime()
@@ -355,7 +433,7 @@ class AsyncRunner:
                 # queue drained: the replacement dispatches it withheld are
                 # still pending — issue them now so the timeline restarts.
                 self._flush_dispatches()
-            while len(self.history) < target and self._clock:
+            while len(self.history) < target and self._clock and event_budget > 0:
                 now = self._clock.peek_time()
                 # Drain every event at this virtual instant before refilling
                 # any dispatch slot: simultaneous arrivals must all see the
@@ -363,18 +441,52 @@ class AsyncRunner:
                 while self._clock and self._clock.peek_time() == now:
                     event = self._clock.pop()
                     self.events_processed += 1
+                    event_budget -= 1
                     if event.kind == _COMPUTE_DONE:
                         self._handle_compute_done(event)
                     else:
                         self._handle_arrival(event, callback)
-                    if len(self.history) >= target:
+                    if len(self.history) >= target or event_budget <= 0:
                         break
-                if len(self.history) >= target:
+                if len(self.history) >= target or event_budget <= 0:
+                    # Exits must *compose*: if this virtual instant fully
+                    # drained, the uninterrupted loop's very next action would
+                    # be the dispatch refill — issue it now, so a later run()
+                    # call (or a checkpoint taken here and resumed elsewhere)
+                    # continues with bit-identical sampler draws and event
+                    # ordering.  Mid-instant exits leave the refill withheld;
+                    # re-entry drains the rest of the instant first.
+                    if not self._clock or self._clock.peek_time() != now:
+                        self._flush_dispatches()
                     break
                 self._flush_dispatches()
         finally:
             self.close()
         return self.history
+
+    def quiesce(self) -> None:
+        """Force every pending local update to completion *in place*.
+
+        After this call no scheduled ``compute_done`` event depends on a live
+        :class:`~concurrent.futures.Future` or an un-run ``client.update`` —
+        each carries its computed upload in the event data.  This is the
+        serialisation barrier :class:`repro.scale.RunCheckpoint` uses: client
+        updates depend only on the dispatched payload snapshot and the
+        client's own state, so forcing them early is bit-identical to running
+        them at their pop time (the same invariant that makes eager
+        thread-pool execution exact).  The live runner remains consistent —
+        the forced results are attached to the events it will later pop.
+        """
+        for event in self._clock.snapshot_events():
+            if event.kind != _COMPUTE_DONE or "upload" in event.data:
+                continue
+            future = event.data.get("future")
+            if future is not None:
+                event.data["upload"] = future.result()
+            else:
+                client = self._acquire(event.data["cid"])
+                event.data["upload"] = client.update(event.data["payload"])
+            event.data["future"] = None
 
     def close(self) -> None:
         """Release the client worker pool (recreated lazily if needed again)."""

@@ -73,6 +73,17 @@ class ClientSampler(ABC):
         """Multiplier on the client's simulated compute time (1.0 = nominal)."""
         return 1.0
 
+    # ------------------------------------------------------- persistent state
+    def sampler_state(self) -> dict:
+        """This sampler's mutable state (RNG bit-generator words + counters)
+        as a plain tree — what :class:`repro.scale.RunCheckpoint` persists so
+        a resumed run draws the exact same participation schedule."""
+        return {"rng": self.rng.bit_generator.state}
+
+    def load_sampler_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`sampler_state` (bit-exact)."""
+        self.rng.bit_generator.state = state["rng"]
+
     # ---------------------------------------------------------------- helpers
     def _available(self, exclude: FrozenSet[int]) -> List[int]:
         avail = [c for c in range(self.num_clients) if c not in exclude]
@@ -98,6 +109,15 @@ class FullParticipationSampler(ClientSampler):
             if cid not in exclude:
                 return cid
         raise RuntimeError("no clients available to sample (all excluded)")
+
+    def sampler_state(self) -> dict:
+        state = super().sampler_state()
+        state["next"] = self._next
+        return state
+
+    def load_sampler_state(self, state: dict) -> None:
+        super().load_sampler_state(state)
+        self._next = int(state["next"])
 
 
 class UniformSampler(ClientSampler):
@@ -214,3 +234,14 @@ class AvailabilityTraceSampler(ClientSampler):
         if client_id in self.stragglers:
             return self.straggler_slowdown
         return self.base.compute_multiplier(client_id)
+
+    def sampler_state(self) -> dict:
+        # Own RNG (the availability trace) plus the wrapped base sampler's;
+        # the straggler set is seeded at construction and needs no persisting.
+        state = super().sampler_state()
+        state["base"] = self.base.sampler_state()
+        return state
+
+    def load_sampler_state(self, state: dict) -> None:
+        super().load_sampler_state(state)
+        self.base.load_sampler_state(state["base"])

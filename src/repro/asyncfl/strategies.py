@@ -142,6 +142,16 @@ class AsyncStrategy(ABC):
         global model update ("a round"), else ``None``.
         """
 
+    # ------------------------------------------------------- persistent state
+    def strategy_state(self) -> Dict[str, object]:
+        """Mutable strategy state (buffered uploads, expected cohorts) as a
+        plain tree for :class:`repro.scale.RunCheckpoint`; stateless
+        strategies return ``{}``."""
+        return {}
+
+    def load_strategy_state(self, state: Mapping[str, object]) -> None:
+        """Restore state captured by :meth:`strategy_state` (bit-exact)."""
+
 
 class SyncRoundStrategy(AsyncStrategy):
     """Sampled synchronous FL: aggregate once the whole cohort reported."""
@@ -170,6 +180,17 @@ class SyncRoundStrategy(AsyncStrategy):
         self._expected = None
         return participants
 
+    def strategy_state(self) -> Dict[str, object]:
+        return {"expected": self._expected, "buffer": dict(self._buffer)}
+
+    def load_strategy_state(self, state: Mapping[str, object]) -> None:
+        expected = state["expected"]
+        self._expected = None if expected is None else tuple(int(c) for c in expected)  # type: ignore[union-attr]
+        self._buffer = {
+            int(cid): (int(item[0]), dict(item[1]), np.asarray(item[2]))
+            for cid, item in state["buffer"].items()  # type: ignore[union-attr]
+        }
+
 
 class FedBuffStrategy(AsyncStrategy):
     """Buffered asynchronous aggregation: flush every ``buffer_size`` arrivals.
@@ -194,6 +215,15 @@ class FedBuffStrategy(AsyncStrategy):
         apply_partial_update(server, list(self._buffer.values()))
         self._buffer.clear()
         return participants
+
+    def strategy_state(self) -> Dict[str, object]:
+        return {"buffer": dict(self._buffer)}
+
+    def load_strategy_state(self, state: Mapping[str, object]) -> None:
+        self._buffer = {
+            int(cid): (int(item[0]), dict(item[1]), np.asarray(item[2]))
+            for cid, item in state["buffer"].items()  # type: ignore[union-attr]
+        }
 
 
 class FedAsyncStrategy(AsyncStrategy):
@@ -271,6 +301,15 @@ class AsyncServer:
         if participants is not None:
             self.version += 1
         return participants
+
+    def server_state(self) -> Dict[str, object]:
+        """Version counter + staleness log (the wrapped server serialises
+        itself through :meth:`repro.core.base.BaseServer.server_state`)."""
+        return {"version": self.version, "staleness_log": list(self.staleness_log)}
+
+    def load_server_state(self, state: Mapping[str, object]) -> None:
+        self.version = int(state["version"])  # type: ignore[arg-type]
+        self.staleness_log = [int(s) for s in state["staleness_log"]]  # type: ignore[union-attr]
 
     def mean_staleness(self) -> float:
         """Average observed upload staleness (0.0 when nothing arrived yet)."""

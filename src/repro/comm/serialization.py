@@ -17,6 +17,15 @@ Two jobs:
    metadata), which is what the runners actually move since the wire-codec
    refactor.
 
+3. *State blobs*: :func:`encode_state_blob`/:func:`decode_state_blob` encode
+   an arbitrary tree of dicts/lists/tuples whose leaves are numpy arrays,
+   scalars, strings, bytes, ``None``, or whole :class:`UpdatePacket` objects
+   — reusing the same ``_pack_*`` machinery as the wire formats above.  This
+   is the persistence format of the client-virtualization layer
+   (:mod:`repro.scale`): evicted client state, run checkpoints, RNG
+   bit-generator state (arbitrary-precision integers round-trip exactly), and
+   pending virtual-clock events all serialise through it, bit-exactly.
+
 Sizing is *post-codec* and dtype-aware: :func:`payload_nbytes` reports the
 measured on-wire bytes of whatever crosses the link — the encoded arrays and
 codec metadata of an ``UpdatePacket``, or the raw (correct-dtype) tensor
@@ -42,10 +51,13 @@ __all__ = [
     "decode_state_dict",
     "encode_packet",
     "decode_packet",
+    "encode_state_blob",
+    "decode_state_blob",
 ]
 
 _MAGIC = b"RPRO"
 _PACKET_MAGIC = b"RPKT"
+_BLOB_MAGIC = b"RBLB"
 
 
 def state_dict_nbytes(state: Mapping[str, np.ndarray]) -> int:
@@ -248,3 +260,118 @@ def decode_packet(payload: bytes) -> UpdatePacket:
             metas.append(meta)
         entries[key] = PacketEntry(shape, dtype_s, data, tuple(metas))
     return UpdatePacket(codec, entries)
+
+
+# ---------------------------------------------------------------- state blobs
+def _pack_tree(value) -> bytes:
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"B" + struct.pack("<B", int(value))
+    if isinstance(value, (int, np.integer)):
+        v = int(value)
+        if -(2**63) <= v < 2**63:
+            return b"I" + struct.pack("<q", v)
+        # Arbitrary-precision integers (e.g. PCG64's 128-bit RNG state words)
+        # travel as their decimal string.
+        return b"J" + _pack_str(str(v))
+    if isinstance(value, (float, np.floating)):
+        return b"F" + struct.pack("<d", float(value))
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return b"S" + struct.pack("<I", len(raw)) + raw
+    if isinstance(value, (bytes, bytearray)):
+        return b"Y" + struct.pack("<Q", len(value)) + bytes(value)
+    if isinstance(value, np.ndarray):
+        return b"A" + _pack_array(value)
+    if isinstance(value, UpdatePacket):
+        raw = encode_packet(value)
+        return b"P" + struct.pack("<Q", len(raw)) + raw
+    if isinstance(value, (frozenset, set)):
+        items = sorted(value)  # deterministic encoding for id sets
+        return b"Z" + struct.pack("<I", len(items)) + b"".join(_pack_tree(v) for v in items)
+    if isinstance(value, tuple):
+        return b"U" + struct.pack("<I", len(value)) + b"".join(_pack_tree(v) for v in value)
+    if isinstance(value, list):
+        return b"L" + struct.pack("<I", len(value)) + b"".join(_pack_tree(v) for v in value)
+    if isinstance(value, Mapping):
+        parts = [b"D", struct.pack("<I", len(value))]
+        for k, v in value.items():
+            parts.append(_pack_tree(k))
+            parts.append(_pack_tree(v))
+        return b"".join(parts)
+    raise TypeError(f"unsupported state-blob value type {type(value).__name__}")
+
+
+def _unpack_tree(payload: bytes, offset: int):
+    tag = payload[offset : offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"B":
+        (v,) = struct.unpack_from("<B", payload, offset)
+        return bool(v), offset + 1
+    if tag == b"I":
+        (v,) = struct.unpack_from("<q", payload, offset)
+        return int(v), offset + 8
+    if tag == b"J":
+        s, offset = _unpack_str(payload, offset)
+        return int(s), offset
+    if tag == b"F":
+        (v,) = struct.unpack_from("<d", payload, offset)
+        return float(v), offset + 8
+    if tag == b"S":
+        (length,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        return payload[offset : offset + length].decode("utf-8"), offset + length
+    if tag == b"Y":
+        (length,) = struct.unpack_from("<Q", payload, offset)
+        offset += 8
+        return payload[offset : offset + length], offset + length
+    if tag == b"A":
+        return _unpack_array(payload, offset)
+    if tag == b"P":
+        (length,) = struct.unpack_from("<Q", payload, offset)
+        offset += 8
+        return decode_packet(payload[offset : offset + length]), offset + length
+    if tag in (b"Z", b"U", b"L"):
+        (count,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _unpack_tree(payload, offset)
+            items.append(item)
+        if tag == b"Z":
+            return frozenset(items), offset
+        return (tuple(items) if tag == b"U" else items), offset
+    if tag == b"D":
+        (count,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        out = {}
+        for _ in range(count):
+            key, offset = _unpack_tree(payload, offset)
+            out[key], offset = _unpack_tree(payload, offset)
+        return out, offset
+    raise ValueError(f"corrupt state blob: unknown tag {tag!r}")
+
+
+def encode_state_blob(tree) -> bytes:
+    """Serialise a state tree (dicts/lists/arrays/scalars/packets) to bytes.
+
+    The persistence format of :mod:`repro.scale`: evicted client state blobs
+    and run checkpoints.  Exact: arrays keep dtype/shape, Python ints of any
+    magnitude (RNG bit-generator words) round-trip losslessly, dict insertion
+    order is preserved, and nested :class:`UpdatePacket` objects travel in
+    their wire encoding.  Sets are stored sorted, so encoding is deterministic.
+    """
+    return _BLOB_MAGIC + _pack_tree(tree)
+
+
+def decode_state_blob(payload: bytes):
+    """Inverse of :func:`encode_state_blob`."""
+    if payload[:4] != _BLOB_MAGIC:
+        raise ValueError("not a repro state blob")
+    tree, offset = _unpack_tree(payload, 4)
+    if offset != len(payload):
+        raise ValueError(f"trailing bytes in state blob ({len(payload) - offset})")
+    return tree

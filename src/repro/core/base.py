@@ -255,6 +255,32 @@ class BaseClient:
         is a no-op.
         """
 
+    # ------------------------------------------------------- persistent state
+    def client_state(self) -> Dict[str, object]:
+        """This client's *persistent* cross-round state as a plain tree.
+
+        Everything a freshly constructed client (same id / dataset / config)
+        needs to continue training bit-identically: the round counter and the
+        RNG bit-generator state (one generator drives batching and DP noise —
+        the loader and mechanism share ``self.rng``, so restoring it here
+        restores theirs too).  Algorithm subclasses extend this with their
+        own vectors (ADMM duals, primals, ρ).  Model parameters are *not*
+        included: every round begins by overwriting them with the dispatched
+        global (:meth:`local_params`), so they carry no information between
+        rounds.
+
+        The returned arrays are live references, not copies — serialise (see
+        :func:`repro.comm.serialization.encode_state_blob`) or copy before
+        mutating.  This is what :class:`repro.scale.ClientStateStore` spills
+        on eviction and what run checkpoints persist per client.
+        """
+        return {"round": self.round, "rng": self.rng.bit_generator.state}
+
+    def load_client_state(self, state: Mapping[str, object]) -> None:
+        """Restore state captured by :meth:`client_state` (inverse, bit-exact)."""
+        self.round = int(state["round"])  # type: ignore[arg-type]
+        self.rng.bit_generator.state = state["rng"]
+
     # ------------------------------------------------------------- primitives
     @property
     def num_samples(self) -> int:
@@ -420,6 +446,20 @@ class BaseServer:
             raise ValueError("no client payloads to aggregate")
         w = self.global_params
         self.finalize_round({cid: self.ingest(cid, payload, w) for cid, payload in payloads.items()})
+
+    # ------------------------------------------------------- persistent state
+    def server_state(self) -> Dict[str, object]:
+        """The server's persistent state as a plain tree (see
+        :meth:`BaseClient.client_state` for the contract).  Subclasses extend
+        with their per-client aggregation state (ADMM primals/duals, ρ)."""
+        return {"round": self.round, "global_params": self.global_params}
+
+    def load_server_state(self, state: Mapping[str, object]) -> None:
+        """Restore state captured by :meth:`server_state` (bit-exact); also
+        rewrites the server model from the restored global vector."""
+        self.round = int(state["round"])  # type: ignore[arg-type]
+        self.global_params = np.array(state["global_params"], copy=True)
+        self.sync_model()
 
     # ------------------------------------------------------------------- API
     def broadcast_payload(self) -> Dict[str, np.ndarray]:

@@ -85,6 +85,17 @@ class ICEADMMClient(BaseClient):
         # Both primal and dual travel to the server (2x IIADMM's payload).
         return {PRIMAL_KEY: upload_z, DUAL_KEY: upload_lam}
 
+    def client_state(self) -> Dict[str, object]:
+        state = super().client_state()
+        state.update(dual=self.dual, primal=self.primal, rho=self._rho)
+        return state
+
+    def load_client_state(self, state: Mapping[str, object]) -> None:
+        super().load_client_state(state)
+        np.copyto(self.dual, np.asarray(state["dual"]))
+        self.primal = np.array(state["primal"], copy=True)
+        self._rho = float(state["rho"])  # type: ignore[arg-type]
+
 
 class ICEADMMServer(BaseServer):
     """ICEADMM server: global update from the transmitted primal and dual pairs."""
@@ -143,3 +154,14 @@ class ICEADMMServer(BaseServer):
     def finalize_round(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
         """Per-upload pairs were stored by :meth:`ingest`; only the global update remains."""
         self.aggregate_global()
+
+    def server_state(self) -> Dict[str, object]:
+        state = super().server_state()
+        state.update(duals=self.duals, primals=self.primals, rho=self._rho)
+        return state
+
+    def load_server_state(self, state: Mapping[str, object]) -> None:
+        super().load_server_state(state)
+        self.duals = {int(c): np.array(v, copy=True) for c, v in state["duals"].items()}  # type: ignore[union-attr]
+        self.primals = {int(c): np.array(v, copy=True) for c, v in state["primals"].items()}  # type: ignore[union-attr]
+        self._rho = float(state["rho"])  # type: ignore[arg-type]

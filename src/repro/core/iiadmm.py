@@ -126,6 +126,30 @@ class IIADMMClient(BaseClient):
         s *= self._sent_rho
         np.add(self._dual_base, s, out=self.dual)
 
+    def client_state(self) -> Dict[str, object]:
+        state = super().client_state()
+        state.update(dual=self.dual, primal=self.primal, rho=self._rho)
+        if self._lossy_wire:
+            # The reconcile stash is live between update() and the exchange
+            # layer's reconcile call — an async checkpoint can land there.
+            state.update(
+                dual_base=self._dual_base,
+                sent_global=self._sent_global,
+                sent_rho=self._sent_rho,
+            )
+        return state
+
+    def load_client_state(self, state: Mapping[str, object]) -> None:
+        super().load_client_state(state)
+        np.copyto(self.dual, np.asarray(state["dual"]))
+        self.primal = np.array(state["primal"], copy=True)
+        self._rho = float(state["rho"])  # type: ignore[arg-type]
+        if self._lossy_wire and "dual_base" in state:
+            np.copyto(self._dual_base, np.asarray(state["dual_base"]))
+            sent = state["sent_global"]
+            self._sent_global = None if sent is None else np.array(sent, copy=True)
+            self._sent_rho = float(state["sent_rho"])  # type: ignore[arg-type]
+
 
 class IIADMMServer(BaseServer):
     """IIADMM server: global update from primals and *locally maintained* duals."""
@@ -191,6 +215,17 @@ class IIADMMServer(BaseServer):
     def finalize_round(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
         """Per-upload state was absorbed by :meth:`ingest`; only line 3 remains."""
         self.aggregate_global()
+
+    def server_state(self) -> Dict[str, object]:
+        state = super().server_state()
+        state.update(duals=self.duals, primals=self.primals, rho=self._rho)
+        return state
+
+    def load_server_state(self, state: Mapping[str, object]) -> None:
+        super().load_server_state(state)
+        self.duals = {int(c): np.array(v, copy=True) for c, v in state["duals"].items()}  # type: ignore[union-attr]
+        self.primals = {int(c): np.array(v, copy=True) for c, v in state["primals"].items()}  # type: ignore[union-attr]
+        self._rho = float(state["rho"])  # type: ignore[arg-type]
 
     def consensus_residual(self) -> float:
         """L2 norm of the primal consensus residual ``max_p ||w − z_p||`` (diagnostic)."""

@@ -121,35 +121,58 @@ class TrainingHistory:
 
 
 class FederatedRunner:
-    """Runs the synchronous federated-learning loop."""
+    """Runs the synchronous federated-learning loop.
+
+    Clients are supplied either *eagerly* (``clients`` — the classic list of
+    live :class:`BaseClient` instances; the default path, bit-for-bit
+    unchanged by the virtualization work) or *virtually* (``client_store`` —
+    a :class:`repro.scale.ClientStateStore`): each round then materialises
+    clients in waves of at most ``live_cap``, runs their updates, encodes and
+    ingests their uploads, and releases them back to the store, so peak
+    client-state memory is proportional to the cap, not the population.
+    With the default :class:`~repro.comm.serial.SerialCommunicator`, the
+    store-backed history is bit-identical to the eager one (contention-aware
+    communicators charge per-``collect`` congestion, which a waved gather
+    necessarily sees differently).
+    """
 
     def __init__(
         self,
         server: BaseServer,
-        clients: Sequence[BaseClient],
+        clients: Optional[Sequence[BaseClient]] = None,
         communicator: Optional[Communicator] = None,
         evaluator: Optional[Evaluator] = None,
         accountant: Optional[PrivacyAccountant] = None,
         max_workers: Optional[int] = None,
+        client_store=None,
     ):
-        if not clients:
+        if (clients is None or not list(clients)) and client_store is None:
             raise ValueError("at least one client is required")
-        if server.num_clients != len(clients):
+        if clients and client_store is not None:
+            raise ValueError("pass either clients or client_store, not both")
+        self._store = client_store
+        self.clients = list(clients) if clients else []
+        num_clients = client_store.num_clients if client_store is not None else len(self.clients)
+        if server.num_clients != num_clients:
             raise ValueError("server.num_clients must match the number of clients")
+        self.num_clients = num_clients
         self.server = server
-        self.clients = list(clients)
         self.communicator = communicator if communicator is not None else SerialCommunicator()
         # One codec pipeline for every exchange.  FLConfig.codec is the single
         # source of truth: clients derive their lossy-wire bookkeeping (e.g.
         # IIADMM's reconcile stash) from the same config, so a mismatched
         # client codec would silently break those invariants — fail fast.
         self.exchange = PacketExchange(server.config.codec)
-        for client in self.clients:
-            if PacketExchange(client.config.codec).spec != self.exchange.spec:
+        store_config = getattr(client_store, "config", None)
+        endpoint_codecs = [c.config.codec for c in self.clients]
+        if store_config is not None:
+            endpoint_codecs.append(store_config.codec)
+        for codec in endpoint_codecs:
+            if PacketExchange(codec).spec != self.exchange.spec:
                 raise ValueError(
-                    f"client {client.client_id} was built with codec "
-                    f"{client.config.codec!r} but the server config uses "
-                    f"{server.config.codec!r}; all endpoints must share one codec stack"
+                    f"an endpoint was built with codec {codec!r} but the server "
+                    f"config uses {server.config.codec!r}; all endpoints must "
+                    f"share one codec stack"
                 )
         self.evaluator = evaluator
         self.accountant = accountant if accountant is not None else PrivacyAccountant()
@@ -169,24 +192,128 @@ class FederatedRunner:
             "evaluate": 0.0,
         }
 
-    def _run_clients(self, received: Dict[int, Dict[str, np.ndarray]]) -> Dict[int, Dict[str, np.ndarray]]:
-        """Run all client updates (thread pool when ``max_workers > 1``)."""
-        if self.max_workers > 1 and len(self.clients) > 1:
+    def _update_clients(
+        self, clients: Sequence[BaseClient], received: Dict[int, Dict[str, np.ndarray]]
+    ) -> Dict[int, Dict[str, np.ndarray]]:
+        """Run the given clients' updates (thread pool when ``max_workers > 1``)."""
+        if self.max_workers > 1 and len(clients) > 1:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
-                    max_workers=min(self.max_workers, len(self.clients)),
+                    max_workers=min(self.max_workers, self.num_clients),
                     thread_name_prefix="fl-client",
                 )
             results = list(
-                self._executor.map(
-                    lambda c: c.update(received[c.client_id]), self.clients
-                )
+                self._executor.map(lambda c: c.update(received[c.client_id]), clients)
             )
-            return {c.client_id: r for c, r in zip(self.clients, results)}
-        return {c.client_id: c.update(received[c.client_id]) for c in self.clients}
+            return {c.client_id: r for c, r in zip(clients, results)}
+        return {c.client_id: c.update(received[c.client_id]) for c in clients}
+
+    def _run_clients(self, received: Dict[int, Dict[str, np.ndarray]]) -> Dict[int, Dict[str, np.ndarray]]:
+        """Run all (eager) client updates."""
+        return self._update_clients(self.clients, received)
+
+    def _run_round_virtual(self, round_idx: int) -> RoundResult:
+        """One round over store-backed clients, in waves of ``live_cap``.
+
+        Phase structure, comm accounting, and numerics match :meth:`run_round`
+        exactly; only the *grouping* differs — broadcast decode, local update,
+        upload encode, and server ingest happen per wave so no more than
+        ``live_cap`` clients are ever materialised.  ADMM-family servers
+        (which absorb per-upload state in ``ingest`` and ignore the finalize
+        payloads) stream; FedAvg-style servers accumulate the decoded uploads
+        (one flat vector per client) until ``finalize_round``.
+        """
+        store = self._store
+        client_ids = list(range(self.num_clients))
+        bytes_before = self.communicator.total_bytes()
+        seconds_before = self.communicator.log.total_seconds()
+        timings: Dict[str, float] = {k: 0.0 for k in self.phase_seconds}
+        tick = time.perf_counter()
+
+        broadcast_payload = self.server.broadcast_payload()
+        packet = self.exchange.encode_dispatch(broadcast_payload)
+        received = self.communicator.broadcast(round_idx, packet, client_ids)
+        if self.exchange.lossy:
+            dispatched_global = self.exchange.open_dispatch(packet)[GLOBAL_KEY]
+        else:
+            dispatched_global = broadcast_payload[GLOBAL_KEY]
+        timings["broadcast"] += time.perf_counter() - tick
+
+        legacy = self.server.uses_legacy_update
+        # Servers exposing aggregate_global() absorb every upload inside
+        # ingest() and ignore finalize_round's payload dict — those stream.
+        streaming = not legacy and hasattr(self.server, "aggregate_global")
+        legacy_gathered: Dict[int, object] = {}
+        decoded_payloads: Dict[int, Dict[str, np.ndarray]] = {}
+        wave = max(1, int(store.live_cap))
+        for start in range(0, len(client_ids), wave):
+            ids = client_ids[start : start + wave]
+            tick = time.perf_counter()
+            clients = [store.checkout(cid) for cid in ids]
+            payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in ids}
+            timings["broadcast"] += time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            uploads = self._update_clients(clients, payloads)
+            for client in clients:
+                if client.config.privacy.enabled:
+                    self.accountant.record(client.client_id, client.config.privacy.epsilon)
+            timings["local_update"] += time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            packets = {}
+            for client in clients:
+                cid = client.client_id
+                packets[cid] = self.exchange.encode_upload(uploads[cid], payloads[cid][GLOBAL_KEY])
+                self.exchange.reconcile(client, uploads[cid], packets[cid], payloads[cid][GLOBAL_KEY])
+            gathered = self.communicator.collect(round_idx, packets)
+            timings["gather"] += time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            if legacy:
+                legacy_gathered.update(gathered)
+            else:
+                for cid in ids:
+                    decoded = self.server.ingest(cid, gathered[cid], dispatched_global)
+                    if not streaming:
+                        decoded_payloads[cid] = decoded
+            timings["aggregate"] += time.perf_counter() - tick
+            for cid in ids:
+                store.release(cid)
+
+        tick = time.perf_counter()
+        if legacy:
+            self.server.update(legacy_gathered)
+        else:
+            self.server.finalize_round(decoded_payloads)
+        timings["aggregate"] += time.perf_counter() - tick
+
+        accuracy = loss = None
+        tick = time.perf_counter()
+        if self.evaluator is not None:
+            self.server.sync_model()
+            accuracy, loss = self.evaluator(self.server.model)
+        timings["evaluate"] += time.perf_counter() - tick
+
+        for phase, seconds in timings.items():
+            self.phase_seconds[phase] += seconds
+
+        result = RoundResult(
+            round=round_idx,
+            test_accuracy=accuracy,
+            test_loss=loss,
+            comm_bytes=self.communicator.total_bytes() - bytes_before,
+            comm_seconds=self.communicator.log.total_seconds() - seconds_before,
+            phase_seconds=timings,
+            participating_clients=tuple(client_ids),
+        )
+        self.history.add(result)
+        return result
 
     def run_round(self, round_idx: int) -> RoundResult:
         """Execute one communication round and return its metrics."""
+        if self._store is not None:
+            return self._run_round_virtual(round_idx)
         client_ids = [c.client_id for c in self.clients]
         bytes_before = self.communicator.total_bytes()
         seconds_before = self.communicator.log.total_seconds()
@@ -283,10 +410,16 @@ class FederatedRunner:
         self.close()
 
     def run(self, num_rounds: Optional[int] = None, callback: Optional[Callable[[RoundResult], None]] = None) -> TrainingHistory:
-        """Run ``num_rounds`` rounds (default: the server config's ``num_rounds``)."""
+        """Run ``num_rounds`` further rounds (default: the config's ``num_rounds``).
+
+        Round indices continue from the recorded history, so a second ``run``
+        call — or a run resumed from a :class:`repro.scale.RunCheckpoint` —
+        numbers its rounds exactly as one uninterrupted run would.
+        """
         total = num_rounds if num_rounds is not None else self.server.config.num_rounds
+        start = len(self.history)
         try:
-            for t in range(total):
+            for t in range(start, start + total):
                 result = self.run_round(t)
                 if callback is not None:
                     callback(result)

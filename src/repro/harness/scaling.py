@@ -1,4 +1,6 @@
-"""Figure 3 — strong scaling of PPFL local updates on a Summit-like cluster.
+"""Scaling harnesses: Figure 3 strong scaling + virtual-population sweeps.
+
+Figure 3 — strong scaling of PPFL local updates on a Summit-like cluster.
 
 Section IV-C: 203 FEMNIST clients are divided over {5, 11, 24, 50, 101, 203}
 MPI processes (one GPU each, plus one server process); the paper reports
@@ -11,6 +13,13 @@ MPI processes (one GPU each, plus one server process); the paper reports
 The reproduction drives the cluster/device simulator plus the MPI collective
 cost model with the same client population (203 non-IID FEMNIST-like shards)
 and the CNN model size, and reports the same two series.
+
+Population sweep — :func:`run_population_sweep` measures the client
+virtualization layer of :mod:`repro.scale` (ISSUE 4): wall-clock seconds per
+round, peak live clients, spilled-store bytes, clients/GB, and process peak
+RSS for growing populations (default up to 10,000 virtual clients) under a
+fixed ``live_cap``.  This is the "memory proportional to the cap, not the
+population" claim, measured.
 """
 
 from __future__ import annotations
@@ -33,7 +42,17 @@ from ..simulator import (
 )
 from .reporting import format_series, format_table
 
-__all__ = ["ScalingSettings", "ScalingPoint", "ScalingResult", "run_scaling"]
+__all__ = [
+    "ScalingSettings",
+    "ScalingPoint",
+    "ScalingResult",
+    "run_scaling",
+    "PopulationSweepSettings",
+    "PopulationPoint",
+    "PopulationSweepResult",
+    "make_population",
+    "run_population_sweep",
+]
 
 PAPER_PROCESS_COUNTS = (5, 11, 24, 50, 101, 203)
 
@@ -181,6 +200,147 @@ def run_scaling(settings: Optional[ScalingSettings] = None, channel: Optional[MP
                 gather_percentage=gather_pct,
                 speedup=baseline_time / avg_round,
                 ideal_speedup=n_proc / baseline_procs,
+            )
+        )
+    return result
+
+
+# -------------------------------------------------- virtual-population sweep
+@dataclass(frozen=True)
+class PopulationSweepSettings:
+    """Settings of the client-virtualization scaling sweep (ISSUE 4).
+
+    The per-client workload is deliberately tiny (a few samples over a small
+    MLP) so the sweep measures the *virtualization machinery* — materialise /
+    evict / blob costs and the memory bound — rather than arithmetic.
+    """
+
+    populations: Tuple[int, ...] = (100, 1_000, 10_000)
+    live_cap: int = 64
+    algorithm: str = "fedavg"
+    num_rounds: int = 1
+    local_steps: int = 1
+    samples_per_client: int = 4
+    input_dim: int = 16
+    num_classes: int = 4
+    hidden: int = 8
+    compress: Optional[str] = None  # None or "zlib" for the spilled blobs
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class PopulationPoint:
+    """Measurements for one population size."""
+
+    num_clients: int
+    live_cap: int
+    round_seconds: float
+    peak_live: int
+    materializations: int
+    evictions: int
+    #: bytes of all spilled state blobs once the whole population is evicted
+    store_nbytes: int
+    #: spilled clients that fit in one GB of blob storage
+    clients_per_gb: float
+    #: mean microseconds to materialise / evict one client
+    materialize_us: float
+    evict_us: float
+    #: process peak RSS in MB after the run (ru_maxrss — monotone across the
+    #: sweep, so only the largest population's value is load-bearing)
+    peak_rss_mb: float
+
+
+@dataclass
+class PopulationSweepResult:
+    """All population points plus a render helper."""
+
+    points: List[PopulationPoint] = field(default_factory=list)
+
+    def point(self, num_clients: int) -> PopulationPoint:
+        for p in self.points:
+            if p.num_clients == num_clients:
+                return p
+        raise KeyError(num_clients)
+
+    def render(self) -> str:
+        rows = [
+            [p.num_clients, p.live_cap, round(p.round_seconds, 3), p.peak_live,
+             p.evictions, p.store_nbytes, int(p.clients_per_gb),
+             round(p.materialize_us, 1), round(p.evict_us, 1), round(p.peak_rss_mb, 1)]
+            for p in self.points
+        ]
+        return format_table(
+            ["clients", "cap", "round (s)", "peak live", "evictions", "store B",
+             "clients/GB", "mat µs", "evict µs", "RSS MB"],
+            rows,
+            title="Virtual-population scaling (memory bounded by live_cap)",
+        )
+
+
+def make_population(settings: PopulationSweepSettings, num_clients: int):
+    """Tiny per-client shards + a seeded model factory for the sweep."""
+    from ..core.models import MLP
+    from ..data import TensorDataset
+
+    def make_ds(cid: int):
+        r = np.random.default_rng(settings.seed * 1_000_003 + cid)
+        x = r.standard_normal((settings.samples_per_client, settings.input_dim))
+        y = r.integers(0, settings.num_classes, size=settings.samples_per_client)
+        return TensorDataset(x, y)
+
+    datasets = [make_ds(c) for c in range(num_clients)]
+    model_fn = lambda: MLP(
+        settings.input_dim,
+        settings.num_classes,
+        hidden_sizes=(settings.hidden,),
+        rng=np.random.default_rng(settings.seed + 42),
+    )
+    return datasets, model_fn
+
+
+def run_population_sweep(settings: Optional[PopulationSweepSettings] = None) -> PopulationSweepResult:
+    """Run the virtual-population wall-clock/RSS sweep and return all points."""
+    import resource
+    import time
+
+    from ..core.config import FLConfig
+    from ..scale import build_virtual_federation
+
+    settings = settings if settings is not None else PopulationSweepSettings()
+    result = PopulationSweepResult()
+    for population in settings.populations:
+        datasets, model_fn = make_population(settings, population)
+        config = FLConfig(
+            algorithm=settings.algorithm,
+            num_rounds=settings.num_rounds,
+            local_steps=settings.local_steps,
+            batch_size=settings.samples_per_client,
+            seed=settings.seed,
+        )
+        runner = build_virtual_federation(
+            config, model_fn, datasets, live_cap=settings.live_cap, compress=settings.compress
+        )
+        start = time.perf_counter()
+        runner.run(settings.num_rounds)
+        elapsed = (time.perf_counter() - start) / settings.num_rounds
+        store = runner._store
+        store.flush()  # spill everyone so store_nbytes covers the population
+        stats = store.stats
+        ops = max(1, stats.materializations)
+        evs = max(1, stats.evictions)
+        result.points.append(
+            PopulationPoint(
+                num_clients=population,
+                live_cap=settings.live_cap,
+                round_seconds=elapsed,
+                peak_live=stats.peak_live,
+                materializations=stats.materializations,
+                evictions=stats.evictions,
+                store_nbytes=store.store_nbytes,
+                clients_per_gb=population / max(store.store_nbytes, 1) * 1e9,
+                materialize_us=stats.materialize_us / ops,
+                evict_us=stats.evict_us / evs,
+                peak_rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
             )
         )
     return result

@@ -49,6 +49,17 @@ class PrivacyAccountant:
             return 0.0
         return max(self.epsilon_spent(cid) for cid in self._spend)
 
+    # ------------------------------------------------------- persistent state
+    def accountant_state(self) -> Dict[int, list]:
+        """Per-client spend ledger as a plain tree (for run checkpoints)."""
+        return {cid: list(spends) for cid, spends in self._spend.items()}
+
+    def load_accountant_state(self, state: Dict[int, list]) -> None:
+        """Restore a ledger captured by :meth:`accountant_state`."""
+        self._spend = defaultdict(list)
+        for cid, spends in state.items():
+            self._spend[int(cid)] = [(float(e), float(d)) for e, d in spends]
+
     def summary(self) -> Dict[int, Dict[str, float]]:
         """Per-client accounting summary."""
         return {

@@ -1,0 +1,25 @@
+"""Client virtualization and deterministic checkpoint/resume (see ISSUE 4).
+
+Population size becomes a *virtual* quantity: a
+:class:`~repro.scale.store.ClientStateStore` keeps each client's persistent
+state as a compact serialized blob and materialises at most ``live_cap`` full
+:class:`~repro.core.base.BaseClient` instances at a time, so a 10,000-client
+simulation runs in client-state memory proportional to the cap, not the
+population.  :class:`~repro.scale.checkpoint.RunCheckpoint` snapshots a
+running federation — sync or async — for bit-identical resume.
+"""
+
+from .checkpoint import RunCheckpoint, load_checkpoint, save_checkpoint
+from .store import ClientStateStore, StoreStats
+from .virtual import build_virtual_async_federation, build_virtual_federation, make_client_factory
+
+__all__ = [
+    "ClientStateStore",
+    "StoreStats",
+    "RunCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "make_client_factory",
+    "build_virtual_federation",
+    "build_virtual_async_federation",
+]

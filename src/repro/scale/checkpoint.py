@@ -1,0 +1,258 @@
+"""Deterministic checkpoint/resume for federated runs.
+
+:class:`RunCheckpoint` snapshots *everything* a run's future depends on —
+server state (global vector, ADMM primal/dual replicas, ρ), every client's
+persistent state (via the :class:`~repro.scale.store.ClientStateStore`
+snapshot for virtual populations, or per-client
+:meth:`~repro.core.base.BaseClient.client_state` trees for eager ones), the
+privacy-accountant ledger, the recorded history, and — for event-driven runs
+— the sampler RNG, the strategy's buffered uploads, the
+:class:`~repro.asyncfl.events.EventLoop` clock/sequence/pending events, and
+the runner's in-flight bookkeeping.  A run killed at round *k* (synchronous)
+or after an arbitrary number of timeline events (asynchronous) and resumed
+from its checkpoint produces a history **bitwise identical** to the
+uninterrupted run (``tests/test_checkpoint.py``).
+
+Two invariants make the asynchronous case exact:
+
+* before capture the runner is :meth:`~repro.asyncfl.runner.AsyncRunner.
+  quiesce`\\ d — every pending ``compute_done`` event's local update is forced
+  to completion and its result attached to the event, which is bit-identical
+  to running it at pop time because client updates depend only on the
+  dispatched payload snapshot and the client's own state (the eager
+  thread-pool argument of PR 2);
+* pending events keep their original ``(time, seq)`` pairs, so tie-breaking
+  after resume is exactly the uninterrupted order.
+
+Wall-clock ``phase_seconds`` are restored for reporting continuity but are
+real-time measurements and naturally differ between runs; every *simulated*
+quantity (virtual clock, comm bytes/seconds, round metrics) is exact.
+
+The on-disk format is one :func:`repro.comm.serialization.encode_state_blob`
+tree — the same machinery the store's eviction blobs use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..comm.serialization import decode_state_blob, encode_state_blob
+from ..core.runner import FederatedRunner, RoundResult, TrainingHistory
+
+__all__ = ["RunCheckpoint", "save_checkpoint", "load_checkpoint"]
+
+_FORMAT = 1
+
+
+def _history_state(history: TrainingHistory) -> list:
+    names = [f.name for f in fields(RoundResult)]
+    return [{name: getattr(r, name) for name in names} for r in history.rounds]
+
+
+def _load_history(state) -> TrainingHistory:
+    history = TrainingHistory()
+    for row in state:
+        row = dict(row)
+        if row.get("participating_clients") is not None:
+            row["participating_clients"] = tuple(int(c) for c in row["participating_clients"])
+        history.add(RoundResult(**row))
+    return history
+
+
+def _clients_state(runner) -> Dict[str, object]:
+    store = getattr(runner, "_store", None)
+    if store is not None:
+        return {"mode": "store", "snapshot": store.snapshot()}
+    return {
+        "mode": "eager",
+        "states": {c.client_id: c.client_state() for c in runner.clients},
+    }
+
+
+def _restore_clients(runner, state) -> None:
+    store = getattr(runner, "_store", None)
+    if state["mode"] == "store":
+        if store is None:
+            raise ValueError("checkpoint holds a client store but the runner is eager")
+        store.restore(state["snapshot"])
+        return
+    if store is not None:
+        raise ValueError("checkpoint holds eager clients but the runner is store-backed")
+    by_id = {c.client_id: c for c in runner.clients}
+    for cid, client_state in state["states"].items():
+        by_id[int(cid)].load_client_state(client_state)
+
+
+class RunCheckpoint:
+    """A captured run state; see the module docstring for what it contains.
+
+    The canonical form is the serialized blob: :meth:`capture` encodes the
+    runner's state *immediately*, so a checkpoint is frozen at its capture
+    point even while the captured runner keeps running and mutating the very
+    dicts/arrays the snapshot walked.  :attr:`payload` is a decoded (fresh,
+    owned) view for inspection and restore.
+    """
+
+    def __init__(self, raw: bytes):
+        self._raw = bytes(raw)
+        self._payload: Optional[Dict[str, object]] = None
+
+    @property
+    def payload(self) -> Dict[str, object]:
+        """The decoded checkpoint tree (arrays owned by this checkpoint)."""
+        if self._payload is None:
+            self._payload = decode_state_blob(self._raw)
+        return self._payload
+
+    # ----------------------------------------------------------------- capture
+    @classmethod
+    def capture(cls, runner) -> "RunCheckpoint":
+        """Snapshot a :class:`FederatedRunner` or ``AsyncRunner`` in place.
+
+        Safe points: between rounds for the synchronous runner; anywhere the
+        event loop is not mid-``pop`` for the asynchronous one (e.g. after a
+        ``run(..., max_events=N)`` return).  Capturing quiesces pending
+        asynchronous local updates (see module docstring) but leaves the
+        runner fully consistent — it may keep running afterwards (the
+        snapshot is serialized at capture time, so later mutation of the
+        runner cannot leak into it).
+        """
+        from ..asyncfl.runner import AsyncRunner  # local import: optional dep direction
+
+        config = runner.server.config
+        payload: Dict[str, object] = {
+            "format": _FORMAT,
+            "kind": "async" if isinstance(runner, AsyncRunner) else "sync",
+            "meta": {
+                "algorithm": config.algorithm,
+                "codec": runner.exchange.spec,
+                "dtype": config.dtype,
+                "num_clients": runner.server.num_clients,
+            },
+            "server": runner.server.server_state(),
+            "history": _history_state(runner.history),
+            "accountant": runner.accountant.accountant_state(),
+            "phase_seconds": dict(runner.phase_seconds),
+        }
+        if isinstance(runner, AsyncRunner):
+            runner.quiesce()
+            payload["async"] = {
+                "async_server": runner.async_server.server_state(),
+                "strategy": runner.strategy.strategy_state(),
+                "sampler": runner.sampler.sampler_state(),
+                "loop": {
+                    "now": runner._clock.now,
+                    "seq": runner._clock.sequence,
+                    "events": [
+                        (
+                            ev.time,
+                            ev.seq,
+                            ev.kind,
+                            {k: v for k, v in ev.data.items() if k != "future"},
+                        )
+                        for ev in runner._clock.snapshot_events()
+                    ],
+                },
+                "in_flight": sorted(runner._in_flight),
+                "pending_slots": list(runner._pending_slots),
+                "need_cohort": runner._need_cohort,
+                "primed": runner._primed,
+                "events_processed": runner.events_processed,
+                "comm_bytes": runner._comm_bytes,
+                "comm_bytes_last": runner._comm_bytes_last,
+                "sim_comm_seconds": runner._sim_comm_seconds,
+                "sim_comm_seconds_last": runner._sim_comm_seconds_last,
+                "round_timings": dict(runner._round_timings),
+            }
+        # Clients last: the async quiesce above may advance client state.
+        payload["clients"] = _clients_state(runner)
+        return cls(encode_state_blob(payload))
+
+    # ----------------------------------------------------------------- restore
+    def restore(self, runner):
+        """Load this checkpoint into a freshly built, equivalent runner.
+
+        The runner must have been constructed with the same topology as the
+        captured one (algorithm, codec stack, population size, strategy /
+        sampler / device / link configuration); mismatches in the validated
+        subset raise ``ValueError``.  Returns the runner.
+        """
+        from ..asyncfl.runner import AsyncRunner
+
+        kind = "async" if isinstance(runner, AsyncRunner) else "sync"
+        if self.payload.get("format") != _FORMAT:
+            raise ValueError(f"unsupported checkpoint format {self.payload.get('format')!r}")
+        if self.payload["kind"] != kind:
+            raise ValueError(f"checkpoint is {self.payload['kind']!r} but the runner is {kind!r}")
+        meta = self.payload["meta"]
+        config = runner.server.config
+        observed = {
+            "algorithm": config.algorithm,
+            "codec": runner.exchange.spec,
+            "dtype": config.dtype,
+            "num_clients": runner.server.num_clients,
+        }
+        if dict(meta) != observed:
+            raise ValueError(f"checkpoint meta {dict(meta)} does not match runner {observed}")
+
+        runner.server.load_server_state(self.payload["server"])
+        _restore_clients(runner, self.payload["clients"])
+        runner.history = _load_history(self.payload["history"])
+        runner.accountant.load_accountant_state(self.payload["accountant"])
+        runner.phase_seconds = {k: float(v) for k, v in self.payload["phase_seconds"].items()}
+
+        if kind == "async":
+            state = self.payload["async"]
+            runner.async_server.load_server_state(state["async_server"])
+            runner.strategy.load_strategy_state(state["strategy"])
+            runner.sampler.load_sampler_state(state["sampler"])
+            loop = state["loop"]
+            runner._clock.load(loop["now"], loop["seq"], loop["events"])
+            runner._in_flight = set(int(c) for c in state["in_flight"])
+            runner._pending_slots = [int(c) for c in state["pending_slots"]]
+            runner._need_cohort = bool(state["need_cohort"])
+            runner._primed = bool(state["primed"])
+            runner.events_processed = int(state["events_processed"])
+            runner._comm_bytes = int(state["comm_bytes"])
+            runner._comm_bytes_last = int(state["comm_bytes_last"])
+            runner._sim_comm_seconds = float(state["sim_comm_seconds"])
+            runner._sim_comm_seconds_last = float(state["sim_comm_seconds_last"])
+            runner._round_timings = {k: float(v) for k, v in state["round_timings"].items()}
+            runner._dispatch_cache = None
+            runner._active = {}
+        return runner
+
+    # -------------------------------------------------------------------- I/O
+    def to_bytes(self) -> bytes:
+        return self._raw
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "RunCheckpoint":
+        return cls(raw)
+
+    @classmethod
+    def save(cls, runner, path: Union[str, Path, None] = None) -> "RunCheckpoint":
+        """Capture ``runner`` (and write the blob to ``path`` when given)."""
+        ckpt = cls.capture(runner)
+        if path is not None:
+            Path(path).write_bytes(ckpt.to_bytes())
+        return ckpt
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunCheckpoint":
+        """Read a checkpoint blob written by :meth:`save`."""
+        return cls.from_bytes(Path(path).read_bytes())
+
+
+def save_checkpoint(runner, path: Union[str, Path]) -> RunCheckpoint:
+    """Convenience wrapper: ``RunCheckpoint.save(runner, path)``."""
+    return RunCheckpoint.save(runner, path)
+
+
+def load_checkpoint(path: Union[str, Path], runner) -> "FederatedRunner":
+    """Convenience wrapper: load ``path`` and restore it into ``runner``."""
+    return RunCheckpoint.load(path).restore(runner)

@@ -1,0 +1,150 @@
+"""Builders for store-backed (virtual-population) federations.
+
+These mirror :func:`repro.core.runner.build_federation` and
+:func:`repro.asyncfl.runner.build_async_federation` exactly — same registry
+lookup, same initial-state synchronisation (every client starts from the
+server model's parameters, the shared ``z^1`` of Algorithm 1), same
+``seed + 1000 + client_id`` per-client RNG streams — but instead of
+materialising one :class:`~repro.core.base.BaseClient` per population member
+they hand the runner a :class:`~repro.scale.store.ClientStateStore` that
+materialises at most ``live_cap`` clients at a time.
+
+With the default bit-exact store settings (``state_codec="identity"``) and
+the default :class:`~repro.comm.serial.SerialCommunicator`, a virtual run's
+:class:`~repro.core.runner.TrainingHistory` is bit-for-bit the eager run's
+(regression-tested in ``tests/test_scale.py``); only the peak memory differs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..comm import Communicator
+from ..core.base import BaseClient, BaseServer
+from ..core.config import FLConfig
+from ..core.metrics import Evaluator
+from ..core.registry import get_algorithm
+from ..core.runner import FederatedRunner
+from ..data import Dataset
+from .store import ClientStateStore
+
+__all__ = ["make_client_factory", "build_virtual_federation", "build_virtual_async_federation"]
+
+
+def make_client_factory(
+    config: FLConfig,
+    model_fn: Callable[[], nn.Module],
+    client_datasets: Sequence[Dataset],
+    initial_state,
+    seed: Optional[int] = None,
+) -> Callable[[int], BaseClient]:
+    """``factory(cid)`` building client ``cid`` exactly as ``build_endpoints``
+    would have: a fresh ``model_fn()`` synchronised to ``initial_state`` and
+    the canonical ``seed + 1000 + cid`` RNG stream.  ``model_fn`` must be
+    deterministic per call (the repo's builders seed internally), since the
+    store invokes it lazily in checkout order rather than id order."""
+    seed = config.seed if seed is None else seed
+    _, client_cls = get_algorithm(config.algorithm)
+
+    def factory(cid: int) -> BaseClient:
+        model = model_fn()
+        model.load_state_dict(initial_state)
+        return client_cls(
+            cid,
+            model,
+            client_datasets[cid],
+            config,
+            rng=np.random.default_rng(seed + 1000 + cid),
+        )
+
+    return factory
+
+
+def _build_server_and_store(
+    config: FLConfig,
+    model_fn: Callable[[], nn.Module],
+    client_datasets: Sequence[Dataset],
+    live_cap: int,
+    seed: Optional[int],
+    state_codec: str,
+    compress: Optional[str],
+):
+    server_cls, _ = get_algorithm(config.algorithm)
+    server_model = model_fn()
+    initial_state = server_model.state_dict()
+    sample_counts: List[int] = [len(d) for d in client_datasets]
+    server: BaseServer = server_cls(
+        server_model, config, num_clients=len(client_datasets), client_sample_counts=sample_counts
+    )
+    factory = make_client_factory(config, model_fn, client_datasets, initial_state, seed=seed)
+    store = ClientStateStore(
+        factory,
+        num_clients=len(client_datasets),
+        live_cap=live_cap,
+        state_codec=state_codec,
+        compress=compress,
+        config=config,
+    )
+    return server, store
+
+
+def build_virtual_federation(
+    config: FLConfig,
+    model_fn: Callable[[], nn.Module],
+    client_datasets: Sequence[Dataset],
+    live_cap: int,
+    test_dataset: Optional[Dataset] = None,
+    communicator: Optional[Communicator] = None,
+    seed: Optional[int] = None,
+    state_codec: str = "identity",
+    compress: Optional[str] = None,
+) -> FederatedRunner:
+    """A synchronous :class:`FederatedRunner` over a virtual population.
+
+    ``live_cap`` bounds simultaneously materialised clients; each round runs
+    the population through the store in waves of that size.
+    """
+    server, store = _build_server_and_store(
+        config, model_fn, client_datasets, live_cap, seed, state_codec, compress
+    )
+    evaluator = Evaluator(test_dataset) if test_dataset is not None else None
+    return FederatedRunner(
+        server, communicator=communicator, evaluator=evaluator, client_store=store
+    )
+
+
+def build_virtual_async_federation(
+    config: FLConfig,
+    model_fn: Callable[[], nn.Module],
+    client_datasets: Sequence[Dataset],
+    live_cap: int,
+    test_dataset: Optional[Dataset] = None,
+    seed: Optional[int] = None,
+    state_codec: str = "identity",
+    compress: Optional[str] = None,
+    **runner_kwargs,
+) -> "AsyncRunner":
+    """An event-driven :class:`~repro.asyncfl.runner.AsyncRunner` over a
+    virtual population: clients materialise on dispatch (when the sampler
+    picks them), stay pinned while in flight, and spill back to the store
+    after their upload is encoded.  ``runner_kwargs`` pass through to the
+    :class:`AsyncRunner` constructor (strategy, sampler, devices, links,
+    concurrency, cost model...); ``concurrency`` defaults to ``live_cap``.
+    """
+    from ..asyncfl.runner import AsyncRunner
+    from ..asyncfl.sampling import UniformSampler
+
+    server, store = _build_server_and_store(
+        config, model_fn, client_datasets, live_cap, seed, state_codec, compress
+    )
+    if runner_kwargs.get("sampler") is None and config.client_fraction < 1.0:
+        runner_kwargs["sampler"] = UniformSampler(
+            len(client_datasets),
+            fraction=config.client_fraction,
+            seed=config.seed if seed is None else seed,
+        )
+    evaluator = Evaluator(test_dataset) if test_dataset is not None else None
+    return AsyncRunner(server, evaluator=evaluator, client_store=store, **runner_kwargs)

@@ -1,0 +1,16 @@
+"""Shared test configuration: the golden-trace update flag.
+
+``pytest --update-golden`` regenerates the checked-in golden fixtures (see
+``tests/test_golden_trace.py``) from the current code instead of comparing
+against them.  Use it only after an *intentional* numerics change, and review
+the resulting diff of ``tests/golden/`` like any other code change.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ fixtures from the current implementation",
+    )

@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) for the wire-codec stack.
+
+``tests/test_codecs.py`` checks hand-picked cases; these properties sweep
+random tensors, layouts, and codec spec strings:
+
+* round-trip error bounds per stage (identity exact, fp16 half-precision
+  relative error, int8 within half a quantization step, delta within float
+  cancellation error) and for random composed stacks;
+* ``payload_nbytes(packet) == packet.nbytes`` and exact wire-format
+  round-tripping through ``encode_packet``/``decode_packet``;
+* real-0 exactness for int8 (symmetric quantization keeps 0 at integer 0);
+* decode∘encode idempotence: re-encoding an already decoded tensor decodes
+  to the identical value for the stages where that is exact (identity, fp16,
+  topk) and within one quantization step for int8.
+
+``hypothesis`` is pinned in ``requirements-test.txt``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.codecs import parse_codec, resolve_codec
+from repro.comm.serialization import decode_packet, encode_packet, payload_nbytes
+
+# fp16 overflow (values beyond ±65504 cast to inf) is intentional coverage:
+# the round-trip property treats those stacks as unbounded, and downstream
+# stages then quantize ±inf — both numpy warnings are expected noise here,
+# not a defect signal.
+pytestmark = [
+    pytest.mark.filterwarnings("ignore:overflow encountered:RuntimeWarning"),
+    pytest.mark.filterwarnings("ignore:invalid value encountered:RuntimeWarning"),
+]
+
+# ----------------------------------------------------------------- strategies
+FLOAT_DTYPES = (np.float32, np.float64)
+
+
+@st.composite
+def tensors(draw, max_entries=64):
+    """A random float tensor with a random layout (0-3 dims), finite values."""
+    dtype = draw(st.sampled_from(FLOAT_DTYPES))
+    ndim = draw(st.integers(min_value=0, max_value=3))
+    shape = tuple(draw(st.integers(min_value=1, max_value=4)) for _ in range(ndim))
+    n = int(np.prod(shape)) if shape else 1
+    values = draw(
+        st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+                width=32,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    arr = np.asarray(values, dtype=dtype)
+    return arr.reshape(shape) if shape else arr.reshape(())
+
+
+@st.composite
+def states(draw):
+    """A random payload dict of 1-3 named tensors."""
+    count = draw(st.integers(min_value=1, max_value=3))
+    return {f"tensor_{i}": draw(tensors()) for i in range(count)}
+
+
+@st.composite
+def codec_specs(draw):
+    """A random ``|``-separated codec spec string (1-3 stages)."""
+    stages = draw(
+        st.lists(
+            st.sampled_from(["identity", "fp16", "int8", "delta", "topk"]),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    parts = []
+    for name in stages:
+        if name == "topk":
+            fraction = draw(st.sampled_from([0.1, 0.25, 0.5, 1.0]))
+            parts.append(f"topk:{fraction:g}")
+        else:
+            parts.append(name)
+    return "|".join(parts)
+
+
+def _stack_error_bound(spec: str, arr: np.ndarray) -> float:
+    """A sound per-stack absolute reconstruction error bound for ``arr``.
+
+    Stages compose left-to-right; each lossy stage's bound is taken on the
+    worst-case magnitude of its input (bounded by ``max|arr|``: every stage
+    here is non-expanding up to its own error).  ``topk`` zeroes dropped
+    entries entirely, so any spec containing it gets an ``amax`` bound.
+    """
+    amax = float(np.max(np.abs(arr))) if arr.size else 0.0
+    if amax == 0.0:
+        return 0.0
+    bound = 0.0
+    topk_drops = False
+    for part in spec.split("|"):
+        name = part.split(":")[0]
+        if name == "fp16" and amax > float(np.finfo(np.float16).max):
+            return math.inf  # fp16 overflows to inf outside its range
+        if name == "topk" and not part.endswith(":1"):
+            topk_drops = True  # dropped entries decode to 0
+        elif name == "fp16":
+            # relative half-precision step, plus an absolute floor for the
+            # subnormal range (values under ~6.1e-5 round in steps of ~6e-8,
+            # and anything below the smallest subnormal flushes to 0)
+            bound += amax * 2.0**-10 + 6e-8
+        elif name == "int8":
+            bound += amax / 254.0 * 1.01  # scale/2 = amax/254, plus fp slop
+        elif name == "delta":
+            bound += amax * 1e-6  # (x - ref) + ref cancellation error
+    if topk_drops:
+        return amax * 1.001 + bound
+    return bound
+
+
+# ------------------------------------------------------------------ properties
+@settings(max_examples=60, deadline=None)
+@given(state=states(), spec=codec_specs())
+def test_round_trip_error_bounds(state, spec):
+    """decode(encode(x)) stays within the composed stack's error bound."""
+    pipeline = resolve_codec(spec)
+    reference = {k: np.zeros_like(v) for k, v in state.items()}
+    packet = pipeline.encode_state(state, reference=reference)
+    decoded = pipeline.decode_state(packet, reference=reference)
+    for key, original in state.items():
+        out = decoded[key]
+        assert out.shape == original.shape
+        assert out.dtype == original.dtype
+        bound = _stack_error_bound(spec, original)
+        if math.isinf(bound):
+            continue  # fp16 overflow: value bound is meaningless
+        assert np.all(np.abs(out - original) <= bound + 1e-12), (
+            f"spec {spec!r}: max error {np.max(np.abs(out - original))} "
+            f"exceeds bound {bound}"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(state=states(), spec=codec_specs())
+def test_packet_nbytes_equals_encoded_size(state, spec):
+    """payload_nbytes == packet.nbytes == the sum of encoded data + metadata."""
+    packet = resolve_codec(spec).encode_state(state)
+    assert payload_nbytes(packet) == packet.nbytes
+    expected = sum(entry.nbytes for entry in packet.entries.values())
+    assert packet.nbytes == expected
+    # the encoded arrays themselves never exceed the claimed wire size
+    data_bytes = sum(entry.data.nbytes for entry in packet.entries.values())
+    assert data_bytes <= packet.nbytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(state=states(), spec=codec_specs())
+def test_wire_format_round_trip(state, spec):
+    """encode_packet/decode_packet reproduce the packet bit-for-bit."""
+    packet = resolve_codec(spec).encode_state(state)
+    recovered = decode_packet(encode_packet(packet))
+    assert recovered.codec == packet.codec
+    assert list(recovered.entries) == list(packet.entries)
+    assert recovered.nbytes == packet.nbytes
+    for key, entry in packet.entries.items():
+        other = recovered.entries[key]
+        assert other.shape == entry.shape and other.dtype == entry.dtype
+        np.testing.assert_array_equal(other.data, entry.data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(arr=tensors())
+def test_int8_real_zero_is_exact(arr):
+    """Entries that are exactly 0 decode to exactly 0 (symmetric quantization)."""
+    flat = arr.reshape(-1).copy()
+    if flat.size:
+        flat[:: max(1, flat.size // 3)] = 0.0  # plant exact zeros
+    pipeline = resolve_codec("int8")
+    decoded = pipeline.decode_state(pipeline.encode_state({"x": flat}))["x"]
+    assert np.all(decoded[flat == 0.0] == 0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(state=states(), spec=st.sampled_from(["identity", "fp16", "topk:0.25", "fp16|topk:0.5"]))
+def test_decode_encode_idempotent_exact(state, spec):
+    """For idempotent stages, re-encoding a decoded value is a fixed point."""
+    pipeline = resolve_codec(spec)
+    once = pipeline.decode_state(pipeline.encode_state(state))
+    twice = pipeline.decode_state(pipeline.encode_state(once))
+    for key in state:
+        np.testing.assert_array_equal(once[key], twice[key])
+
+
+@settings(max_examples=60, deadline=None)
+@given(arr=tensors())
+def test_decode_encode_idempotent_int8_within_one_step(arr):
+    """int8 re-quantization moves a decoded value at most one quantization step."""
+    pipeline = resolve_codec("int8")
+    once = pipeline.decode_state(pipeline.encode_state({"x": arr}))["x"]
+    twice = pipeline.decode_state(pipeline.encode_state({"x": once}))["x"]
+    amax = float(np.max(np.abs(once))) if once.size else 0.0
+    step = amax / 127.0 if amax > 0 else 0.0
+    assert np.all(np.abs(twice - once) <= step + 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=codec_specs())
+def test_spec_parse_canonical_round_trip(spec):
+    """parse(spec).spec is canonical: reparsing it is a fixed point."""
+    pipeline = parse_codec(spec)
+    assert parse_codec(pipeline.spec).spec == pipeline.spec
+    assert resolve_codec(pipeline.spec).spec == pipeline.spec
+
+
+def test_hypothesis_is_pinned():
+    """The test-requirements pin matches the installed hypothesis."""
+    import hypothesis
+
+    pins = {}
+    import pathlib
+
+    for line in pathlib.Path(__file__).parent.parent.joinpath("requirements-test.txt").read_text().splitlines():
+        line = line.split("#")[0].strip()
+        if "==" in line:
+            name, version = line.split("==")
+            pins[name.strip()] = version.strip()
+    assert pins.get("hypothesis") == hypothesis.__version__

@@ -1,0 +1,150 @@
+"""Golden-trace regression fixture for the Fig. 2 training numerics.
+
+Three fast-moving performance PRs (flat engine, async federation, wire
+codecs) all promise "bit-identical" behaviour, but until now nothing pinned
+the *absolute* numerics across sessions — a silent drift in any layer
+(kernels, loader, codec accounting, aggregation order) would only surface as
+a vague accuracy change.  This test freezes a tiny seeded Fig. 2 workload's
+per-round **loss / accuracy / comm-bytes** for all three algorithms into
+``tests/golden/fig2_trace.json`` and fails with a readable per-round diff on
+any drift.
+
+Regenerate intentionally with ``pytest tests/test_golden_trace.py
+--update-golden`` and review the JSON diff like code.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import FLConfig, build_federation, build_model
+from repro.data import load_dataset
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fig2_trace.json"
+
+#: tiny seeded Fig. 2 workload: small enough for tier-1, big enough that all
+#: three algorithms actually learn (accuracies move every round)
+WORKLOAD = {
+    "dataset": "mnist",
+    "model": "mlp",
+    "num_clients": 3,
+    "train_size": 96,
+    "test_size": 48,
+    "num_rounds": 3,
+    "local_steps": 2,
+    "batch_size": 32,
+    "lr": 0.03,
+    "rho": 10.0,
+    "zeta": 10.0,
+    "seed": 0,
+    "dtype": "float64",
+    "codec": "identity",
+}
+ALGORITHMS = ("fedavg", "iceadmm", "iiadmm")
+
+#: comparison tolerance: traces are deterministic on one platform, but JSON
+#: float round-trips and BLAS build differences deserve a hair of slack
+REL_TOL = 1e-9
+
+
+def _run_trace(algorithm: str):
+    clients, test, spec = load_dataset(
+        WORKLOAD["dataset"],
+        num_clients=WORKLOAD["num_clients"],
+        train_size=WORKLOAD["train_size"],
+        test_size=WORKLOAD["test_size"],
+        seed=WORKLOAD["seed"],
+    )
+    config = FLConfig(
+        algorithm=algorithm,
+        num_rounds=WORKLOAD["num_rounds"],
+        local_steps=WORKLOAD["local_steps"],
+        batch_size=WORKLOAD["batch_size"],
+        lr=WORKLOAD["lr"],
+        rho=WORKLOAD["rho"],
+        zeta=WORKLOAD["zeta"],
+        seed=WORKLOAD["seed"],
+        dtype=WORKLOAD["dtype"],
+        codec=WORKLOAD["codec"],
+    )
+    model_fn = lambda: build_model(
+        WORKLOAD["model"], spec.image_shape, spec.num_classes, rng=np.random.default_rng(7)
+    )
+    history = build_federation(config, model_fn, clients, test).run()
+    return [
+        {
+            "round": r.round,
+            "loss": r.test_loss,
+            "accuracy": r.test_accuracy,
+            "comm_bytes": r.comm_bytes,
+        }
+        for r in history.rounds
+    ]
+
+
+def generate_traces():
+    return {"workload": WORKLOAD, "traces": {algo: _run_trace(algo) for algo in ALGORITHMS}}
+
+
+def _diff_traces(golden, current) -> str:
+    """Readable per-round diff of every drifted cell."""
+    lines = []
+    for algo in ALGORITHMS:
+        gold_rows = golden["traces"][algo]
+        new_rows = current["traces"][algo]
+        if len(gold_rows) != len(new_rows):
+            lines.append(f"{algo}: round count {len(gold_rows)} -> {len(new_rows)}")
+            continue
+        for g, n in zip(gold_rows, new_rows):
+            for key in ("loss", "accuracy", "comm_bytes"):
+                gv, nv = g[key], n[key]
+                if key == "comm_bytes":
+                    drifted = gv != nv
+                else:
+                    drifted = not math.isclose(gv, nv, rel_tol=REL_TOL, abs_tol=REL_TOL)
+                if drifted:
+                    lines.append(
+                        f"{algo} round {g['round']}: {key} {gv!r} -> {nv!r} "
+                        f"(delta {nv - gv:+.3e})"
+                    )
+    return "\n".join(lines)
+
+
+def test_fig2_golden_trace(request):
+    """Per-round loss/accuracy/comm-bytes match the checked-in golden trace."""
+    current = generate_traces()
+    if request.config.getoption("--update-golden"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(current, indent=2) + "\n")
+        pytest.skip(f"golden trace regenerated at {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden fixture {GOLDEN_PATH}; generate it with "
+        f"`pytest tests/test_golden_trace.py --update-golden`"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["workload"] == WORKLOAD, (
+        "golden trace was recorded for a different workload; regenerate with "
+        "--update-golden and review the diff"
+    )
+    diff = _diff_traces(golden, current)
+    if diff:
+        pytest.fail(
+            "training numerics drifted from tests/golden/fig2_trace.json:\n"
+            + diff
+            + "\n\nIf the drift is intentional, regenerate with "
+            "`pytest tests/test_golden_trace.py --update-golden` and review the JSON diff."
+        )
+
+
+def test_golden_trace_covers_all_algorithms():
+    """The fixture itself stays complete (guards hand-edits)."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert set(golden["traces"]) == set(ALGORITHMS)
+    for algo in ALGORITHMS:
+        assert len(golden["traces"][algo]) == WORKLOAD["num_rounds"]
+        for row in golden["traces"][algo]:
+            assert row["comm_bytes"] > 0
+            assert 0.0 <= row["accuracy"] <= 1.0
