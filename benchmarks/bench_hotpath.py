@@ -336,3 +336,79 @@ def test_scale_virtualization(hotpath_store):
     assert point.peak_live <= live_cap
     assert point.evictions > 0  # the cap actually forced spills
     hotpath_store.check_and_update_scale(record)
+
+
+def test_hier_root_fanin(hotpath_store):
+    """Hierarchical fan-in bench: root-ingest packets/sec + fan-in reduction.
+
+    Runs a sharded federation (tiny per-client MLP shards behind 16 edge
+    aggregators) and records (a) the measured fan-in reduction — uplink
+    packets the root ingests per round versus what a flat federation would
+    send it (one per client) — and (b) how many shard-summary packets per
+    second the root can decode and exactly combine, micro-measured over the
+    real summary packets of the last round.  Both land in
+    ``BENCH_hotpath.json``'s "hier" section behind the conftest gate.
+    """
+    from repro.core import MLP
+    from repro.core.partial import unpack_partial
+    from repro.data import TensorDataset
+    from repro.hier import build_hier_federation
+
+    population = 512 if SMOKE else 4_096
+    num_edges = 16
+    rounds = 2
+    rng = np.random.default_rng(0)
+    shared = TensorDataset(rng.standard_normal((4, 8)), rng.integers(0, 3, 4))
+    datasets = [shared] * population
+    model_fn = lambda: MLP(8, 3, hidden_sizes=(16,), rng=np.random.default_rng(42))
+    config = FLConfig(
+        algorithm="iiadmm", num_rounds=rounds, local_steps=1, batch_size=4,
+        rho=10.0, zeta=10.0, seed=0, topology=f"edges:{num_edges}",
+    )
+    runner = build_hier_federation(config, model_fn, datasets, live_cap=16)
+    start = time.perf_counter()
+    history = runner.run()
+    round_seconds = (time.perf_counter() - start) / rounds
+
+    client_up = sum(1 for r in runner.client_communicator.log.records if r.op == "send_local")
+    root_up = sum(1 for r in runner.root_communicator.log.records if r.op == "send_local")
+    fanin_reduction = client_up / root_up
+
+    # Micro-measure the root's ingest path: decode + exactly combine the E
+    # shard-summary packets the edges would send next round (IIADMM folds
+    # the shard's real last-known primal/dual state, so these are the true
+    # wire payloads, components and all).
+    from repro.core.partial import pack_partial
+
+    partials = [edge.server.partial_sum() for edge in runner.edges]
+    packets = [runner.exchange.pipeline.encode_state(pack_partial(p)) for p in partials]
+    participants = list(range(population))
+    reps = 20 if SMOKE else 100
+    start = time.perf_counter()
+    for _ in range(reps):
+        decoded = [unpack_partial(runner.exchange.pipeline.decode_state(pkt)) for pkt in packets]
+        runner.server.combine_partials(decoded, participants)
+    ingest_pps = reps * num_edges / (time.perf_counter() - start)
+
+    record = {
+        "workload": {
+            "population": population,
+            "edges": num_edges,
+            "algorithm": "iiadmm",
+            "rounds_per_measurement": rounds,
+            "smoke": SMOKE,
+        },
+        "round_seconds": round(round_seconds, 4),
+        "fanin_reduction": round(fanin_reduction, 2),
+        "root_packets_per_round": root_up // rounds,
+        "root_ingest_packets_per_sec": round(ingest_pps, 1),
+        "summary_components_max": max(len(pkt.entries) for pkt in packets),
+        "edge_root_bytes_per_round": history.rounds[-1].comm_bytes_by_tier["edge_root"],
+        "client_edge_bytes_per_round": history.rounds[-1].comm_bytes_by_tier["client_edge"],
+    }
+    print("\nhier: " + json.dumps(record, indent=2))
+
+    # The structural contract: the root hears E packets per round, not P.
+    assert root_up == num_edges * rounds
+    assert fanin_reduction == population / num_edges
+    hotpath_store.check_and_update_hier(record)

@@ -61,8 +61,10 @@ def hotpath_store():
     level plus an ``"async"`` section with the event-driven scenario's
     events/sec, a ``"codec"`` section with the wire-codec measurements
     (encode/decode MB/s and bytes-per-round/wire-reduction on the Fig. 2
-    workload), and a ``"scale"`` section with the client-virtualization
-    gauges (clients/GB of spilled state, materialise/evict µs).  Every gate
+    workload), a ``"scale"`` section with the client-virtualization
+    gauges (clients/GB of spilled state, materialise/evict µs), and a
+    ``"hier"`` section with the hierarchical fan-in measurements (root
+    packets per round, fan-in reduction, root-ingest packets/sec).  Every gate
     tolerates a missing file *or* section — a first run records a fresh
     baseline instead of KeyError-ing.  ``check_and_update(record)`` gates the sync record against
     the previously recorded run — failing on a ``REGRESSION_TOLERANCE`` drop
@@ -174,6 +176,35 @@ def hotpath_store():
             )
         _merge_write({"codec": record})
 
+    def check_and_update_hier(record):
+        previous = (load() or {}).get("hier") or None
+        if previous and previous.get("workload") != record.get("workload"):
+            previous = None
+        accept = os.environ.get("REPRO_BENCH_ACCEPT", "0") == "1"
+        failure = None
+        old_fanin = (previous or {}).get("fanin_reduction")
+        old_pps = (previous or {}).get("root_ingest_packets_per_sec")
+        if old_fanin and not accept and record["fanin_reduction"] < old_fanin:
+            # Packet counts are deterministic — any drop means the hierarchy
+            # started leaking per-client traffic past the edges.
+            failure = f"fan-in reduction regressed {old_fanin}x -> {record['fanin_reduction']}x"
+        elif (
+            old_pps
+            and not accept
+            and record["root_ingest_packets_per_sec"] < (1.0 - ABSOLUTE_TOLERANCE) * old_pps
+        ):
+            failure = (
+                f"root ingest collapsed {old_pps:.1f} -> "
+                f"{record['root_ingest_packets_per_sec']:.1f} packets/s (>{ABSOLUTE_TOLERANCE:.0%})"
+            )
+        if failure is not None:
+            pytest.fail(
+                "hier fan-in regression: " + failure +
+                " — BENCH_hotpath.json keeps the previous baseline; "
+                "set REPRO_BENCH_ACCEPT=1 to accept the new numbers"
+            )
+        _merge_write({"hier": record})
+
     def check_and_update_scale(record):
         previous = (load() or {}).get("scale") or None
         if previous and previous.get("workload") != record.get("workload"):
@@ -211,4 +242,5 @@ def hotpath_store():
         check_and_update_async=check_and_update_async,
         check_and_update_codec=check_and_update_codec,
         check_and_update_scale=check_and_update_scale,
+        check_and_update_hier=check_and_update_hier,
     )

@@ -27,10 +27,14 @@ Subpackages
     Client virtualization for large populations: memory-bounded
     ``ClientStateStore`` (LRU of live clients over serialized state blobs)
     and deterministic ``RunCheckpoint`` checkpoint/resume.
+``repro.hier``
+    Hierarchical multi-tier federation: deterministic client→edge
+    topologies, edge aggregators folding shards into exact partial sums,
+    and sync/async two-tier runners with per-hop codecs and links.
 ``repro.harness``
     Experiment harnesses that regenerate each table/figure of the paper.
 """
 
 __version__ = "0.1.0"
 
-__all__ = ["nn", "data", "comm", "simulator", "privacy", "core", "asyncfl", "scale", "harness", "__version__"]
+__all__ = ["nn", "data", "comm", "simulator", "privacy", "core", "asyncfl", "scale", "hier", "harness", "__version__"]

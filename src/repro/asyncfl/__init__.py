@@ -13,7 +13,7 @@ updates.  :class:`AsyncRunner` mirrors ``FederatedRunner``'s API so the
 harnesses and benchmarks drive either loop unchanged.
 """
 
-from .events import Event, EventLoop
+from .events import Event, EventLoop, next_event_loop
 from .runner import ZERO_LINK, AsyncRunner, build_async_federation
 from .sampling import (
     AvailabilityTraceSampler,
@@ -35,6 +35,7 @@ from .strategies import (
 __all__ = [
     "Event",
     "EventLoop",
+    "next_event_loop",
     "ClientSampler",
     "FullParticipationSampler",
     "UniformSampler",

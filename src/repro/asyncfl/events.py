@@ -22,7 +22,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-__all__ = ["Event", "EventLoop"]
+__all__ = ["Event", "EventLoop", "next_event_loop"]
 
 
 @dataclass(frozen=True, order=True)
@@ -114,3 +114,24 @@ class EventLoop:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+
+def next_event_loop(loops) -> Optional[int]:
+    """Index of the loop holding the globally earliest pending event.
+
+    The deterministic merge step of a *multi-clock* simulation (each
+    :class:`repro.hier.async_runner.HierAsyncRunner` actor owns its own
+    :class:`EventLoop`): strictly earlier timestamps win, and ties break
+    toward the lowest index — so interleaving across actors is reproducible
+    regardless of how their queues grew.  Returns ``None`` when every loop is
+    drained.  Popping only ever the returned loop keeps every loop's ``now``
+    at or below the global virtual time, which is what makes cross-loop
+    ``schedule(now + delay)`` handoffs legal.
+    """
+    best: Optional[int] = None
+    best_time: Optional[float] = None
+    for index, loop in enumerate(loops):
+        t = loop.peek_time()
+        if t is not None and (best_time is None or t < best_time):
+            best, best_time = index, t
+    return best

@@ -5,7 +5,7 @@ codec-encoded tensors whose measured ``nbytes`` drive every cost model — and
 accept raw state dicts for direct/low-level use.
 """
 
-from .base import Communicator, client_endpoint, server_endpoint
+from .base import Communicator, client_endpoint, edge_endpoint, server_endpoint
 from .codecs import (
     CodecPipeline,
     DeltaCodec,
@@ -58,6 +58,7 @@ __all__ = [
     "MPISimCommunicator",
     "GRPCSimCommunicator",
     "client_endpoint",
+    "edge_endpoint",
     "server_endpoint",
     "CommLog",
     "CommRecord",

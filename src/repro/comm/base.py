@@ -27,7 +27,7 @@ from .codecs import UpdatePacket
 from .records import CommLog, CommRecord
 from .serialization import payload_nbytes
 
-__all__ = ["Communicator", "server_endpoint", "client_endpoint"]
+__all__ = ["Communicator", "server_endpoint", "client_endpoint", "edge_endpoint"]
 
 #: what the transports move: a codec-encoded packet, or a raw state dict
 Payload = Union[UpdatePacket, Mapping[str, np.ndarray]]
@@ -45,11 +45,22 @@ def client_endpoint(client_id: int) -> str:
     return f"client:{client_id}"
 
 
+def edge_endpoint(edge_id: int) -> str:
+    """Canonical name of an edge-aggregator endpoint (repro.hier)."""
+    return f"edge:{edge_id}"
+
+
 class Communicator(ABC):
     """Moves payloads between the server and clients under a timing model."""
 
     #: human-readable protocol name ("serial", "mpi", "grpc")
     protocol: str = "base"
+
+    #: names the far endpoint in log records.  The default is the flat
+    #: federation's "client:<id>"; a communicator serving the edge→root tier
+    #: of a hierarchical run (repro.hier) sets this to ``edge_endpoint`` so
+    #: its records read "edge:<id>".
+    endpoint_namer = staticmethod(client_endpoint)
 
     def __init__(self) -> None:
         self.log = CommLog()
@@ -82,7 +93,7 @@ class Communicator(ABC):
         out: Dict[int, Payload] = {}
         for cid in client_ids:
             seconds = self._downlink_time(nbytes, len(client_ids))
-            self.log.add(CommRecord(round_idx, client_endpoint(cid), "recv_global", nbytes, seconds))
+            self.log.add(CommRecord(round_idx, self.endpoint_namer(cid), "recv_global", nbytes, seconds))
             out[cid] = self._isolate(payload)
         return out
 
@@ -92,7 +103,7 @@ class Communicator(ABC):
         for cid, payload in payloads.items():
             nbytes = payload_nbytes(payload)
             seconds = self._uplink_time(nbytes, len(payloads))
-            self.log.add(CommRecord(round_idx, client_endpoint(cid), "send_local", nbytes, seconds))
+            self.log.add(CommRecord(round_idx, self.endpoint_namer(cid), "send_local", nbytes, seconds))
             out[cid] = self._isolate(payload)
         return out
 

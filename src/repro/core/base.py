@@ -58,6 +58,7 @@ from ..comm.serialization import flatten_state_dict, unflatten_state_dict
 from ..data import DataLoader, Dataset
 from ..privacy import Mechanism, NoPrivacy, clip_by_norm, make_mechanism
 from .config import FLConfig
+from .partial import ExactPartial
 
 __all__ = ["ModelVectorizer", "BaseClient", "BaseServer"]
 
@@ -355,6 +356,24 @@ class BaseServer:
     ("inherit ``BaseServer`` and implement the virtual function
     ``update()``"), which the default :meth:`finalize_round` delegates to —
     existing user-defined algorithms keep working unchanged.
+
+    Associative partial aggregation
+    -------------------------------
+    The built-in algorithms additionally split their aggregation into
+    :meth:`partial_term` / :meth:`partial_sum` (fold per-client contributions
+    into an :class:`~repro.core.partial.ExactPartial`) and
+    :meth:`combine_partials` (turn merged partials into the next global
+    model).  Because the partials are *exact*, the split is associative: the
+    flat ``finalize_round`` (one partial over everyone) and a hierarchical
+    run (one partial per edge shard, merged at the root — see
+    :mod:`repro.hier`) produce bit-for-bit the same global model.
+
+    ``shard`` restricts which client ids this server instance tracks
+    per-client state for (ADMM primal/dual replicas).  ``num_clients`` and
+    ``client_sample_counts`` always describe the *whole* population — the
+    ``1/P`` and sample-weight terms of the global updates — so an edge
+    aggregator over a shard computes exactly the per-client terms the flat
+    server would.  ``None`` (the default) tracks everyone.
     """
 
     def __init__(
@@ -363,12 +382,21 @@ class BaseServer:
         config: FLConfig,
         num_clients: int,
         client_sample_counts: Optional[Sequence[int]] = None,
+        shard: Optional[Sequence[int]] = None,
     ):
         if num_clients <= 0:
             raise ValueError("num_clients must be positive")
         self.model = model
         self.config = config
         self.num_clients = int(num_clients)
+        if shard is None:
+            self.shard: Tuple[int, ...] = tuple(range(self.num_clients))
+        else:
+            self.shard = tuple(sorted(int(c) for c in shard))
+            if any(not 0 <= c < self.num_clients for c in self.shard):
+                raise ValueError(f"shard ids must lie in [0, {self.num_clients})")
+            if len(set(self.shard)) != len(self.shard):
+                raise ValueError("shard ids must be unique")
         self.vectorizer = ModelVectorizer(model, dtype=config.np_dtype, mode=config.engine)
         self.global_params = self.vectorizer.to_vector()
         # Scratch vector for in-place aggregation updates.
@@ -446,6 +474,68 @@ class BaseServer:
             raise ValueError("no client payloads to aggregate")
         w = self.global_params
         self.finalize_round({cid: self.ingest(cid, payload, w) for cid, payload in payloads.items()})
+
+    # ------------------------------------------- associative partial aggregation
+    def partial_term(
+        self, cid: int, payload: Optional[Mapping[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        """Client ``cid``'s additive contribution to the global update.
+
+        FedAvg derives it from the round's decoded ``payload``; the ADMM
+        family from the per-client state :meth:`ingest` already absorbed
+        (``payload`` unused).  The returned vector may alias scratch memory —
+        consume (or let :class:`~repro.core.partial.ExactPartial` copy) it
+        before the next call.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement associative partial "
+            f"aggregation (partial_term/combine_partials), required for "
+            f"hierarchical federation"
+        )
+
+    def partial_sum(
+        self, payloads: Optional[Mapping[int, Mapping[str, np.ndarray]]] = None
+    ) -> ExactPartial:
+        """Exactly fold per-client terms into one associative partial.
+
+        With ``payloads`` (FedAvg style) the fold runs over the uploads'
+        client ids; without (ADMM style) over every id this server tracks
+        (:attr:`shard`).  Exactness makes the result independent of both the
+        fold order and how clients are grouped across servers.
+        """
+        ids = sorted(payloads) if payloads is not None else list(self.shard)
+        acc = ExactPartial(self.vectorizer.dim, self.vectorizer.dtype)
+        for cid in ids:
+            acc.add(self.partial_term(cid, None if payloads is None else payloads[cid]))
+        return acc
+
+    def combine_partials(
+        self,
+        partials: Sequence[Sequence[np.ndarray]],
+        participants: Sequence[int] = (),
+    ) -> None:
+        """Produce the next global model from merged exact partials.
+
+        ``partials`` are component sequences from :attr:`ExactPartial.
+        components` (one per shard; a single-element list for the flat run);
+        ``participants`` are the client ids behind them, for algorithms whose
+        normaliser depends on who reported (FedAvg's weight renormalisation).
+        Merging is exact, so any grouping of the same client terms yields a
+        bit-identical global model.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement associative partial "
+            f"aggregation (partial_term/combine_partials), required for "
+            f"hierarchical federation"
+        )
+
+    @property
+    def supports_partials(self) -> bool:
+        """True when this server implements the partial-aggregation split."""
+        return (
+            type(self).partial_term is not BaseServer.partial_term
+            and type(self).combine_partials is not BaseServer.combine_partials
+        )
 
     # ------------------------------------------------------- persistent state
     def server_state(self) -> Dict[str, object]:

@@ -108,6 +108,21 @@ class FLConfig:
     # build_async_federation consume this knob.
     client_fraction: float = 1.0
 
+    # Hierarchical (multi-tier) federation — see repro.hier.
+    #
+    # topology: shard the population behind edge aggregators.  None (default)
+    #   is the flat single-tier federation.  Spec strings: "edges:<E>"
+    #   (seeded near-equal shards), "edges:<E>:by-label" (shards contiguous
+    #   in label-sorted order, preserving label locality).  Explicit shard
+    #   maps are passed directly to repro.hier.build_hier_federation.
+    # edge_codec / root_codec: per-hop wire-codec stacks — client<->edge and
+    #   edge<->root are compressed independently.  None inherits `codec`.
+    #   With identity stacks on both hops a hierarchical run is bit-for-bit
+    #   the flat one.
+    topology: Optional[str] = None
+    edge_codec: Optional[str] = None
+    root_codec: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
@@ -140,6 +155,18 @@ class FLConfig:
         from ..comm.codecs import parse_codec
 
         parse_codec(self.codec)
+        for field_name in ("edge_codec", "root_codec"):
+            spec = getattr(self, field_name)
+            if spec is None:
+                continue
+            try:
+                parse_codec(spec)
+            except ValueError as exc:
+                raise ValueError(f"invalid {field_name} spec {spec!r}: {exc}") from None
+        if self.topology is not None:
+            from ..hier.topology import parse_topology
+
+            parse_topology(self.topology)
         if not 0.0 < self.client_fraction <= 1.0:
             raise ValueError("client_fraction must be in (0, 1]")
         # Note: the algorithm name is resolved against the plug-and-play

@@ -13,12 +13,14 @@ calibrated to the FedAvg sensitivity ``Δ = 2·C·η`` (Section III-B/IV-B).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+import math
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..privacy import FedAvgSensitivity
 from .base import GLOBAL_KEY, PRIMAL_KEY, BaseClient, BaseServer
+from .partial import ExactPartial
 
 __all__ = ["FedAvgClient", "FedAvgServer"]
 
@@ -69,21 +71,47 @@ class FedAvgServer(BaseServer):
     Aggregation lives in :meth:`finalize_round` over the round's decoded
     uploads (a subset of clients is fine: the weights renormalise over the
     participants); the inherited :meth:`BaseServer.update` keeps the classic
-    one-shot API.
+    one-shot API.  The weighted sum is folded through the exact
+    :meth:`~repro.core.base.BaseServer.partial_sum` /
+    :meth:`combine_partials` split, so a hierarchical run that sums each
+    shard on its edge and merges at the root is bit-for-bit this flat
+    aggregation.
     """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # client_weights() is static (counts and config are frozen); cache it
+        # so per-term folds don't recompute the O(P) normalisation.
+        self._agg_weights = self.client_weights()
+
+    def partial_term(
+        self, cid: int, payload: Optional[Mapping[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        if payload is None:
+            raise ValueError("FedAvg partial terms come from the round's decoded uploads")
+        return float(self._agg_weights[cid]) * np.asarray(payload[PRIMAL_KEY])
+
+    def combine_partials(
+        self,
+        partials: "Sequence[Sequence[np.ndarray]]",
+        participants: Sequence[int] = (),
+    ) -> None:
+        if not participants:
+            raise ValueError("no client payloads to aggregate")
+        # fsum is the scalar analogue of the exact vector merge: the
+        # normaliser depends only on *which* clients reported, not on how
+        # their edges grouped them.
+        total_weight = math.fsum(float(self._agg_weights[c]) for c in sorted(participants))
+        if total_weight <= 0:
+            raise ValueError("aggregation weights sum to zero")
+        acc = ExactPartial(self.vectorizer.dim, self.vectorizer.dtype)
+        for components in partials:
+            acc.merge(components)
+        self.global_params = acc.round() / total_weight
+        self.round += 1
+        self.sync_model()
 
     def finalize_round(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
         if not payloads:
             raise ValueError("no client payloads to aggregate")
-        weights = self.client_weights()
-        new_global = np.zeros_like(self.global_params)
-        total_weight = 0.0
-        for cid, payload in payloads.items():
-            w = float(weights[cid])
-            new_global += w * np.asarray(payload[PRIMAL_KEY])
-            total_weight += w
-        if total_weight <= 0:
-            raise ValueError("aggregation weights sum to zero")
-        self.global_params = new_global / total_weight
-        self.round += 1
-        self.sync_model()
+        self.combine_partials([self.partial_sum(payloads).components], tuple(payloads))

@@ -21,12 +21,13 @@ noise calibrated to the IADMM sensitivity ``Δ = 2C/(ρ+ζ)``.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..privacy import IADMMSensitivity
 from .base import DUAL_KEY, GLOBAL_KEY, PRIMAL_KEY, BaseClient, BaseServer
+from .partial import ExactPartial
 
 __all__ = ["ICEADMMClient", "ICEADMMServer"]
 
@@ -102,10 +103,12 @@ class ICEADMMServer(BaseServer):
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        self.primals = {cid: self.vectorizer.to_vector() for cid in range(self.num_clients)}
+        # Per-client replicas only for the ids this server tracks: the whole
+        # population for the flat server, one shard for an edge aggregator.
+        self.primals = {cid: self.vectorizer.to_vector() for cid in self.shard}
         self.duals = {
             cid: np.zeros(self.vectorizer.dim, dtype=self.vectorizer.dtype)
-            for cid in range(self.num_clients)
+            for cid in self.shard
         }
         self._rho = self.config.rho
 
@@ -126,30 +129,49 @@ class ICEADMMServer(BaseServer):
         aggregates a quantized view of the client's state — no cross-replica
         invariant to maintain.
         """
+        if cid not in self.duals:
+            raise KeyError(f"client {cid} is not tracked by this server (shard={self.shard[:8]}…)")
         payload = super().ingest(cid, payload, dispatched_global)
         self.primals[cid] = np.asarray(payload[PRIMAL_KEY])
         self.duals[cid] = np.asarray(payload[DUAL_KEY])
         return payload
 
-    def aggregate_global(self) -> None:
-        """Recompute ``w = (1/P) Σ_p (z_p − λ_p/ρ)`` over all clients.
-
-        Clients not heard from since the last aggregation contribute their
-        last-known pair (the partial-participation form).
-        """
-        rho = self._rho
+    def partial_term(
+        self, cid: int, payload: Optional[Mapping[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        """``z_p − λ_p/ρ`` from the last-known pair (returns scratch memory)."""
         s = self._scratch
-        acc = np.zeros_like(self.global_params)
-        for cid in range(self.num_clients):
-            np.divide(self.duals[cid], rho, out=s)
-            np.subtract(self.primals[cid], s, out=s)
-            acc += s
-        self.global_params = acc / self.num_clients
+        np.divide(self.duals[cid], self._rho, out=s)
+        np.subtract(self.primals[cid], s, out=s)
+        return s
+
+    def combine_partials(
+        self,
+        partials: "Sequence[Sequence[np.ndarray]]",
+        participants: Sequence[int] = (),
+    ) -> None:
+        """``w = (1/P) Σ_p (z_p − λ_p/ρ)`` from exactly merged shard partials.
+
+        ``participants`` is unused: every client contributes its last-known
+        pair, so the normaliser is always the full population ``P``.
+        """
+        acc = ExactPartial(self.vectorizer.dim, self.vectorizer.dtype)
+        for components in partials:
+            acc.merge(components)
+        self.global_params = acc.round() / self.num_clients
 
         if self.config.adaptive_rho:
             self._rho *= self.config.rho_growth
         self.round += 1
         self.sync_model()
+
+    def aggregate_global(self) -> None:
+        """Recompute ``w = (1/P) Σ_p (z_p − λ_p/ρ)`` over all tracked clients.
+
+        Clients not heard from since the last aggregation contribute their
+        last-known pair (the partial-participation form).
+        """
+        self.combine_partials([self.partial_sum().components])
 
     def finalize_round(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
         """Per-upload pairs were stored by :meth:`ingest`; only the global update remains."""

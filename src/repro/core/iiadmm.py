@@ -20,13 +20,14 @@ sensitivity ``Δ = 2C / (ρ + ζ)``.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..comm.codecs import resolve_codec
 from ..privacy import IADMMSensitivity
 from .base import GLOBAL_KEY, PRIMAL_KEY, BaseClient, BaseServer
+from .partial import ExactPartial
 
 __all__ = ["IIADMMClient", "IIADMMServer"]
 
@@ -157,12 +158,14 @@ class IIADMMServer(BaseServer):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         # Server-side replicas of each client's dual variable (line 6); they
-        # stay synchronised with the clients' copies without any communication.
+        # stay synchronised with the clients' copies without any
+        # communication.  Only the ids this server tracks — the whole
+        # population for the flat server, one shard for an edge aggregator.
         self.duals = {
             cid: np.zeros(self.vectorizer.dim, dtype=self.vectorizer.dtype)
-            for cid in range(self.num_clients)
+            for cid in self.shard
         }
-        self.primals = {cid: self.vectorizer.to_vector() for cid in range(self.num_clients)}
+        self.primals = {cid: self.vectorizer.to_vector() for cid in self.shard}
         self._rho = self.config.rho
 
     @property
@@ -182,6 +185,8 @@ class IIADMMServer(BaseServer):
         replay is an *increment*, mirroring the client's own line-21 update
         (the reconcile_upload form when the wire codec is lossy).
         """
+        if cid not in self.duals:
+            raise KeyError(f"client {cid} is not tracked by this server (shard={self.shard[:8]}…)")
         payload = super().ingest(cid, payload, dispatched_global)
         z = np.asarray(payload[PRIMAL_KEY])
         self.primals[cid] = z
@@ -191,26 +196,40 @@ class IIADMMServer(BaseServer):
         self.duals[cid] += s
         return payload
 
-    def aggregate_global(self) -> None:
-        """Line 3: recompute ``w = (1/P) Σ_p (z_p − λ_p/ρ)`` over all clients.
-
-        Clients whose uploads were not ingested since the last aggregation
-        contribute their last-known primal/dual — the partial-participation
-        form of the global update.
-        """
-        rho = self._rho
+    def partial_term(
+        self, cid: int, payload: Optional[Mapping[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        """``z_p − λ_p/ρ`` from the last-known replica (returns scratch memory)."""
         s = self._scratch
-        acc = np.zeros_like(self.global_params)
-        for cid in range(self.num_clients):
-            np.divide(self.duals[cid], rho, out=s)
-            np.subtract(self.primals[cid], s, out=s)
-            acc += s
-        self.global_params = acc / self.num_clients
+        np.divide(self.duals[cid], self._rho, out=s)
+        np.subtract(self.primals[cid], s, out=s)
+        return s
+
+    def combine_partials(
+        self,
+        partials: "Sequence[Sequence[np.ndarray]]",
+        participants: Sequence[int] = (),
+    ) -> None:
+        """Line 3 over exactly merged shard partials (normalised by the full
+        population ``P`` — every client contributes its last-known state)."""
+        acc = ExactPartial(self.vectorizer.dim, self.vectorizer.dtype)
+        for components in partials:
+            acc.merge(components)
+        self.global_params = acc.round() / self.num_clients
 
         if self.config.adaptive_rho:
             self._rho *= self.config.rho_growth
         self.round += 1
         self.sync_model()
+
+    def aggregate_global(self) -> None:
+        """Line 3: recompute ``w = (1/P) Σ_p (z_p − λ_p/ρ)`` over all tracked clients.
+
+        Clients whose uploads were not ingested since the last aggregation
+        contribute their last-known primal/dual — the partial-participation
+        form of the global update.
+        """
+        self.combine_partials([self.partial_sum().components])
 
     def finalize_round(self, payloads: Mapping[int, Mapping[str, np.ndarray]]) -> None:
         """Per-upload state was absorbed by :meth:`ingest`; only line 3 remains."""

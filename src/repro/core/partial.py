@@ -1,0 +1,207 @@
+"""Exact associative partial aggregation (the substrate of :mod:`repro.hier`).
+
+Every global update in this repo is a weighted sum of per-client vectors —
+FedAvg's ``Σ_p w_p z_p`` and the IADMM family's ``Σ_p (z_p − λ_p/ρ)``.  Over
+the *reals* that sum is associative, which is what makes hierarchical
+(edge-sharded) federation exact: each edge can fold its shard into a partial
+sum and the root can combine the partials, in any grouping.  Plain floating
+point breaks the property — ``(a+b)+(c+d)`` and ``((a+b)+c)+d`` round
+differently — so a naive hierarchical run could never be bit-for-bit the flat
+run.
+
+:class:`ExactPartial` restores associativity by accumulating into a Shewchuk
+*expansion*: an unevaluated sum of non-overlapping floats that represents the
+running total **exactly** (Shewchuk 1997, "Adaptive precision floating-point
+arithmetic"; the same machinery behind :func:`math.fsum`).  Adding a term is
+an error-free TwoSum cascade (GROW-EXPANSION), merging two accumulators adds
+one's components into the other (exact, since components are just floats),
+and :meth:`round` produces the **correctly rounded** value of the exact sum —
+a deterministic function of the exact real total alone, independent of how
+the terms were grouped or ordered.  Consequently::
+
+    flat:  round(Σ_p t_p)                                == w
+    hier:  round(merge_e(Σ_{p∈shard_e} t_p))             == w   (bitwise)
+
+All operations are vectorised over the flat parameter dimension; components
+are plain arrays, so a partial travels the wire as a handful of
+``psum:<i>``-keyed tensors inside an ordinary
+:class:`~repro.comm.codecs.UpdatePacket` (see :func:`pack_partial` /
+:func:`unpack_partial`).  For similar-magnitude per-client terms the
+expansion stays 2-5 components long, so an edge's shard summary costs
+O(components · dim) bytes instead of O(shard · dim) — the fan-in reduction
+measured by ``benchmarks/bench_hotpath.py::test_hier_root_fanin``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ExactPartial", "PSUM_PREFIX", "pack_partial", "unpack_partial"]
+
+#: payload-key prefix of a packed partial's component tensors
+PSUM_PREFIX = "psum"
+
+
+class ExactPartial:
+    """An exact, associative accumulator for flat parameter vectors.
+
+    Parameters
+    ----------
+    dim:
+        Length of the accumulated vectors.
+    dtype:
+        IEEE float dtype the accumulation runs in (the pipeline dtype; the
+        error-free transformations below are valid in any IEEE binary
+        format, so float32 runs stay exact in float32 arithmetic).
+    """
+
+    def __init__(self, dim: int, dtype=np.float64):
+        self.dim = int(dim)
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "f":
+            raise ValueError(f"ExactPartial needs a float dtype, got {self.dtype}")
+        self._comps: List[np.ndarray] = []
+        self._compact_at = 8
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def components(self) -> Tuple[np.ndarray, ...]:
+        """The expansion's component arrays, smallest magnitude first.
+
+        Together they represent the exact accumulated sum; they are live
+        references — copy before mutating.
+        """
+        return tuple(self._comps)
+
+    def __len__(self) -> int:
+        return len(self._comps)
+
+    @classmethod
+    def from_components(cls, components: Sequence[np.ndarray], dim: int, dtype) -> "ExactPartial":
+        """Rebuild an accumulator from shipped components (exact)."""
+        acc = cls(dim, dtype)
+        acc.merge(components)
+        return acc
+
+    # ---------------------------------------------------------- accumulation
+    def add(self, term: np.ndarray) -> None:
+        """Add one vector to the exact running sum (error-free)."""
+        q = np.array(term, dtype=self.dtype, copy=True).reshape(-1)
+        if q.shape != (self.dim,):
+            raise ValueError(f"expected a vector of length {self.dim}, got shape {term.shape}")
+        comps: List[np.ndarray] = []
+        for e in self._comps:
+            # Knuth TwoSum: s + err == q + e exactly, no magnitude ordering
+            # required.  Cascading it through the components (Shewchuk's
+            # GROW-EXPANSION) keeps the expansion non-overlapping and in
+            # increasing magnitude order — the invariant round() relies on.
+            s = q + e
+            bv = s - q
+            err = (q - (s - bv)) + (e - bv)
+            if np.any(err):
+                comps.append(err)
+            q = s
+        comps.append(q)
+        self._comps = comps
+        if len(comps) > self._compact_at:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Pack each lane's non-zero components down to the lowest slots.
+
+        The grow cascade prunes a component array only when *every* lane is
+        zero, so with many lanes the array count can creep far past the
+        per-lane non-overlap bound.  Dropping per-lane zeros (an exact,
+        order-preserving operation — the invariants allow zeros anywhere)
+        bounds the count by the widest lane's expansion, typically 2-5.
+        """
+        stack = np.stack(self._comps)
+        nonzero = stack != 0
+        depth = int(nonzero.sum(axis=0).max()) if stack.size else 0
+        depth = max(depth, 1)
+        packed = np.zeros((depth, self.dim), dtype=self.dtype)
+        rows, cols = np.nonzero(nonzero)
+        packed[nonzero.cumsum(axis=0)[rows, cols] - 1, cols] = stack[rows, cols]
+        self._comps = list(packed)
+        # Hysteresis: don't thrash when a genuinely deep expansion compacts
+        # to just under the trigger.
+        self._compact_at = max(8, 2 * depth)
+
+    def merge(self, other: "ExactPartial | Sequence[np.ndarray]") -> None:
+        """Fold another partial (or its shipped components) into this one.
+
+        Exact: a component is just a float vector, so adding each through
+        :meth:`add` preserves the combined exact value — this is what makes
+        the accumulator associative across arbitrary shard groupings.
+        """
+        comps = other.components if isinstance(other, ExactPartial) else other
+        for comp in comps:
+            self.add(comp)
+
+    # -------------------------------------------------------------- rounding
+    def round(self) -> np.ndarray:
+        """The exact accumulated sum, correctly rounded to one vector.
+
+        This is ``math.fsum``'s final-rounding step, vectorised: walk the
+        components from the largest down until a non-zero low-order residue
+        appears, then nudge by one ulp when that residue is exactly half an
+        ulp and the remaining tail pushes the exact value past the halfway
+        point.  The result depends only on the exact real sum — not on the
+        expansion that happens to represent it.
+        """
+        comps = self._comps
+        if not comps:
+            return np.zeros(self.dim, dtype=self.dtype)
+        hi = comps[-1].copy()
+        if len(comps) == 1:
+            return hi
+        lo = np.zeros_like(hi)
+        done = np.zeros(self.dim, dtype=bool)
+        tail_sign = np.zeros_like(hi)
+        for y in reversed(comps[:-1]):
+            active = ~done
+            s = hi + y
+            yr = s - hi
+            resid = y - yr
+            np.copyto(hi, s, where=active)
+            np.copyto(lo, resid, where=active)
+            newly = active & (lo != 0)
+            done |= newly
+            # For lanes whose residue is already fixed, remember the sign of
+            # the largest non-zero remaining component (non-overlap makes it
+            # dominate the tail) — the halfway-case tie breaker below.
+            need_sign = done & ~newly & (tail_sign == 0) & (y != 0)
+            np.copyto(tail_sign, np.sign(y), where=need_sign)
+        half = self.dtype.type(2.0) * lo
+        bumped = hi + half
+        exact_bump = (bumped - hi) == half
+        fix = exact_bump & (lo != 0) & (np.sign(lo) == tail_sign)
+        np.copyto(hi, bumped, where=fix)
+        return hi
+
+
+# ------------------------------------------------------------------ packing
+def pack_partial(partial: ExactPartial) -> "Dict[str, np.ndarray]":
+    """Render a partial as a wire payload: ``{"psum:0": c0, "psum:1": c1, …}``.
+
+    Largest component first, so a lossy edge→root codec (which quantises
+    per tensor) spends its fidelity on the dominant term.
+    """
+    comps = partial.components
+    if not comps:  # an empty partial is exactly zero — ship it explicitly
+        comps = (np.zeros(partial.dim, dtype=partial.dtype),)
+    return {f"{PSUM_PREFIX}:{i}": comp for i, comp in enumerate(reversed(comps))}
+
+
+def unpack_partial(payload: Mapping[str, np.ndarray]) -> List[np.ndarray]:
+    """Inverse of :func:`pack_partial` (component order is irrelevant to the
+    exact value; returned largest-first as packed)."""
+    keys = sorted(
+        (k for k in payload if k.startswith(PSUM_PREFIX + ":")),
+        key=lambda k: int(k.split(":", 1)[1]),
+    )
+    if not keys:
+        raise ValueError(f"payload holds no {PSUM_PREFIX!r} components: {sorted(payload)}")
+    return [np.asarray(payload[k]) for k in keys]

@@ -84,6 +84,9 @@ class RoundResult:
     #: ids of the clients whose updates were aggregated this round; ``None``
     #: for externally built results.
     participating_clients: Optional[Tuple[int, ...]] = None
+    #: per-tier on-wire bytes of a hierarchical round (keys "client_edge" and
+    #: "edge_root", summing to ``comm_bytes``); ``None`` for flat runs.
+    comm_bytes_by_tier: Optional[Dict[str, int]] = None
 
 
 @dataclass

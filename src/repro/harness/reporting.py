@@ -46,21 +46,27 @@ def format_history(history, title: str = "") -> str:
     Surfaces the simulated ``wall_clock_seconds`` (asyncfl virtual clock;
     ``-`` for the real-time synchronous runner) and the number of
     participating clients alongside accuracy/loss and communication volume.
+    Hierarchical runs additionally report the per-tier split of that volume
+    (client→edge vs edge→root, see :mod:`repro.hier`) so the edge fan-in
+    savings are visible in every run summary; flat runs show ``-``.
     """
     rows = []
     for r in history.rounds:
+        tiers = r.comm_bytes_by_tier or {}
         rows.append(
             [
                 r.round,
                 "-" if r.test_accuracy is None else round(r.test_accuracy, 4),
                 "-" if r.test_loss is None else round(r.test_loss, 4),
                 round(r.comm_bytes / 1e6, 3),
+                "-" if "client_edge" not in tiers else round(tiers["client_edge"] / 1e6, 3),
+                "-" if "edge_root" not in tiers else round(tiers["edge_root"] / 1e6, 3),
                 "-" if r.wall_clock_seconds is None else round(r.wall_clock_seconds, 3),
                 "-" if r.participating_clients is None else len(r.participating_clients),
             ]
         )
     return format_table(
-        ["round", "test_acc", "test_loss", "comm_MB", "sim_clock_s", "clients"],
+        ["round", "test_acc", "test_loss", "comm_MB", "c2e_MB", "e2r_MB", "sim_clock_s", "clients"],
         rows,
         title=title,
     )

@@ -1,0 +1,533 @@
+"""Event-driven hierarchical federation: edge actors on their own clocks.
+
+:class:`HierAsyncRunner` is the asynchronous counterpart of
+:class:`~repro.hier.runner.HierRunner`.  Every edge is an *actor* with its
+own :class:`~repro.asyncfl.events.EventLoop`: it dispatches the latest
+global model it holds to a sampled cohort of its shard, pays per-client
+download/compute/upload times (device cost model + the topology's
+client↔edge :class:`~repro.comm.latency.LinkModel`), ingests arrivals into
+its shard server (the same single-decode/dual-replay/reconcile path as
+everywhere else), and when its cohort completes it folds the window into one
+exact shard summary and sends it up the edge↔root link.  The root reacts to
+*summary arrivals* through a :class:`RootStrategy`:
+
+* :class:`RootFedBuff` — combine once ``buffer_size`` distinct edges have
+  reported since the last global update, over **every** edge's last-known
+  summary (slow edges contribute their previous state — the
+  partial-participation form of the ADMM global update, made exact by the
+  associative partials);
+* :class:`RootFedAsync` — staleness-weighted mixing of each arriving shard
+  summary's average into the global model (FedAvg-family only).
+
+Staleness is measured in root model versions between an edge's download of
+``w`` and its summary's arrival, and logged per summary.
+
+The loops are merged deterministically by
+:func:`~repro.asyncfl.events.next_event_loop` (earliest timestamp wins, ties
+to the root loop then ascending edge id), so runs are reproducible.  With
+free links, full per-edge participation, ``edge_round_based=True`` and
+``RootFedBuff(num_edges)`` the history is bit-for-bit the synchronous
+:class:`HierRunner`'s — and hence, under identity per-hop codecs, the flat
+``FederatedRunner``'s (tested in ``tests/test_hier.py``).
+
+Store-backed shards (per-edge :class:`~repro.scale.store.ClientStateStore`)
+materialise clients at dispatch and spill them after the upload is encoded,
+so 100k-client populations run under a live set bounded by
+``edges × live_cap``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import nn
+from ..asyncfl.events import EventLoop, next_event_loop
+from ..comm.latency import LinkModel
+from ..core.base import GLOBAL_KEY, BaseServer
+from ..core.config import FLConfig
+from ..core.exchange import PacketExchange
+from ..core.metrics import Evaluator
+from ..core.partial import unpack_partial
+from ..core.runner import RoundResult, TrainingHistory
+from ..data import Dataset
+from ..privacy import PrivacyAccountant
+from ..simulator.device import A100, DeviceSpec, LocalUpdateCostModel
+from .edge import EdgeAggregator
+from .runner import CLIENT_EDGE, EDGE_ROOT, _check_hier_server, _hop_codecs
+from .topology import Topology, build_topology, majority_labels, parse_topology
+
+__all__ = ["RootStrategy", "RootFedBuff", "RootFedAsync", "HierAsyncRunner", "build_hier_async_federation"]
+
+FREE_LINK = LinkModel(latency=0.0, bandwidth=math.inf)
+
+_COMPUTE_DONE = "compute_done"
+_ARRIVAL = "arrival"
+_SUMMARY = "summary"
+_GLOBAL = "global"
+
+
+class RootStrategy(ABC):
+    """Decides what the root does with each arriving shard summary."""
+
+    @abstractmethod
+    def on_summary(
+        self,
+        runner: "HierAsyncRunner",
+        edge_id: int,
+        partial: List[np.ndarray],
+        participants: Tuple[int, ...],
+        staleness: int,
+    ) -> Optional[Tuple[int, ...]]:
+        """Process one summary; return the participant tuple when this
+        arrival completed a global update, else ``None``."""
+
+
+class RootFedBuff(RootStrategy):
+    """Combine after ``buffer_size`` distinct edges reported (freshest wins).
+
+    The combine always spans *all* edges' last-known summaries, so the ADMM
+    ``1/P`` normaliser stays exact; FedAvg participants are the union of the
+    combined summaries' cohorts.
+    """
+
+    def __init__(self, buffer_size: int):
+        if buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        self.buffer_size = int(buffer_size)
+        self._fresh: set = set()
+
+    def on_summary(self, runner, edge_id, partial, participants, staleness):
+        self._fresh.add(edge_id)
+        if len(self._fresh) < self.buffer_size:
+            return None
+        self._fresh.clear()
+        return runner._combine_last_known()
+
+
+class RootFedAsync(RootStrategy):
+    """Staleness-weighted mixing of each shard summary (FedAvg family).
+
+    ``w ← (1 − α_τ) w + α_τ · (shard sum / shard weight)`` with
+    ``α_τ = alpha · s(τ)`` — :func:`repro.asyncfl.strategies.
+    staleness_weight` at edge granularity.
+    """
+
+    def __init__(self, alpha: float = 0.6, staleness: str = "polynomial", a: float = 0.5, b: float = 4.0):
+        from ..asyncfl.strategies import STALENESS_KINDS
+
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if staleness not in STALENESS_KINDS:
+            raise ValueError(f"unknown staleness kind {staleness!r}")
+        self.alpha = float(alpha)
+        self.staleness = staleness
+        self.a = float(a)
+        self.b = float(b)
+
+    def on_summary(self, runner, edge_id, partial, participants, staleness):
+        from ..asyncfl.strategies import staleness_weight
+
+        server = runner.server
+        if hasattr(server, "duals"):
+            raise ValueError(
+                "RootFedAsync mixes shard averages and is FedAvg-family only; "
+                "use RootFedBuff for ADMM algorithms"
+            )
+        if not participants:
+            return None
+        import math as _math
+
+        from ..core.partial import ExactPartial
+
+        acc = ExactPartial(server.vectorizer.dim, server.vectorizer.dtype)
+        acc.merge(partial)
+        weights = getattr(server, "_agg_weights", None)
+        if weights is None:
+            weights = server.client_weights()
+        weight_sum = _math.fsum(float(weights[c]) for c in sorted(participants))
+        candidate = acc.round() / weight_sum
+        mix = self.alpha * staleness_weight(staleness, self.staleness, a=self.a, b=self.b)
+        server.global_params = (1.0 - mix) * server.global_params + mix * candidate
+        server.round += 1
+        server.sync_model()
+        return tuple(sorted(participants))
+
+
+class _EdgeActor:
+    """One edge's event-driven shell: cohorts, per-client timing, flushing."""
+
+    def __init__(
+        self,
+        runner: "HierAsyncRunner",
+        edge: EdgeAggregator,
+        devices: Sequence[DeviceSpec],
+        client_link: LinkModel,
+        root_link: LinkModel,
+        fraction: float,
+        round_based: bool,
+        seed: int,
+    ):
+        self.runner = runner
+        self.edge = edge
+        self.loop = EventLoop()
+        self.devices = {cid: dev for cid, dev in zip(edge.shard, devices)}
+        self.client_link = client_link
+        self.root_link = root_link
+        self.fraction = float(fraction)
+        self.round_based = bool(round_based)
+        self.rng = np.random.default_rng(seed)
+        self._outstanding = 0
+        self._dispatched_version = 0
+        self._pending_global: Optional[Tuple[Dict[str, np.ndarray], int]] = None
+        self._waiting_for_global = False
+
+    # ----------------------------------------------------------- scheduling
+    def sample_cohort(self) -> List[int]:
+        shard = list(self.edge.shard)
+        if self.fraction >= 1.0:
+            return shard
+        k = max(1, int(round(self.fraction * len(shard))))
+        picked = self.rng.choice(len(shard), size=k, replace=False)
+        return [shard[i] for i in sorted(picked)]
+
+    def start_cohort(self) -> None:
+        """Dispatch the edge's current global to a fresh cohort."""
+        if self._pending_global is not None:
+            payload, version = self._pending_global
+            self._pending_global = None
+            self.edge.receive_global(payload)
+            self._dispatched_version = version
+        self._waiting_for_global = False
+        cohort = self.sample_cohort()
+        packet = self.edge.exchange.encode_dispatch({GLOBAL_KEY: self.edge.current_global.copy()})
+        nbytes = packet.nbytes
+        for cid in cohort:
+            self.runner._client_bytes += nbytes
+            download = self.client_link.transfer_time(nbytes)
+            payload = self.edge.exchange.open_dispatch(packet)
+            client = self.edge._acquire(cid)
+            compute = self.runner.cost_model.local_update_time(self.devices[cid], client.num_samples)
+            self.loop.schedule_after(download + compute, _COMPUTE_DONE, cid=cid, payload=payload)
+            self._outstanding += 1
+
+    # -------------------------------------------------------------- handlers
+    def handle(self, event) -> None:
+        if event.kind == _COMPUTE_DONE:
+            self._handle_compute_done(event)
+        elif event.kind == _ARRIVAL:
+            self._handle_arrival(event)
+        elif event.kind == _GLOBAL:
+            self._handle_global(event)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown edge event kind {event.kind!r}")
+
+    def _handle_compute_done(self, event) -> None:
+        cid = event.data["cid"]
+        client = self.edge._acquire(cid)
+        payload = event.data["payload"]
+        upload = client.update(payload)
+        if client.config.privacy.enabled:
+            self.runner.accountant.record(cid, client.config.privacy.epsilon)
+        dispatched_global = payload[GLOBAL_KEY]
+        packet = self.edge.exchange.encode_upload(upload, dispatched_global)
+        self.edge.exchange.reconcile(client, upload, packet, dispatched_global)
+        # Store mode holds two pins — the dispatch-time checkout (kept while
+        # in flight) and this handler's re-acquire; both end here, making the
+        # client spillable the moment its upload is on the wire.
+        self.edge._release(cid)
+        self.edge._release(cid)
+        self.runner._client_bytes += packet.nbytes
+        uplink = self.client_link.transfer_time(packet.nbytes)
+        self.loop.schedule_after(
+            uplink, _ARRIVAL, cid=cid, upload=packet, dispatched_global=dispatched_global
+        )
+
+    def _handle_arrival(self, event) -> None:
+        self.edge.ingest_upload(event.data["cid"], event.data["upload"], event.data["dispatched_global"])
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self._flush()
+
+    def _flush(self) -> None:
+        summary, participants = self.edge.summarize()
+        packet = self.runner.exchange.pipeline.encode_state(summary)
+        self.runner._root_bytes += packet.nbytes
+        uplink = self.root_link.transfer_time(packet.nbytes)
+        self.runner.root_loop.schedule(
+            self.loop.now + uplink,
+            _SUMMARY,
+            edge_id=self.edge.edge_id,
+            packet=packet,
+            participants=participants,
+            version=self._dispatched_version,
+        )
+        if not self.round_based:
+            self.start_cohort()
+        elif self._pending_global is not None:
+            # A newer global already arrived mid-cohort — adopt it now
+            # rather than idling until some later broadcast.
+            self.start_cohort()
+        else:
+            self._waiting_for_global = True
+
+    def _handle_global(self, event) -> None:
+        """A root broadcast arrived: adopt it at the next cohort boundary
+        (immediately, when the edge is idle waiting for it)."""
+        self._pending_global = (event.data["payload"], event.data["version"])
+        if self._waiting_for_global and self._outstanding == 0:
+            self.start_cohort()
+
+
+class HierAsyncRunner:
+    """Runs the event-driven two-tier loop over per-edge virtual clocks."""
+
+    def __init__(
+        self,
+        root: BaseServer,
+        edges: Sequence[EdgeAggregator],
+        topology: Topology,
+        strategy: Optional[RootStrategy] = None,
+        evaluator: Optional[Evaluator] = None,
+        accountant: Optional[PrivacyAccountant] = None,
+        cost_model: Optional[LocalUpdateCostModel] = None,
+        devices: Union[DeviceSpec, Sequence[DeviceSpec], None] = None,
+        edge_fraction: Optional[float] = None,
+        edge_round_based: bool = False,
+        seed: Optional[int] = None,
+    ):
+        if not list(edges):
+            raise ValueError("at least one edge is required")
+        _check_hier_server(root)
+        self.server = root
+        self.edges = list(edges)
+        self.topology = topology
+        config = root.config
+        self.strategy = strategy if strategy is not None else RootFedBuff(len(self.edges))
+        if isinstance(self.strategy, RootFedBuff) and self.strategy.buffer_size > len(self.edges):
+            raise ValueError(
+                f"buffer_size ({self.strategy.buffer_size}) cannot exceed the number "
+                f"of edges ({len(self.edges)})"
+            )
+        self.evaluator = evaluator
+        self.accountant = accountant if accountant is not None else PrivacyAccountant()
+        self.cost_model = (
+            cost_model if cost_model is not None else LocalUpdateCostModel(local_steps=config.local_steps)
+        )
+        _, root_spec = _hop_codecs(config)
+        self.exchange = PacketExchange(root_spec)
+        seed = config.seed if seed is None else seed
+        fraction = config.client_fraction if edge_fraction is None else edge_fraction
+        client_link = topology.client_link if topology.client_link is not None else FREE_LINK
+        root_link = topology.root_link if topology.root_link is not None else FREE_LINK
+        num_clients = root.num_clients
+        if devices is None:
+            devices = A100
+        if isinstance(devices, DeviceSpec):
+            device_list = [devices] * num_clients
+        else:
+            device_list = list(devices)
+            if len(device_list) != num_clients:
+                raise ValueError(f"need one device per client ({num_clients}), got {len(device_list)}")
+        self.actors = [
+            _EdgeActor(
+                self,
+                edge,
+                devices=[device_list[cid] for cid in edge.shard],
+                client_link=client_link,
+                root_link=root_link,
+                fraction=fraction,
+                round_based=edge_round_based,
+                seed=seed + 7700 + edge.edge_id,
+            )
+            for edge in self.edges
+        ]
+        self.root_loop = EventLoop()
+        self.history = TrainingHistory()
+        self.version = 0
+        self.staleness_log: List[int] = []
+        self.events_processed = 0
+        self._client_bytes = 0
+        self._root_bytes = 0
+        self._bytes_last = (0, 0)
+        #: last-known decoded summary partial + participants per edge
+        self._last_summary: Dict[int, Tuple[List[np.ndarray], Tuple[int, ...]]] = {}
+        if hasattr(root, "duals"):
+            # ADMM: every edge contributes from round 0 — seed the initial
+            # (z¹, λ=0) shard folds so early combines span the population.
+            for edge in self.edges:
+                summary, participants = edge.initial_summary()
+                self._last_summary[edge.edge_id] = (unpack_partial(summary), participants)
+        self._primed = False
+
+    # -------------------------------------------------------------- combine
+    def _combine_last_known(self) -> Optional[Tuple[int, ...]]:
+        """Combine every edge's last-known summary into a new global model."""
+        if not self._last_summary:
+            return None
+        partials = [self._last_summary[eid][0] for eid in sorted(self._last_summary)]
+        participants: List[int] = []
+        for eid in sorted(self._last_summary):
+            participants.extend(self._last_summary[eid][1])
+        if not participants and not hasattr(self.server, "duals"):
+            return None
+        self.server.combine_partials(partials, sorted(set(participants)))
+        return tuple(sorted(set(participants)))
+
+    def _broadcast_global(self) -> None:
+        """Ship the new global to every edge over the root links."""
+        packet = self.exchange.encode_dispatch(self.server.broadcast_payload())
+        for actor in self.actors:
+            self._root_bytes += packet.nbytes
+            delay = actor.root_link.transfer_time(packet.nbytes)
+            payload = self.exchange.open_dispatch(packet)
+            actor.loop.schedule(
+                self.root_loop.now + delay, _GLOBAL, payload=payload, version=self.version
+            )
+
+    def _handle_summary(self, event, callback) -> None:
+        edge_id = event.data["edge_id"]
+        partial = unpack_partial(self.exchange.pipeline.decode_state(event.data["packet"]))
+        participants = tuple(event.data["participants"])
+        staleness = self.version - event.data["version"]
+        self.staleness_log.append(staleness)
+        self._last_summary[edge_id] = (partial, participants)
+        finished = self.strategy.on_summary(self, edge_id, partial, participants, staleness)
+        if finished is not None:
+            self.version += 1
+            self._record_round(finished, callback)
+            self._broadcast_global()
+
+    def _record_round(self, participants, callback) -> None:
+        accuracy = loss = None
+        if self.evaluator is not None:
+            self.server.sync_model()
+            accuracy, loss = self.evaluator(self.server.model)
+        client_bytes = self._client_bytes - self._bytes_last[0]
+        root_bytes = self._root_bytes - self._bytes_last[1]
+        self._bytes_last = (self._client_bytes, self._root_bytes)
+        result = RoundResult(
+            round=len(self.history),
+            test_accuracy=accuracy,
+            test_loss=loss,
+            comm_bytes=client_bytes + root_bytes,
+            comm_seconds=0.0,
+            wall_clock_seconds=self.root_loop.now,
+            participating_clients=tuple(participants),
+            comm_bytes_by_tier={CLIENT_EDGE: client_bytes, EDGE_ROOT: root_bytes},
+        )
+        self.history.add(result)
+        if callback is not None:
+            callback(result)
+
+    # ------------------------------------------------------------------- run
+    @property
+    def now(self) -> float:
+        """Current global virtual time (the maximum across all clocks)."""
+        return max([self.root_loop.now] + [a.loop.now for a in self.actors])
+
+    def mean_staleness(self) -> float:
+        return float(np.mean(self.staleness_log)) if self.staleness_log else 0.0
+
+    def run(
+        self,
+        num_rounds: Optional[int] = None,
+        callback: Optional[Callable[[RoundResult], None]] = None,
+        max_events: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Simulate until ``num_rounds`` further global updates completed."""
+        total = num_rounds if num_rounds is not None else self.server.config.num_rounds
+        target = len(self.history) + total
+        budget = math.inf if max_events is None else int(max_events)
+        if not self._primed:
+            for actor in self.actors:
+                actor.start_cohort()
+            self._primed = True
+        loops = [self.root_loop] + [a.loop for a in self.actors]
+        while len(self.history) < target and budget > 0:
+            index = next_event_loop(loops)
+            if index is None:
+                break
+            self.events_processed += 1
+            budget -= 1
+            if index == 0:
+                event = self.root_loop.pop()
+                self._handle_summary(event, callback)
+            else:
+                actor = self.actors[index - 1]
+                actor.handle(actor.loop.pop())
+        return self.history
+
+    def close(self) -> None:
+        for edge in self.edges:
+            edge.close()
+
+    def __enter__(self) -> "HierAsyncRunner":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def build_hier_async_federation(
+    config: FLConfig,
+    model_fn: Callable[[], nn.Module],
+    client_datasets: Sequence[Dataset],
+    test_dataset: Optional[Dataset] = None,
+    topology: Union[str, Topology, Sequence[Sequence[int]], None] = None,
+    strategy: Optional[RootStrategy] = None,
+    live_cap: Optional[int] = None,
+    seed: Optional[int] = None,
+    labels: Optional[Sequence[int]] = None,
+    devices: Union[DeviceSpec, Sequence[DeviceSpec], None] = None,
+    client_link: Optional[LinkModel] = None,
+    root_link: Optional[LinkModel] = None,
+    cost_model: Optional[LocalUpdateCostModel] = None,
+    edge_fraction: Optional[float] = None,
+    edge_round_based: bool = False,
+    state_codec: str = "identity",
+    compress: Optional[str] = None,
+) -> HierAsyncRunner:
+    """Construct a :class:`HierAsyncRunner` for a named algorithm.
+
+    Same endpoint construction as :func:`~repro.hier.runner.
+    build_hier_federation` (bit-identical starting state); ``client_link`` /
+    ``root_link`` attach per-hop latency models to the topology, and
+    ``edge_fraction`` (default ``config.client_fraction``) subsamples each
+    shard per edge round.  ``live_cap`` gives every edge its own
+    :class:`~repro.scale.store.ClientStateStore`.
+    """
+    from .runner import build_hier_federation
+
+    seed_value = config.seed if seed is None else seed
+    topo_src = topology if topology is not None else config.topology
+    if topo_src is None:
+        raise ValueError("a topology is required: pass topology= or set FLConfig.topology")
+    if isinstance(topo_src, str) and labels is None:
+        if parse_topology(topo_src).mode == "by-label":
+            labels = majority_labels(client_datasets)
+    topo = build_topology(
+        topo_src, len(client_datasets), labels=labels, seed=seed_value,
+        client_link=client_link, root_link=root_link,
+    )
+    sync = build_hier_federation(
+        config, model_fn, client_datasets, test_dataset=None, topology=topo,
+        live_cap=live_cap, seed=seed_value, labels=labels,
+        state_codec=state_codec, compress=compress,
+    )
+    evaluator = Evaluator(test_dataset) if test_dataset is not None else None
+    return HierAsyncRunner(
+        sync.server,
+        sync.edges,
+        topo,
+        strategy=strategy,
+        evaluator=evaluator,
+        cost_model=cost_model,
+        devices=devices,
+        edge_fraction=edge_fraction,
+        edge_round_based=edge_round_based,
+        seed=seed_value,
+    )

@@ -1,0 +1,283 @@
+"""The edge aggregator: one shard's server-side half, folded to a summary.
+
+An :class:`EdgeAggregator` owns one shard of the client population and the
+algorithm's *server-side per-client machinery* for exactly that shard: its
+``server`` is the registered algorithm server built with
+``shard=<its client ids>`` (so an IIADMM edge holds the dual replicas of its
+own clients and replays line 6 for their uploads — the same
+:meth:`~repro.core.base.BaseServer.ingest` code path the flat server runs,
+including the lossy-codec reconcile contract with
+:meth:`~repro.core.base.BaseClient.reconcile_upload`).
+
+What an edge does *not* do is produce a global model: after folding its
+shard's decoded uploads it emits one **shard summary** — the packed
+:class:`~repro.core.partial.ExactPartial` of its clients'
+:meth:`~repro.core.base.BaseServer.partial_term` contributions — and the
+root combines the E summaries.  Because the partials are exact, the
+two-tier fold is bit-for-bit the flat aggregation, while root traffic drops
+from O(clients) to O(edges) packets per round.
+
+Clients attach either eagerly (a list of :class:`~repro.core.base.
+BaseClient`) or virtually (a per-edge :class:`~repro.scale.store.
+ClientStateStore`); store-backed shards run in waves of the store's
+``live_cap``, exactly like :class:`~repro.core.runner.FederatedRunner`'s
+virtual mode, so a 100k-client population runs under a bounded live set.
+
+The client↔edge hop has its own codec stack (``FLConfig.edge_codec``): the
+edge re-encodes the root's global for its shard and is the single decode
+point for its clients' uploads.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..comm import Communicator
+from ..core.base import GLOBAL_KEY, BaseClient, BaseServer
+from ..core.exchange import PacketExchange
+from ..core.partial import ExactPartial, pack_partial
+
+__all__ = ["EdgeAggregator"]
+
+
+class EdgeAggregator:
+    """One edge: a shard of clients plus the shard-scoped algorithm server.
+
+    Parameters
+    ----------
+    edge_id:
+        This edge's index in the topology.
+    server:
+        The algorithm server built with ``shard=`` this edge's client ids
+        (and the *global* ``num_clients`` / sample counts, so its per-client
+        terms match the flat server's bitwise).
+    clients / client_store:
+        The shard's clients — eager instances or a per-edge
+        :class:`~repro.scale.store.ClientStateStore` (exactly one of the
+        two).
+    exchange:
+        The client↔edge hop's :class:`~repro.core.exchange.PacketExchange`.
+    communicator:
+        Charges the client↔edge hop's bytes/seconds (shared across edges by
+        the synchronous runner; endpoint names stay globally unique because
+        client ids are global).
+    max_workers:
+        Thread-pool width for client updates (``FLConfig.parallel_clients``
+        semantics; 0 = one per core).
+    """
+
+    def __init__(
+        self,
+        edge_id: int,
+        server: BaseServer,
+        clients: Optional[Sequence[BaseClient]] = None,
+        client_store=None,
+        exchange: Optional[PacketExchange] = None,
+        communicator: Optional[Communicator] = None,
+        max_workers: Optional[int] = None,
+    ):
+        if (clients is None or not list(clients)) and client_store is None:
+            raise ValueError("an edge needs clients or a client_store")
+        if clients and client_store is not None:
+            raise ValueError("pass either clients or client_store, not both")
+        self.edge_id = int(edge_id)
+        self.server = server
+        self.shard: Tuple[int, ...] = server.shard
+        self.clients = list(clients) if clients else []
+        self._store = client_store
+        if self.clients and sorted(c.client_id for c in self.clients) != list(self.shard):
+            raise ValueError(
+                f"edge {edge_id}'s clients {sorted(c.client_id for c in self.clients)} "
+                f"do not match its shard {list(self.shard)}"
+            )
+        self._client_by_id = {c.client_id: c for c in self.clients}
+        self.exchange = exchange if exchange is not None else PacketExchange(server.config.codec)
+        # Clients derive their lossy-wire bookkeeping (IIADMM's reconcile
+        # stash) from their own config's codec — a mismatch with this hop's
+        # stack would silently desynchronise the dual replicas.  Fail fast.
+        endpoint_codecs = {c.config.codec for c in self.clients}
+        store_config = getattr(client_store, "config", None)
+        if store_config is not None:
+            endpoint_codecs.add(store_config.codec)
+        for codec in endpoint_codecs:
+            if PacketExchange(codec).spec != self.exchange.spec:
+                raise ValueError(
+                    f"edge {edge_id}'s clients were built with codec {codec!r} but its "
+                    f"client-hop exchange uses {self.exchange.spec!r}; hier clients "
+                    f"must carry the edge-hop codec"
+                )
+        self.communicator = communicator
+        if max_workers is None:
+            max_workers = server.config.parallel_clients
+        if max_workers == 0:
+            max_workers = os.cpu_count() or 1
+        self.max_workers = max(1, int(max_workers))
+        self._executor: Optional[ThreadPoolExecutor] = None
+        #: the latest global model received from the root (decoded)
+        self._global: np.ndarray = server.global_params.copy()
+        #: ADMM-family servers absorb uploads in ingest(); FedAvg-style ones
+        #: contribute per-upload terms, folded incrementally so a store-backed
+        #: shard never holds more than a wave of decoded payloads.
+        self._streaming = hasattr(server, "aggregate_global")
+        self._fold: Optional[ExactPartial] = None
+        self._participants: List[int] = []
+        self.begin_collect()
+
+    # ------------------------------------------------------------ global hop
+    def receive_global(self, payload: "Dict[str, np.ndarray]") -> None:
+        """Install the root's (decoded) broadcast as this edge's current
+        global model — the ``w`` every subsequent shard dispatch carries and
+        the dual-replay reference its uploads are ingested against."""
+        self._global = np.asarray(payload[GLOBAL_KEY]).copy()
+        self.server.global_params = self._global
+        self.server.sync_model()
+
+    @property
+    def current_global(self) -> np.ndarray:
+        return self._global
+
+    # -------------------------------------------------------------- folding
+    def begin_collect(self) -> None:
+        """Reset the summary fold (called at the start of a collection
+        window: a synchronous round, or an async buffer window)."""
+        self._participants = []
+        if not self._streaming:
+            self._fold = ExactPartial(self.server.vectorizer.dim, self.server.vectorizer.dtype)
+
+    def ingest_upload(self, cid: int, payload, dispatched_global: np.ndarray) -> None:
+        """Decode + absorb one client upload (the shard's single decode
+        point).  ``dispatched_global`` must be the global snapshot *this
+        client* trained on — under async staleness that is the dispatch-time
+        ``w``, not the edge's current one."""
+        decoded = self.server.ingest(cid, payload, dispatched_global)
+        self._participants.append(int(cid))
+        if not self._streaming:
+            self._fold.add(self.server.partial_term(cid, decoded))
+
+    def summarize(self) -> Tuple[Dict[str, np.ndarray], Tuple[int, ...]]:
+        """Fold the collection window into one shard summary.
+
+        Returns the packed partial (``psum:<i>`` tensors, ready for the
+        edge→root codec) and the participating global client ids.  ADMM
+        summaries cover the whole shard's last-known state (the
+        partial-participation form of the global update); FedAvg summaries
+        cover exactly the window's uploads.  Resets the fold.
+        """
+        participants = tuple(sorted(self._participants))
+        partial = self.server.partial_sum() if self._streaming else self._fold
+        summary = pack_partial(partial)
+        self.server.round += 1
+        self.begin_collect()
+        return summary, participants
+
+    def initial_summary(self) -> Tuple[Dict[str, np.ndarray], Tuple[int, ...]]:
+        """The shard's round-0 summary (ADMM family only: the fold of the
+        initial primal/dual state every client implicitly shares).  Lets an
+        asynchronous root combine over *all* edges before slow ones report."""
+        if not self._streaming:
+            raise ValueError("initial summaries only exist for ADMM-family servers")
+        return pack_partial(self.server.partial_sum()), ()
+
+    # ------------------------------------------------------ client execution
+    def _acquire(self, cid: int) -> BaseClient:
+        if self._store is None:
+            return self._client_by_id[cid]
+        return self._store.checkout(cid)
+
+    def _release(self, cid: int) -> None:
+        if self._store is not None:
+            self._store.release(cid)
+
+    def _update_clients(self, clients: Sequence[BaseClient], payloads) -> Dict[int, Dict]:
+        if self.max_workers > 1 and len(clients) > 1:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=min(self.max_workers, len(self.shard)),
+                    thread_name_prefix=f"hier-edge{self.edge_id}",
+                )
+            results = list(self._executor.map(lambda c: c.update(payloads[c.client_id]), clients))
+            return {c.client_id: r for c, r in zip(clients, results)}
+        return {c.client_id: c.update(payloads[c.client_id]) for c in clients}
+
+    def run_local_round(
+        self,
+        round_idx: int,
+        accountant=None,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> Tuple[Dict[str, np.ndarray], Tuple[int, ...]]:
+        """One synchronous shard round: dispatch → update → gather → ingest.
+
+        Mirrors :meth:`FederatedRunner.run_round`'s client loop over this
+        shard (wave-limited when store-backed), then folds the uploads into
+        the shard summary via :meth:`summarize`.  ``timings`` (when given)
+        accumulates the runner's phase keys.
+        """
+        timings = timings if timings is not None else {}
+        timings.setdefault("broadcast", 0.0)
+        timings.setdefault("local_update", 0.0)
+        timings.setdefault("gather", 0.0)
+        timings.setdefault("aggregate", 0.0)
+        shard = list(self.shard)
+        tick = time.perf_counter()
+        broadcast_payload = {GLOBAL_KEY: self._global.copy()}
+        packet = self.exchange.encode_dispatch(broadcast_payload)
+        if self.communicator is not None:
+            received = self.communicator.broadcast(round_idx, packet, shard)
+        else:
+            received = {cid: packet for cid in shard}
+        if self.exchange.lossy:
+            dispatched_global = self.exchange.open_dispatch(packet)[GLOBAL_KEY]
+        else:
+            dispatched_global = broadcast_payload[GLOBAL_KEY]
+        timings["broadcast"] += time.perf_counter() - tick
+
+        wave = max(1, int(self._store.live_cap)) if self._store is not None else len(shard)
+        for start in range(0, len(shard), wave):
+            ids = shard[start : start + wave]
+            tick = time.perf_counter()
+            clients = [self._acquire(cid) for cid in ids]
+            payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in ids}
+            timings["broadcast"] += time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            uploads = self._update_clients(clients, payloads)
+            if accountant is not None:
+                for client in clients:
+                    if client.config.privacy.enabled:
+                        accountant.record(client.client_id, client.config.privacy.epsilon)
+            timings["local_update"] += time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            packets = {}
+            for client in clients:
+                cid = client.client_id
+                packets[cid] = self.exchange.encode_upload(uploads[cid], payloads[cid][GLOBAL_KEY])
+                self.exchange.reconcile(client, uploads[cid], packets[cid], payloads[cid][GLOBAL_KEY])
+            if self.communicator is not None:
+                gathered = self.communicator.collect(round_idx, packets)
+            else:
+                gathered = packets
+            timings["gather"] += time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            for cid in ids:
+                self.ingest_upload(cid, gathered[cid], dispatched_global)
+            timings["aggregate"] += time.perf_counter() - tick
+            for cid in ids:
+                self._release(cid)
+
+        tick = time.perf_counter()
+        summary, participants = self.summarize()
+        timings["aggregate"] += time.perf_counter() - tick
+        return summary, participants
+
+    # -------------------------------------------------------------- plumbing
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

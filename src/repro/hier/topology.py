@@ -1,0 +1,220 @@
+"""Topology layer: deterministic client→edge sharding + per-hop wiring.
+
+A hierarchical federation (see :mod:`repro.hier`) is described by a
+:class:`Topology`: which edge aggregator owns which clients, and — per hop —
+which wire-codec stack and :class:`~repro.comm.latency.LinkModel` apply.
+Topologies come from three equivalent sources:
+
+* a **spec string** (storable in ``FLConfig.topology``)::
+
+      "edges:8"            # 8 seeded near-equal shards
+      "edges:8:by-label"   # 8 shards contiguous in label-sorted order
+
+* an **explicit shard map** — a sequence of client-id sequences, one per
+  edge (every client must appear on exactly one edge);
+* an existing :class:`Topology` (passed through).
+
+Sharding is deterministic: ``edges:E`` permutes client ids with
+``np.random.default_rng(seed)`` and splits the permutation into ``E``
+near-equal shards, so a fixed seed always yields the same shards;
+``by-label`` sorts clients by ``(label, client_id)`` and cuts contiguous
+blocks, so each shard covers a contiguous label range (label locality: a
+label is split across at most two adjacent edges when a block boundary lands
+inside it).  Both properties are hypothesis-tested in
+``tests/test_topology_property.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..comm.latency import LinkModel
+
+__all__ = [
+    "TopologySpec",
+    "Topology",
+    "parse_topology",
+    "build_topology",
+    "majority_labels",
+]
+
+_ACCEPTED_FORMS = "'edges:<E>' or 'edges:<E>:by-label' (E a positive integer)"
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A parsed topology spec string (no population bound yet)."""
+
+    num_edges: int
+    mode: str  # "seeded" | "by-label"
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string."""
+        suffix = ":by-label" if self.mode == "by-label" else ""
+        return f"edges:{self.num_edges}{suffix}"
+
+
+def parse_topology(spec: Union[str, TopologySpec]) -> TopologySpec:
+    """Parse (and validate) a topology spec string.
+
+    Raises ``ValueError`` naming the offending token and listing the accepted
+    forms — this runs at ``FLConfig`` construction so typos fail before any
+    federation is built.
+    """
+    if isinstance(spec, TopologySpec):
+        return spec
+    parts = str(spec).split(":")
+    if not parts or parts[0].strip().lower() != "edges":
+        raise ValueError(
+            f"unknown topology form {parts[0]!r} in spec {spec!r}; accepted: {_ACCEPTED_FORMS}"
+        )
+    if len(parts) < 2 or not parts[1].strip():
+        raise ValueError(f"topology spec {spec!r} is missing the edge count; accepted: {_ACCEPTED_FORMS}")
+    try:
+        num_edges = int(parts[1].strip())
+    except ValueError:
+        raise ValueError(
+            f"bad edge count {parts[1]!r} in topology spec {spec!r}; accepted: {_ACCEPTED_FORMS}"
+        ) from None
+    if num_edges <= 0:
+        raise ValueError(
+            f"edge count must be positive in topology spec {spec!r} (got {num_edges}); "
+            f"accepted: {_ACCEPTED_FORMS}"
+        )
+    mode = "seeded"
+    if len(parts) >= 3:
+        token = parts[2].strip().lower()
+        if token != "by-label":
+            raise ValueError(
+                f"unknown sharding mode {parts[2]!r} in topology spec {spec!r}; "
+                f"accepted modes: 'by-label' (omit for seeded sharding)"
+            )
+        mode = "by-label"
+    if len(parts) > 3:
+        raise ValueError(f"trailing tokens {parts[3:]!r} in topology spec {spec!r}; accepted: {_ACCEPTED_FORMS}")
+    return TopologySpec(num_edges=num_edges, mode=mode)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A concrete client→edge assignment plus per-hop wiring.
+
+    ``shards[e]`` are the (ascending) global client ids owned by edge ``e``;
+    every client id in ``[0, num_clients)`` appears on exactly one edge.
+    ``client_link``/``root_link`` are the per-hop latency models the
+    event-driven :class:`~repro.hier.async_runner.HierAsyncRunner` charges
+    (the synchronous runner uses its communicators instead); ``None`` means a
+    free link.
+    """
+
+    shards: Tuple[Tuple[int, ...], ...]
+    spec: str = "explicit"
+    client_link: Optional[LinkModel] = None
+    root_link: Optional[LinkModel] = None
+    _edge_of: Tuple[int, ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        seen = {}
+        for e, shard in enumerate(self.shards):
+            if not shard:
+                raise ValueError(f"edge {e} owns no clients (empty shard)")
+            if tuple(shard) != tuple(sorted(shard)):
+                raise ValueError(f"edge {e}'s shard must be sorted ascending")
+            for cid in shard:
+                if cid in seen:
+                    raise ValueError(f"client {cid} assigned to both edge {seen[cid]} and edge {e}")
+                seen[cid] = e
+        expected = set(range(len(seen)))
+        if set(seen) != expected:
+            missing = sorted(expected - set(seen))[:5]
+            extra = sorted(set(seen) - expected)[:5]
+            raise ValueError(
+                f"shards must cover exactly the ids [0, {len(seen)}): "
+                f"missing {missing}, out-of-range {extra}"
+            )
+        edge_of = [0] * len(seen)
+        for cid, e in seen.items():
+            edge_of[cid] = e
+        object.__setattr__(self, "_edge_of", tuple(edge_of))
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self._edge_of)
+
+    def edge_of(self, cid: int) -> int:
+        """The edge owning client ``cid``."""
+        return self._edge_of[int(cid)]
+
+
+def majority_labels(client_datasets: Sequence) -> np.ndarray:
+    """One representative label per client: its most frequent sample label
+    (ties broken toward the smaller label, deterministically)."""
+    from ..data.dataset import stack_dataset
+
+    labels = np.empty(len(client_datasets), dtype=np.int64)
+    for cid, dataset in enumerate(client_datasets):
+        _, y = stack_dataset(dataset)
+        values, counts = np.unique(np.asarray(y), return_counts=True)
+        labels[cid] = int(values[np.argmax(counts)])
+    return labels
+
+
+def build_topology(
+    topology: Union[str, TopologySpec, Topology, Sequence[Sequence[int]]],
+    num_clients: int,
+    labels: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    client_link: Optional[LinkModel] = None,
+    root_link: Optional[LinkModel] = None,
+) -> Topology:
+    """Materialise a :class:`Topology` over ``num_clients`` clients.
+
+    ``topology`` may be a spec string / :class:`TopologySpec`, an explicit
+    shard map, or an existing :class:`Topology` (links are re-attached when
+    given).  ``labels`` (one per client) are required for ``by-label`` specs
+    — see :func:`majority_labels`.
+    """
+    if isinstance(topology, Topology):
+        return Topology(
+            topology.shards,
+            topology.spec,
+            client_link if client_link is not None else topology.client_link,
+            root_link if root_link is not None else topology.root_link,
+        )
+    if isinstance(topology, (str, TopologySpec)):
+        spec = parse_topology(topology)
+        if spec.num_edges > num_clients:
+            raise ValueError(
+                f"topology {spec.spec!r} needs at least {spec.num_edges} clients, got {num_clients}"
+            )
+        if spec.mode == "by-label":
+            if labels is None:
+                raise ValueError(
+                    f"topology {spec.spec!r} needs per-client labels "
+                    f"(pass labels=, e.g. repro.hier.majority_labels(client_datasets))"
+                )
+            labels = np.asarray(labels)
+            if labels.shape != (num_clients,):
+                raise ValueError(f"need one label per client ({num_clients}), got shape {labels.shape}")
+            order = np.lexsort((np.arange(num_clients), labels))
+        else:
+            order = np.random.default_rng(seed).permutation(num_clients)
+        blocks = np.array_split(order, spec.num_edges)
+        shards = tuple(tuple(int(c) for c in sorted(block)) for block in blocks)
+        return Topology(shards, spec.spec, client_link, root_link)
+    # Explicit shard map.
+    shards = tuple(tuple(int(c) for c in sorted(shard)) for shard in topology)
+    built = Topology(shards, "explicit", client_link, root_link)
+    if built.num_clients != num_clients:
+        raise ValueError(
+            f"explicit shard map covers {built.num_clients} clients but the federation has {num_clients}"
+        )
+    return built

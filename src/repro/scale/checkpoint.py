@@ -13,6 +13,12 @@ or after an arbitrary number of timeline events (asynchronous) and resumed
 from its checkpoint produces a history **bitwise identical** to the
 uninterrupted run (``tests/test_checkpoint.py``).
 
+Hierarchical runs (:class:`repro.hier.runner.HierRunner`) checkpoint between
+rounds as kind ``"hier"``: the root's state plus, per edge, the shard
+server's state (dual replicas, ρ) and its client population (eager states or
+the per-edge store snapshot) — resumed runs are bitwise identical too
+(``tests/test_hier.py``).
+
 Two invariants make the asynchronous case exact:
 
 * before capture the runner is :meth:`~repro.asyncfl.runner.AsyncRunner.
@@ -64,6 +70,8 @@ def _load_history(state) -> TrainingHistory:
 
 
 def _clients_state(runner) -> Dict[str, object]:
+    """Client-population state of a runner *or* a hier EdgeAggregator (both
+    expose ``clients`` / ``_store``)."""
     store = getattr(runner, "_store", None)
     if store is not None:
         return {"mode": "store", "snapshot": store.snapshot()}
@@ -122,11 +130,24 @@ class RunCheckpoint:
         runner cannot leak into it).
         """
         from ..asyncfl.runner import AsyncRunner  # local import: optional dep direction
+        from ..core.runner import FederatedRunner as _SyncRunner
+        from ..hier.runner import HierRunner
 
         config = runner.server.config
+        if isinstance(runner, AsyncRunner):
+            kind = "async"
+        elif isinstance(runner, HierRunner):
+            kind = "hier"
+        elif isinstance(runner, _SyncRunner):
+            kind = "sync"
+        else:
+            raise TypeError(
+                f"checkpointing supports FederatedRunner, AsyncRunner, and the "
+                f"synchronous HierRunner; got {type(runner).__name__}"
+            )
         payload: Dict[str, object] = {
             "format": _FORMAT,
-            "kind": "async" if isinstance(runner, AsyncRunner) else "sync",
+            "kind": kind,
             "meta": {
                 "algorithm": config.algorithm,
                 "codec": runner.exchange.spec,
@@ -138,6 +159,20 @@ class RunCheckpoint:
             "accountant": runner.accountant.accountant_state(),
             "phase_seconds": dict(runner.phase_seconds),
         }
+        if isinstance(runner, HierRunner):
+            # Safe points are between rounds: every edge's summary fold is
+            # then empty, so shard-server state + client populations are the
+            # whole story.  Per-edge stores snapshot like any other store.
+            payload["meta"]["num_edges"] = len(runner.edges)  # type: ignore[index]
+            payload["edges"] = {
+                edge.edge_id: {
+                    "server": edge.server.server_state(),
+                    "clients": _clients_state(edge),
+                }
+                for edge in runner.edges
+            }
+            payload["clients"] = {"mode": "hier"}
+            return cls(encode_state_blob(payload))
         if isinstance(runner, AsyncRunner):
             runner.quiesce()
             payload["async"] = {
@@ -182,8 +217,14 @@ class RunCheckpoint:
         subset raise ``ValueError``.  Returns the runner.
         """
         from ..asyncfl.runner import AsyncRunner
+        from ..hier.runner import HierRunner
 
-        kind = "async" if isinstance(runner, AsyncRunner) else "sync"
+        if isinstance(runner, AsyncRunner):
+            kind = "async"
+        elif isinstance(runner, HierRunner):
+            kind = "hier"
+        else:
+            kind = "sync"
         if self.payload.get("format") != _FORMAT:
             raise ValueError(f"unsupported checkpoint format {self.payload.get('format')!r}")
         if self.payload["kind"] != kind:
@@ -196,11 +237,24 @@ class RunCheckpoint:
             "dtype": config.dtype,
             "num_clients": runner.server.num_clients,
         }
+        if kind == "hier":
+            observed["num_edges"] = len(runner.edges)
         if dict(meta) != observed:
             raise ValueError(f"checkpoint meta {dict(meta)} does not match runner {observed}")
 
         runner.server.load_server_state(self.payload["server"])
-        _restore_clients(runner, self.payload["clients"])
+        if kind == "hier":
+            edges_state = self.payload["edges"]
+            for edge in runner.edges:
+                state = edges_state[edge.edge_id]
+                edge.server.load_server_state(state["server"])
+                # The edge's working global is whatever its server last held
+                # (the root broadcast it trained its previous round on).
+                edge._global = edge.server.global_params
+                edge.begin_collect()
+                _restore_clients(edge, state["clients"])
+        else:
+            _restore_clients(runner, self.payload["clients"])
         runner.history = _load_history(self.payload["history"])
         runner.accountant.load_accountant_state(self.payload["accountant"])
         runner.phase_seconds = {k: float(v) for k, v in self.payload["phase_seconds"].items()}

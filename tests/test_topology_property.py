@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for hierarchical sharding + partials.
+
+Topology properties (ISSUE 5 satellite):
+
+* **partition** — for every spec and population, each client lands on
+  exactly one edge and shard sizes are near-equal (±1);
+* **determinism** — a fixed seed always produces identical shards (and a
+  different seed is allowed to differ);
+* **label locality** — ``by-label`` shards are contiguous in label-sorted
+  order: consecutive shards cover non-decreasing label ranges, and the
+  number of (label, edge) incidences is at most ``labels + edges − 1`` (each
+  shard boundary splits at most one label).
+
+Partial-aggregation properties (the substrate of the hierarchy's
+bit-exactness, :mod:`repro.core.partial`):
+
+* the exact accumulator reproduces per-element ``math.fsum`` — i.e. the
+  correctly rounded exact sum — for any values;
+* grouping invariance: folding the same terms through any shard grouping
+  (merged via the packed wire form) is bit-identical to the flat fold.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partial import ExactPartial, pack_partial, unpack_partial
+from repro.hier import build_topology, parse_topology
+
+
+# ----------------------------------------------------------------- strategies
+@st.composite
+def populations(draw):
+    num_clients = draw(st.integers(min_value=1, max_value=200))
+    num_edges = draw(st.integers(min_value=1, max_value=min(16, num_clients)))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return num_clients, num_edges, seed
+
+
+@st.composite
+def labelled_populations(draw):
+    num_clients, num_edges, seed = draw(populations())
+    labels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=9),
+            min_size=num_clients,
+            max_size=num_clients,
+        )
+    )
+    return num_clients, num_edges, seed, np.asarray(labels)
+
+
+# ------------------------------------------------------------------ topology
+@settings(max_examples=80, deadline=None)
+@given(populations())
+def test_every_client_on_exactly_one_edge(pop):
+    num_clients, num_edges, seed = pop
+    topo = build_topology(f"edges:{num_edges}", num_clients, seed=seed)
+    all_ids = sorted(cid for shard in topo.shards for cid in shard)
+    assert all_ids == list(range(num_clients))  # exactly once, no gaps
+    assert topo.num_edges == num_edges
+    sizes = [len(shard) for shard in topo.shards]
+    assert max(sizes) - min(sizes) <= 1  # near-equal shards
+    for shard in topo.shards:
+        for cid in shard:
+            assert topo.edge_of(cid) == topo.shards.index(shard)
+
+
+@settings(max_examples=60, deadline=None)
+@given(populations())
+def test_shards_deterministic_under_fixed_seed(pop):
+    num_clients, num_edges, seed = pop
+    a = build_topology(f"edges:{num_edges}", num_clients, seed=seed)
+    b = build_topology(f"edges:{num_edges}", num_clients, seed=seed)
+    assert a.shards == b.shards
+
+
+@settings(max_examples=60, deadline=None)
+@given(labelled_populations())
+def test_by_label_preserves_label_locality(pop):
+    num_clients, num_edges, seed, labels = pop
+    topo = build_topology(f"edges:{num_edges}:by-label", num_clients, labels=labels, seed=seed)
+    assert sorted(c for s in topo.shards for c in s) == list(range(num_clients))
+    # Consecutive shards cover non-decreasing label ranges...
+    non_empty = [s for s in topo.shards if s]
+    for left, right in zip(non_empty, non_empty[1:]):
+        assert max(labels[c] for c in left) <= min(labels[c] for c in right)
+    # ...so each shard boundary splits at most one label.
+    incidences = len({(int(labels[c]), e) for e, s in enumerate(topo.shards) for c in s})
+    assert incidences <= len(set(labels.tolist())) + topo.num_edges - 1
+
+
+def test_by_label_string_spec_is_parsed():
+    spec = parse_topology("edges:4:by-label")
+    assert spec.num_edges == 4 and spec.mode == "by-label"
+    assert parse_topology("edges:4").mode == "seeded"
+
+
+# ------------------------------------------------------------- exact partials
+@st.composite
+def term_matrices(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    dim = draw(st.integers(min_value=1, max_value=6))
+    exponents = draw(
+        st.lists(st.integers(min_value=-12, max_value=12), min_size=n, max_size=n)
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    terms = rng.standard_normal((n, dim)) * np.power(10.0, exponents)[:, None]
+    if draw(st.booleans()):  # engineered halfway cases
+        terms = np.round(terms * 4) / 4
+    cut_count = draw(st.integers(min_value=0, max_value=4))
+    cuts = sorted(draw(st.integers(min_value=0, max_value=n)) for _ in range(cut_count))
+    return terms, cuts
+
+
+@settings(max_examples=80, deadline=None)
+@given(term_matrices())
+def test_exact_partial_matches_fsum_under_any_grouping(case):
+    terms, cuts = case
+    n, dim = terms.shape
+    reference = np.array([math.fsum(terms[:, j]) for j in range(dim)])
+
+    flat = ExactPartial(dim)
+    for term in terms:
+        flat.add(term)
+    assert np.array_equal(flat.round(), reference)
+
+    root = ExactPartial(dim)
+    for group in np.split(terms, cuts):
+        shard = ExactPartial(dim)
+        for term in group:
+            shard.add(term)
+        # Round-trip each shard partial through its packed wire form.
+        root.merge(unpack_partial(pack_partial(shard)))
+    assert np.array_equal(root.round(), reference)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=2, max_value=500))
+def test_exact_partial_float32_grouping_invariance(seed, n):
+    rng = np.random.default_rng(seed)
+    terms = rng.standard_normal((n, 8)).astype(np.float32)
+    flat = ExactPartial(8, np.float32)
+    for term in terms:
+        flat.add(term)
+    cut = int(rng.integers(0, n))
+    merged = ExactPartial(8, np.float32)
+    for group in (terms[cut:], terms[:cut]):  # different order, too
+        shard = ExactPartial(8, np.float32)
+        for term in group:
+            shard.add(term)
+        merged.merge(shard)
+    assert np.array_equal(flat.round(), merged.round())
+
+
+def test_exact_partial_component_count_stays_compact():
+    rng = np.random.default_rng(0)
+    acc = ExactPartial(32)
+    for _ in range(5000):
+        acc.add(rng.standard_normal(32))
+    # Non-overlap + per-lane compaction keep the expansion a handful of
+    # arrays — this is what bounds a shard summary's wire size.
+    assert len(acc) <= 16
