@@ -412,3 +412,98 @@ def test_hier_root_fanin(hotpath_store):
     assert root_up == num_edges * rounds
     assert fanin_reduction == population / num_edges
     hotpath_store.check_and_update_hier(record)
+
+
+def test_fault_tolerance_overhead(hotpath_store):
+    """Fault-layer bench: rounds/sec under churn + kill/recover latency.
+
+    Two gauges for the self-healing story (ISSUE 6).  First, end-to-end
+    rounds/sec of a tiny-MLP flat federation at 0%, 5% and 20% per-(client,
+    round) crash rates — the 0% arm is *armed but fault-free*, so its gap to
+    the others is the true cost of dying clients (retry accounting, dead
+    letters, degraded aggregation), and its own rounds/sec gates the seam's
+    overhead against the recorded baseline.  Second, the mean wall-clock
+    milliseconds one hierarchical-async edge kill+recover cycle costs
+    (serialize slice -> kill -> restore -> replay bookkeeping), measured over
+    real kills on a virtual-timeline run.  Both land in
+    ``BENCH_hotpath.json``'s "faults" section behind the conftest gate.
+    """
+    from repro.core import MLP
+    from repro.data import TensorDataset
+    from repro.faults import FaultPlan
+    from repro.hier import RootFedBuff, build_hier_async_federation
+
+    population = 16
+    rounds = 3 if SMOKE else 6
+    rng = np.random.default_rng(0)
+    datasets = [
+        TensorDataset(rng.standard_normal((8, 8)), rng.integers(0, 3, 8))
+        for _ in range(population)
+    ]
+    model_fn = lambda: MLP(8, 3, hidden_sizes=(16,), rng=np.random.default_rng(42))
+
+    def flat_config():
+        return FLConfig(
+            algorithm="fedavg", num_rounds=rounds, local_steps=1, batch_size=4,
+            lr=0.05, seed=0,
+        )
+
+    churn = {}
+    for rate in (0.0, 0.05, 0.20):
+        best = None
+        for _ in range(max(1, REPEATS)):
+            runner = build_federation(flat_config(), model_fn, datasets)
+            runner.communicator.install_faults(FaultPlan(seed=0, client_crash_prob=rate))
+            start = time.perf_counter()
+            history = runner.run()
+            elapsed = time.perf_counter() - start
+            if best is None or rounds / elapsed > best["rounds_per_sec"]:
+                best = {
+                    "rounds_per_sec": round(rounds / elapsed, 2),
+                    "failed_client_rounds": sum(len(r.failed_clients) for r in history.rounds),
+                    "dead_letters": len(runner.communicator.log.dead_letters),
+                }
+        churn[f"{rate:.2f}"] = best
+    assert churn["0.00"]["failed_client_rounds"] == 0
+    assert churn["0.20"]["failed_client_rounds"] > 0
+
+    # Kill/recover latency on the hierarchical async runner: enough one-shot
+    # kills to average over, spread across the run's event horizon.
+    num_edges = 8
+    kills = 4 if SMOKE else 8
+    hier_config = FLConfig(
+        algorithm="fedavg", num_rounds=rounds, local_steps=1, batch_size=4,
+        lr=0.05, seed=0, topology=f"edges:{num_edges}",
+    )
+    probe = build_hier_async_federation(
+        hier_config, model_fn, datasets, strategy=RootFedBuff(num_edges)
+    )
+    probe.run(rounds)
+    horizon = max(2 * kills, (probe.events_processed * 2) // 3)
+    runner = build_hier_async_federation(
+        hier_config, model_fn, datasets, strategy=RootFedBuff(num_edges)
+    )
+    runner.enable_faults(
+        FaultPlan.chaos(0, num_edges, kills, max_event_count=horizon, min_event_count=2)
+    )
+    runner.run(rounds)
+    recoveries = runner.injector.stats.recoveries
+    assert recoveries == kills
+    recovery_ms = 1e3 * runner.recovery_seconds / recoveries
+
+    record = {
+        "workload": {
+            "population": population,
+            "edges": num_edges,
+            "algorithm": "fedavg",
+            "rounds_per_measurement": rounds,
+            "kills": kills,
+            "smoke": SMOKE,
+        },
+        "rounds_per_sec_by_crash_rate": churn,
+        "edge_kills": int(runner.injector.stats.edge_kills),
+        "recoveries": int(recoveries),
+        "recovery_ms_per_kill": round(recovery_ms, 3),
+    }
+    print("\nfaults: " + json.dumps(record, indent=2))
+    hotpath_store.check_and_update_faults(record)

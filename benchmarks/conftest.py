@@ -205,6 +205,42 @@ def hotpath_store():
             )
         _merge_write({"hier": record})
 
+    def check_and_update_faults(record):
+        previous = (load() or {}).get("faults") or None
+        if previous and previous.get("workload") != record.get("workload"):
+            previous = None
+        accept = os.environ.get("REPRO_BENCH_ACCEPT", "0") == "1"
+        failure = None
+        old_rps = ((previous or {}).get("rounds_per_sec_by_crash_rate") or {}).get("0.00", {}).get(
+            "rounds_per_sec"
+        )
+        old_recovery = (previous or {}).get("recovery_ms_per_kill")
+        new_rps = record["rounds_per_sec_by_crash_rate"]["0.00"]["rounds_per_sec"]
+        if old_rps and not accept and new_rps < (1.0 - ABSOLUTE_TOLERANCE) * old_rps:
+            # The 0% arm is armed-but-fault-free: a collapse here means the
+            # injection seam itself got expensive on the hot path.
+            failure = (
+                f"fault-free armed rounds/sec collapsed {old_rps:.2f} -> {new_rps:.2f} "
+                f"(>{ABSOLUTE_TOLERANCE:.0%} even allowing for machine load)"
+            )
+        elif (
+            old_recovery
+            and not accept
+            and record["recovery_ms_per_kill"] > old_recovery / (1.0 - ABSOLUTE_TOLERANCE)
+        ):
+            failure = (
+                f"edge kill+recover cost grew {old_recovery:.3f} -> "
+                f"{record['recovery_ms_per_kill']:.3f} ms (>{1.0 / (1.0 - ABSOLUTE_TOLERANCE):.1f}x, "
+                "even allowing for machine load)"
+            )
+        if failure is not None:
+            pytest.fail(
+                "fault-layer regression: " + failure +
+                " — BENCH_hotpath.json keeps the previous baseline; "
+                "set REPRO_BENCH_ACCEPT=1 to accept the new numbers"
+            )
+        _merge_write({"faults": record})
+
     def check_and_update_scale(record):
         previous = (load() or {}).get("scale") or None
         if previous and previous.get("workload") != record.get("workload"):
@@ -243,4 +279,5 @@ def hotpath_store():
         check_and_update_codec=check_and_update_codec,
         check_and_update_scale=check_and_update_scale,
         check_and_update_hier=check_and_update_hier,
+        check_and_update_faults=check_and_update_faults,
     )

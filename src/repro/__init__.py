@@ -31,10 +31,14 @@ Subpackages
     Hierarchical multi-tier federation: deterministic client→edge
     topologies, edge aggregators folding shards into exact partial sums,
     and sync/async two-tier runners with per-hop codecs and links.
+``repro.faults``
+    Deterministic fault injection: seeded link/crash fault plans, retry
+    policies with capped exponential backoff, and the injector the
+    communicators and runners share for chaos testing and self-healing.
 ``repro.harness``
     Experiment harnesses that regenerate each table/figure of the paper.
 """
 
 __version__ = "0.1.0"
 
-__all__ = ["nn", "data", "comm", "simulator", "privacy", "core", "asyncfl", "scale", "hier", "harness", "__version__"]
+__all__ = ["nn", "data", "comm", "simulator", "privacy", "core", "asyncfl", "scale", "hier", "faults", "harness", "__version__"]

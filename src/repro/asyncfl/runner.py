@@ -206,6 +206,10 @@ class AsyncRunner:
         self._pending_slots: List[int] = []
         self._need_cohort = False
         self._primed = False
+        #: fault layer (client crashes on the virtual timeline); see
+        #: :meth:`enable_faults`
+        self.injector = None
+        self._failed_since_round: List[int] = []
         #: total events handled on the virtual timeline (the benchmark metric)
         self.events_processed = 0
         #: cumulative real wall-clock seconds per phase (FederatedRunner API)
@@ -227,6 +231,33 @@ class AsyncRunner:
     def now(self) -> float:
         """Current virtual time in simulated seconds."""
         return self._clock.now
+
+    # ---------------------------------------------------------------- faults
+    def enable_faults(self, faults) -> "AsyncRunner":
+        """Arm client-crash injection on the virtual timeline.
+
+        ``faults`` is a :class:`repro.faults.FaultPlan` or injector.  A
+        crashed dispatch dies on-device: the local update never runs (so
+        stateful clients and their server-side replicas stay consistent),
+        no upload arrives, and the freed slot re-dispatches.  Only the
+        plan's client-crash schedule applies here — link faults live on the
+        :class:`~repro.comm.base.Communicator` seam, which the async runner
+        replaces with per-link latency models.  Round-based strategies are
+        rejected: they wait for their full cohort, which a crashed client
+        would stall forever.
+        """
+        from ..faults.injector import FaultInjector
+        from ..faults.plan import FaultPlan
+
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        if self.strategy.round_based and faults.plan.any_client_crashes:
+            raise ValueError(
+                "client-crash injection requires a non-round-based strategy: a "
+                "round-based cohort would wait forever for its crashed members"
+            )
+        self.injector = faults
+        return self
 
     # ------------------------------------------------------------- execution
     def _charge(self, phase: str, seconds: float) -> None:
@@ -289,6 +320,17 @@ class AsyncRunner:
         compute = self.sampler.compute_multiplier(cid) * self.cost_model.local_update_time(
             self.devices[cid], client.num_samples
         )
+        if self.injector is not None and self.injector.client_crashed(cid, version):
+            # The client dies on-device mid-update: its in-memory progress is
+            # lost (update never ran, so its persistent state — and any
+            # server-side replica of it — stays consistent), and the failure
+            # surfaces when the upload would have been due.
+            self._clock.schedule_after(
+                download + compute, _COMPUTE_DONE, cid=cid, version=version, crashed=True
+            )
+            self._in_flight.add(cid)
+            self._charge("broadcast", time.perf_counter() - tick)
+            return
         future = self._submit(client, payload)
         self._clock.schedule_after(
             download + compute,
@@ -303,6 +345,17 @@ class AsyncRunner:
 
     def _handle_compute_done(self, event) -> None:
         cid = event.data["cid"]
+        if event.data.get("crashed"):
+            # The crash scheduled at dispatch time comes due: record the
+            # failure, unpin the client, and free the dispatch slot — the
+            # round (if any) completes with the surviving cohort.
+            self._release(cid)
+            self._in_flight.discard(cid)
+            self._failed_since_round.append(cid)
+            self.injector.count("crash")
+            if not self.strategy.round_based:
+                self._pending_slots.append(cid)
+            return
         client = self._acquire(cid)
         tick = time.perf_counter()
         future = event.data.get("future")
@@ -315,16 +368,18 @@ class AsyncRunner:
         else:
             upload = client.update(event.data["payload"])
         self._charge("local_update", time.perf_counter() - tick)
-        if client.config.privacy.enabled:
-            self.accountant.record(cid, client.config.privacy.epsilon)
         # Encode the upload against the *dispatched* global (delta reference;
         # DP noise was already applied inside client.update), reconcile any
         # lossy-codec client state with the decoded echo, and charge the
-        # uplink with the packet's true post-codec bytes.
+        # uplink with the packet's true post-codec bytes.  Privacy is charged
+        # on *arrival* (the accepted ingest), keyed so replays never
+        # double-spend — the epsilon travels with the event since the client
+        # may be spilled by then.
         tick = time.perf_counter()
         dispatched_global = event.data["payload"][GLOBAL_KEY]
         packet = self.exchange.encode_upload(upload, dispatched_global)
         self.exchange.reconcile(client, upload, packet, dispatched_global)
+        privacy_eps = client.config.privacy.epsilon if client.config.privacy.enabled else None
         self._release(cid)  # store mode: pinned since dispatch, now spillable
         self._charge("gather", time.perf_counter() - tick)
         nbytes = packet.nbytes
@@ -338,11 +393,19 @@ class AsyncRunner:
             upload=packet,
             version=event.data["version"],
             dispatched_global=dispatched_global,
+            privacy_eps=privacy_eps,
         )
 
     def _handle_arrival(self, event, callback) -> None:
         cid = event.data["cid"]
         self._in_flight.discard(cid)
+        # Charge privacy at the accepted ingest.  Keyless on purpose: on this
+        # timeline every arrival is a distinct release (a client re-dispatched
+        # the same model version trains — and noises — again), and crashed
+        # dispatches never reach here, so there is nothing to dedupe.
+        eps = event.data.get("privacy_eps")
+        if eps is not None:
+            self.accountant.record(cid, eps)
         tick = time.perf_counter()
         participants = self.async_server.receive(
             cid, event.data["upload"], event.data["version"], event.data["dispatched_global"]
@@ -371,7 +434,12 @@ class AsyncRunner:
             phase_seconds=dict(self._round_timings),
             wall_clock_seconds=self.now,
             participating_clients=tuple(participants),
+            failed_clients=(
+                tuple(sorted(set(self._failed_since_round))) if self.injector is not None else None
+            ),
+            retries=self.injector.stats.retries if self.injector is not None else None,
         )
+        self._failed_since_round = []
         self._comm_bytes_last = self._comm_bytes
         self._sim_comm_seconds_last = self._sim_comm_seconds
         self._round_timings = {k: 0.0 for k in self.phase_seconds}
@@ -479,6 +547,10 @@ class AsyncRunner:
         """
         for event in self._clock.snapshot_events():
             if event.kind != _COMPUTE_DONE or "upload" in event.data:
+                continue
+            if event.data.get("crashed"):
+                # Crashed dispatches carry no payload and never ran — nothing
+                # to force; the crash resolves when the event pops.
                 continue
             future = event.data.get("future")
             if future is not None:

@@ -29,7 +29,7 @@ from .latency import (
     TCPLinkModel,
 )
 from .mpi_sim import MPISimCommunicator
-from .records import CommLog, CommRecord
+from .records import CommLog, CommRecord, DeadLetter
 from .serial import SerialCommunicator
 from .serialization import (
     decode_packet,
@@ -62,6 +62,7 @@ __all__ = [
     "server_endpoint",
     "CommLog",
     "CommRecord",
+    "DeadLetter",
     "LinkModel",
     "RDMALinkModel",
     "TCPLinkModel",

@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import copy
 from abc import ABC, abstractmethod
-from typing import Dict, Mapping, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from .codecs import UpdatePacket
-from .records import CommLog, CommRecord
+from .records import CommLog, CommRecord, DeadLetter
 from .serialization import payload_nbytes
 
 __all__ = ["Communicator", "server_endpoint", "client_endpoint", "edge_endpoint"]
@@ -64,6 +64,94 @@ class Communicator(ABC):
 
     def __init__(self) -> None:
         self.log = CommLog()
+        #: fault layer (None = the exact pre-fault transfer path).  Set via
+        #: :meth:`install_faults`; serial/mpi_sim/grpc_sim only override the
+        #: timing hooks, so all transports inherit the same seam.
+        self.injector = None
+        self.retry = None
+
+    def install_faults(self, faults, retry=None) -> "Communicator":
+        """Arm this communicator with a fault plan or injector.
+
+        ``faults`` is a :class:`repro.faults.FaultPlan` (wrapped in a fresh
+        :class:`~repro.faults.FaultInjector`) or an injector shared with a
+        runner.  ``retry`` overrides the injector's
+        :class:`~repro.faults.RetryPolicy`.  Returns ``self`` for chaining.
+        """
+        from ..faults.injector import FaultInjector  # local: avoid import cycle
+        from ..faults.plan import FaultPlan
+
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.injector = faults
+        self.retry = retry if retry is not None else faults.retry
+        return self
+
+    def _transfer(self, round_idx: int, endpoint: str, op: str, payload: Payload, nbytes: int, time_fn) -> Optional[Payload]:
+        """One logical transfer through the fault/retry seam.
+
+        Without an injector this is exactly the historical single-record
+        path.  With one, each attempt consults the injector: drops and
+        timeouts charge the retry policy's full ``timeout`` (the sender
+        waited for an ack that never came) and deliver nothing; corruptions
+        charge the attempt's wire time but the delivered
+        :class:`UpdatePacket` fails its checksum, so it is discarded and
+        retried; a sender crash is unretryable.  Failed attempts are
+        followed by a deterministic backoff record; a transfer exhausting
+        ``max_attempts`` lands in the log's dead letters and returns
+        ``None`` (the runners then finalize with the surviving cohort).
+        """
+        injector = self.injector
+        if injector is None:
+            self.log.add(CommRecord(round_idx, endpoint, op, nbytes, time_fn()))
+            return payload
+        policy = self.retry
+        attempts = max(1, int(policy.max_attempts))
+        for attempt in range(attempts):
+            fault = injector.transfer_fault(round_idx, endpoint, op, attempt)
+            if fault == "corrupt":
+                if isinstance(payload, UpdatePacket):
+                    delivered = injector.corrupt_packet(payload)
+                    if delivered.checksum() == payload.checksum():
+                        fault = None  # degenerate all-empty packet: nothing to flip
+                else:
+                    fault = "drop"  # raw dicts carry no checksum; model as loss
+            if fault is None:
+                self.log.add(
+                    CommRecord(round_idx, endpoint, op, nbytes, time_fn(), attempt=attempt)
+                )
+                return payload
+            injector.count(fault)
+            if fault == "crash":
+                self.log.add(CommRecord(round_idx, endpoint, op, 0, 0.0, attempt=attempt, fault=fault))
+                self.log.add_dead_letter(DeadLetter(round_idx, endpoint, op, nbytes, attempt + 1, "crash"))
+                injector.stats.dead_letters += 1
+                return None
+            # Corrupted bytes crossed the wire (charge the attempt's wire
+            # time); dropped/timed-out ones cost the sender its full timeout.
+            if fault == "corrupt":
+                self.log.add(
+                    CommRecord(round_idx, endpoint, op, nbytes, time_fn(), attempt=attempt, fault=fault)
+                )
+            else:
+                self.log.add(
+                    CommRecord(round_idx, endpoint, op, 0, policy.timeout, attempt=attempt, fault=fault)
+                )
+            if attempt + 1 < attempts:
+                injector.stats.retries += 1
+                self.log.add(
+                    CommRecord(
+                        round_idx,
+                        endpoint,
+                        "backoff",
+                        0,
+                        policy.backoff_delay(attempt, round_idx, endpoint, op),
+                        attempt=attempt + 1,
+                    )
+                )
+        self.log.add_dead_letter(DeadLetter(round_idx, endpoint, op, nbytes, attempts, "max_attempts"))
+        injector.stats.dead_letters += 1
+        return None
 
     # ------------------------------------------------------------------ hooks
     @abstractmethod
@@ -88,23 +176,43 @@ class Communicator(ABC):
 
     # ------------------------------------------------------------------- API
     def broadcast(self, round_idx: int, payload: Payload, client_ids: Sequence[int]) -> Dict[int, Payload]:
-        """Send the global model to every client; returns per-client copies."""
+        """Send the global model to every client; returns per-client copies.
+
+        With faults armed, clients whose downlink dead-letters are absent
+        from the result — the runners treat them as unreachable this round.
+        """
         nbytes = payload_nbytes(payload)
         out: Dict[int, Payload] = {}
         for cid in client_ids:
-            seconds = self._downlink_time(nbytes, len(client_ids))
-            self.log.add(CommRecord(round_idx, self.endpoint_namer(cid), "recv_global", nbytes, seconds))
-            out[cid] = self._isolate(payload)
+            delivered = self._transfer(
+                round_idx,
+                self.endpoint_namer(cid),
+                "recv_global",
+                payload,
+                nbytes,
+                lambda: self._downlink_time(nbytes, len(client_ids)),
+            )
+            if delivered is not None:
+                out[cid] = self._isolate(delivered)
         return out
 
     def collect(self, round_idx: int, payloads: Mapping[int, Payload]) -> Dict[int, Payload]:
-        """Send each client's local update to the server; returns server-side copies."""
+        """Send each client's local update to the server; returns server-side
+        copies.  With faults armed, dead-lettered uploads are absent — the
+        round then finalizes with the surviving cohort."""
         out: Dict[int, Payload] = {}
         for cid, payload in payloads.items():
             nbytes = payload_nbytes(payload)
-            seconds = self._uplink_time(nbytes, len(payloads))
-            self.log.add(CommRecord(round_idx, self.endpoint_namer(cid), "send_local", nbytes, seconds))
-            out[cid] = self._isolate(payload)
+            delivered = self._transfer(
+                round_idx,
+                self.endpoint_namer(cid),
+                "send_local",
+                payload,
+                nbytes,
+                lambda nbytes=nbytes: self._uplink_time(nbytes, len(payloads)),
+            )
+            if delivered is not None:
+                out[cid] = self._isolate(delivered)
         return out
 
     # ------------------------------------------------------------- statistics

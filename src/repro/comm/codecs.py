@@ -64,6 +64,7 @@ bookkeeping against exactly the bytes the server will see.
 from __future__ import annotations
 
 import math
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
@@ -165,11 +166,15 @@ class Int8QuantCodec(Codec):
     def decode(self, arr, meta, ref):
         if not meta.get("applied"):
             return arr
+        # Dequantize in float64 and cast once: casting the scale into a
+        # narrow target dtype first (float16 after an fp16 stage) can shred
+        # its precision — subnormal fp16 steps are coarser than scale/2 —
+        # and break this stage's documented error bound.
         dtype = np.dtype(meta["dtype"])
-        out = arr.astype(dtype)
-        out -= dtype.type(meta["zero_point"])
-        out *= dtype.type(meta["scale"])
-        return out
+        out = arr.astype(np.float64)
+        out -= float(meta["zero_point"])
+        out *= float(meta["scale"])
+        return out.astype(dtype)
 
 
 class TopKSparseCodec(Codec):
@@ -300,6 +305,22 @@ class UpdatePacket:
     def copy(self) -> "UpdatePacket":
         """Deep copy (endpoint isolation for the in-process transports)."""
         return UpdatePacket(self.codec, OrderedDict((k, e.copy()) for k, e in self.entries.items()))
+
+    def checksum(self) -> int:
+        """CRC-32 over the packet's codec spec, entry names, and encoded bytes.
+
+        The integrity check of the fault layer (:mod:`repro.faults`): a
+        receiver compares the sender-side checksum against the delivered
+        packet's and rejects on mismatch, turning simulated wire corruption
+        into a detectable, retryable fault instead of silent numeric damage.
+        """
+        crc = zlib.crc32(self.codec.encode("utf-8"))
+        for name, entry in self.entries.items():
+            crc = zlib.crc32(name.encode("utf-8"), crc)
+            crc = zlib.crc32(str(entry.dtype).encode("utf-8"), crc)
+            data = np.ascontiguousarray(entry.data)
+            crc = zlib.crc32(data.view(np.uint8) if data.nbytes else b"", crc)
+        return crc
 
 
 # ------------------------------------------------------------------- pipeline

@@ -12,18 +12,45 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-__all__ = ["CommRecord", "CommLog"]
+__all__ = ["CommRecord", "DeadLetter", "CommLog"]
 
 
 @dataclass(frozen=True)
 class CommRecord:
-    """One simulated communication event."""
+    """One simulated communication event.
+
+    With fault injection active (:mod:`repro.faults`) a logical transfer may
+    produce several records: one per failed attempt (``fault`` set, charged
+    its timeout or wire time), one per backoff wait (``op="backoff"``), and —
+    if any attempt succeeds — one clean record.  ``attempt`` is the 0-based
+    retry index; fault-free runs only ever emit ``attempt=0, fault=None``
+    records, so every pre-existing aggregation is unchanged.
+    """
 
     round: int
     endpoint: str  # e.g. "client:17" or "server"
     op: str  # "send", "recv", "gather", "bcast", ...
     nbytes: int
     seconds: float
+    #: 0-based attempt index of this transfer (retries bump it)
+    attempt: int = 0
+    #: the injected fault this attempt suffered ("drop"/"timeout"/"corrupt"/
+    #: "crash"), or ``None`` for a successful attempt
+    fault: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A transfer abandoned after exhausting its retry budget (or because
+    its sender crashed) — the undeliverable-message record real message
+    brokers keep, here feeding the failed-cohort accounting of the runners."""
+
+    round: int
+    endpoint: str
+    op: str
+    nbytes: int
+    attempts: int
+    reason: str  # "max_attempts" or "crash"
 
 
 @dataclass
@@ -31,6 +58,7 @@ class CommLog:
     """Append-only log of communication events with aggregation helpers."""
 
     records: List[CommRecord] = field(default_factory=list)
+    dead_letters: List[DeadLetter] = field(default_factory=list)
 
     def add(self, record: CommRecord) -> None:
         self.records.append(record)
@@ -38,8 +66,19 @@ class CommLog:
     def extend(self, records: Iterable[CommRecord]) -> None:
         self.records.extend(records)
 
+    def add_dead_letter(self, letter: DeadLetter) -> None:
+        self.dead_letters.append(letter)
+
     def __len__(self) -> int:
         return len(self.records)
+
+    def failed_attempts(self, rounds: Optional[Iterable[int]] = None) -> int:
+        """Number of faulted transfer attempts (each implies a retry or a
+        dead letter), optionally restricted to the given rounds."""
+        keep = None if rounds is None else set(rounds)
+        return sum(
+            1 for r in self.records if r.fault is not None and (keep is None or r.round in keep)
+        )
 
     # ------------------------------------------------------------ aggregation
     def total_seconds(self, endpoint: Optional[str] = None, skip_rounds: Iterable[int] = ()) -> float:

@@ -54,9 +54,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import nn
-from ..comm import Communicator, SerialCommunicator
+from ..comm import Communicator, SerialCommunicator, client_endpoint
+from ..comm.records import DeadLetter
 from ..data import Dataset
-from ..privacy import PrivacyAccountant
+from ..privacy import PrivacyAccountant, dispatch_fingerprint
 from .base import GLOBAL_KEY, BaseClient, BaseServer
 from .config import FLConfig
 from .exchange import PacketExchange
@@ -87,6 +88,15 @@ class RoundResult:
     #: per-tier on-wire bytes of a hierarchical round (keys "client_edge" and
     #: "edge_root", summing to ``comm_bytes``); ``None`` for flat runs.
     comm_bytes_by_tier: Optional[Dict[str, int]] = None
+    #: ids of clients that failed this round (crashed, or unreachable after
+    #: the retry budget); ``None`` when fault injection is not active.
+    failed_clients: Optional[Tuple[int, ...]] = None
+    #: number of faulted transfer attempts this round (each implies a retry
+    #: or a dead letter); ``None`` when fault injection is not active.
+    retries: Optional[int] = None
+    #: ids of edges killed and recovered during this round (hier runs);
+    #: ``None`` when fault injection is not active.
+    recovered_edges: Optional[Tuple[int, ...]] = None
 
 
 @dataclass
@@ -228,8 +238,10 @@ class FederatedRunner:
         """
         store = self._store
         client_ids = list(range(self.num_clients))
+        injector = self.communicator.injector
         bytes_before = self.communicator.total_bytes()
         seconds_before = self.communicator.log.total_seconds()
+        faulted_before = self.communicator.log.failed_attempts() if injector is not None else 0
         timings: Dict[str, float] = {k: 0.0 for k in self.phase_seconds}
         tick = time.perf_counter()
 
@@ -240,6 +252,20 @@ class FederatedRunner:
             dispatched_global = self.exchange.open_dispatch(packet)[GLOBAL_KEY]
         else:
             dispatched_global = broadcast_payload[GLOBAL_KEY]
+        # Same degraded-cohort rules as the eager path: unreachable clients
+        # sit out, crashed clients never run (and never materialise), their
+        # unsent uploads are dead-lettered.
+        active_ids = [cid for cid in client_ids if cid in received]
+        if injector is not None:
+            crashed = [cid for cid in active_ids if injector.client_crashed(cid, round_idx)]
+            if crashed:
+                crashed_set = set(crashed)
+                active_ids = [cid for cid in active_ids if cid not in crashed_set]
+                for cid in crashed:
+                    injector.count("crash")
+                    self.communicator.log.add_dead_letter(
+                        DeadLetter(round_idx, client_endpoint(cid), "send_local", 0, 0, "crash")
+                    )
         timings["broadcast"] += time.perf_counter() - tick
 
         legacy = self.server.uses_legacy_update
@@ -248,9 +274,11 @@ class FederatedRunner:
         streaming = not legacy and hasattr(self.server, "aggregate_global")
         legacy_gathered: Dict[int, object] = {}
         decoded_payloads: Dict[int, Dict[str, np.ndarray]] = {}
+        privacy_key = None
+        participants: List[int] = []
         wave = max(1, int(store.live_cap))
-        for start in range(0, len(client_ids), wave):
-            ids = client_ids[start : start + wave]
+        for start in range(0, len(active_ids), wave):
+            ids = active_ids[start : start + wave]
             tick = time.perf_counter()
             clients = [store.checkout(cid) for cid in ids]
             payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in ids}
@@ -258,9 +286,6 @@ class FederatedRunner:
 
             tick = time.perf_counter()
             uploads = self._update_clients(clients, payloads)
-            for client in clients:
-                if client.config.privacy.enabled:
-                    self.accountant.record(client.client_id, client.config.privacy.epsilon)
             timings["local_update"] += time.perf_counter() - tick
 
             tick = time.perf_counter()
@@ -272,23 +297,38 @@ class FederatedRunner:
             gathered = self.communicator.collect(round_idx, packets)
             timings["gather"] += time.perf_counter() - tick
 
+            # Privacy is charged per accepted ingest, deduped on (client,
+            # round, dispatched global) — uplink dead letters never consume
+            # epsilon, replays of an accepted release consume it once.
             tick = time.perf_counter()
             if legacy:
                 legacy_gathered.update(gathered)
             else:
                 for cid in ids:
+                    if cid not in gathered:
+                        continue
                     decoded = self.server.ingest(cid, gathered[cid], dispatched_global)
                     if not streaming:
                         decoded_payloads[cid] = decoded
+            for client in clients:
+                cid = client.client_id
+                if cid in gathered:
+                    participants.append(cid)
+                    if client.config.privacy.enabled:
+                        if privacy_key is None:
+                            privacy_key = dispatch_fingerprint(round_idx, dispatched_global)
+                        self.accountant.record(cid, client.config.privacy.epsilon, key=privacy_key)
             timings["aggregate"] += time.perf_counter() - tick
             for cid in ids:
                 store.release(cid)
 
         tick = time.perf_counter()
         if legacy:
-            self.server.update(legacy_gathered)
+            if legacy_gathered or injector is None:
+                self.server.update(legacy_gathered)
         else:
-            self.server.finalize_round(decoded_payloads)
+            if decoded_payloads or streaming or injector is None:
+                self.server.finalize_round(decoded_payloads)
         timings["aggregate"] += time.perf_counter() - tick
 
         accuracy = loss = None
@@ -301,6 +341,7 @@ class FederatedRunner:
         for phase, seconds in timings.items():
             self.phase_seconds[phase] += seconds
 
+        faulty = injector is not None
         result = RoundResult(
             round=round_idx,
             test_accuracy=accuracy,
@@ -308,7 +349,9 @@ class FederatedRunner:
             comm_bytes=self.communicator.total_bytes() - bytes_before,
             comm_seconds=self.communicator.log.total_seconds() - seconds_before,
             phase_seconds=timings,
-            participating_clients=tuple(client_ids),
+            participating_clients=tuple(participants),
+            failed_clients=tuple(sorted(set(client_ids) - set(participants))) if faulty else None,
+            retries=(self.communicator.log.failed_attempts() - faulted_before) if faulty else None,
         )
         self.history.add(result)
         return result
@@ -318,8 +361,10 @@ class FederatedRunner:
         if self._store is not None:
             return self._run_round_virtual(round_idx)
         client_ids = [c.client_id for c in self.clients]
+        injector = self.communicator.injector
         bytes_before = self.communicator.total_bytes()
         seconds_before = self.communicator.log.total_seconds()
+        faulted_before = self.communicator.log.failed_attempts() if injector is not None else 0
         timings: Dict[str, float] = {}
         tick = time.perf_counter()
 
@@ -332,23 +377,34 @@ class FederatedRunner:
         broadcast_payload = self.server.broadcast_payload()
         packet = self.exchange.encode_dispatch(broadcast_payload)
         received = self.communicator.broadcast(round_idx, packet, client_ids)
-        payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in client_ids}
+        # Unreachable clients (downlink dead-lettered) sit this round out;
+        # crashed ones die before computing — their local state must not
+        # advance (a stateful algorithm's server-side replica would silently
+        # desynchronise from a half-run update), and their unsent upload is
+        # dead-lettered for the accounting.
+        active = [c for c in self.clients if c.client_id in received]
+        if injector is not None:
+            crashed = [c.client_id for c in active if injector.client_crashed(c.client_id, round_idx)]
+            if crashed:
+                crashed_set = set(crashed)
+                active = [c for c in active if c.client_id not in crashed_set]
+                for cid in crashed:
+                    injector.count("crash")
+                    self.communicator.log.add_dead_letter(
+                        DeadLetter(round_idx, client_endpoint(cid), "send_local", 0, 0, "crash")
+                    )
+        payloads = {c.client_id: self.exchange.open_dispatch(received[c.client_id]) for c in active}
         if self.exchange.lossy:
             dispatched_global = self.exchange.open_dispatch(packet)[GLOBAL_KEY]
         else:
             dispatched_global = broadcast_payload[GLOBAL_KEY]
         timings["broadcast"] = time.perf_counter() - tick
 
-        # Clients: local updates (optionally on the thread pool).  Privacy
-        # budget is charged only to clients that actually released an update
-        # this round, so partial participation cannot over-count epsilon.
-        # Any DP clipping/noising happens inside client.update — before the
-        # codec encode below — so the guarantee survives quantization.
+        # Clients: local updates (optionally on the thread pool).  Any DP
+        # clipping/noising happens inside client.update — before the codec
+        # encode below — so the guarantee survives quantization.
         tick = time.perf_counter()
-        uploads = self._run_clients(payloads)
-        for client in self.clients:
-            if client.client_id in uploads and client.config.privacy.enabled:
-                self.accountant.record(client.client_id, client.config.privacy.epsilon)
+        uploads = self._update_clients(active, payloads)
         timings["local_update"] = time.perf_counter() - tick
 
         # Clients -> server: encode each upload against the dispatched
@@ -356,26 +412,41 @@ class FederatedRunner:
         # and transport the packets.
         tick = time.perf_counter()
         packets = {}
-        for client in self.clients:
+        for client in active:
             cid = client.client_id
             packets[cid] = self.exchange.encode_upload(uploads[cid], payloads[cid][GLOBAL_KEY])
             self.exchange.reconcile(client, uploads[cid], packets[cid], payloads[cid][GLOBAL_KEY])
         gathered = self.communicator.collect(round_idx, packets)
         timings["gather"] = time.perf_counter() - tick
 
-        # Server: decode each upload exactly once (ingest) and finalize.  A
-        # plug-and-play server whose only customisation is the legacy
-        # update() keeps the seed contract: update() is driven directly (it
-        # decodes via ingest internally), so the override is never bypassed.
+        # Server: decode each upload exactly once (ingest) and finalize with
+        # whatever cohort survived the wire.  Privacy budget is charged per
+        # *accepted* ingest, deduped on (client, round, dispatched global) —
+        # a retried or replayed packet re-sends the same noised release and
+        # must not consume epsilon twice.  A plug-and-play server whose only
+        # customisation is the legacy update() keeps the seed contract:
+        # update() is driven directly (it decodes via ingest internally), so
+        # the override is never bypassed.
         tick = time.perf_counter()
+        streaming = not self.server.uses_legacy_update and hasattr(self.server, "aggregate_global")
         if self.server.uses_legacy_update:
-            self.server.update(gathered)
+            if gathered or injector is None:
+                self.server.update(gathered)
         else:
             decoded = {
                 cid: self.server.ingest(cid, payload, dispatched_global)
                 for cid, payload in gathered.items()
             }
-            self.server.finalize_round(decoded)
+            if decoded or streaming or injector is None:
+                self.server.finalize_round(decoded)
+        privacy_key = None
+        active_by_id = {c.client_id: c for c in active}
+        for cid in gathered:
+            client = active_by_id[cid]
+            if client.config.privacy.enabled:
+                if privacy_key is None:
+                    privacy_key = dispatch_fingerprint(round_idx, dispatched_global)
+                self.accountant.record(cid, client.config.privacy.epsilon, key=privacy_key)
         timings["aggregate"] = time.perf_counter() - tick
 
         accuracy = loss = None
@@ -388,6 +459,7 @@ class FederatedRunner:
         for phase, seconds in timings.items():
             self.phase_seconds[phase] += seconds
 
+        faulty = injector is not None
         result = RoundResult(
             round=round_idx,
             test_accuracy=accuracy,
@@ -395,7 +467,9 @@ class FederatedRunner:
             comm_bytes=self.communicator.total_bytes() - bytes_before,
             comm_seconds=self.communicator.log.total_seconds() - seconds_before,
             phase_seconds=timings,
-            participating_clients=tuple(sorted(uploads)),
+            participating_clients=tuple(sorted(gathered)),
+            failed_clients=tuple(sorted(set(client_ids) - set(gathered))) if faulty else None,
+            retries=(self.communicator.log.failed_attempts() - faulted_before) if faulty else None,
         )
         self.history.add(result)
         return result

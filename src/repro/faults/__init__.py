@@ -1,0 +1,18 @@
+"""Deterministic fault injection and recovery for federated runs.
+
+The robustness layer of the reproduction: seeded schedules of packet drops,
+link timeouts, corrupted packets, client crashes and edge crashes
+(:class:`FaultPlan`), a deterministic retry/timeout/backoff cost model
+(:class:`RetryPolicy`), and the run-scoped :class:`FaultInjector` that the
+communicators (``Communicator.install_faults``) and runners
+(``enable_faults``) consult.  Every decision is a pure function of
+``(seed, decision key)`` — see :func:`keyed_rng` — so a chaos run's failure
+trace is reproducible bit-for-bit, which is what ``repro.harness.chaos``
+asserts.
+"""
+
+from .injector import FaultInjector, FaultStats
+from .plan import FaultPlan, keyed_rng
+from .retry import RetryPolicy
+
+__all__ = ["FaultPlan", "FaultInjector", "FaultStats", "RetryPolicy", "keyed_rng"]

@@ -1,0 +1,63 @@
+"""Deterministic retry/timeout/backoff policy for the communicator seam.
+
+A real federation client retries a failed RPC with capped exponential
+backoff plus jitter (gRPC's standard retry policy, which the source paper's
+transport inherits).  :class:`RetryPolicy` reproduces that cost model on the
+simulated clock: every failed attempt charges either the attempt's wire time
+(corruptions — the bytes did cross) or the full ``timeout`` (drops and
+timeouts — the sender waited for an ack that never came), and each re-try is
+preceded by a backoff delay.
+
+The jitter is drawn from the same :func:`~repro.faults.plan.keyed_rng`
+streams as the fault decisions — a pure function of (seed, transfer
+identity, attempt) — so simulated retry timing is reproducible across runs
+and runner implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .plan import keyed_rng
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + capped exponential backoff with deterministic jitter.
+
+    ``max_attempts`` bounds total tries (first attempt included); a transfer
+    still failing after that many is dead-lettered.  Attempt ``k`` (0-based)
+    that fails charges ``timeout`` simulated seconds (or its wire time, for
+    corruptions), then waits ``min(backoff_base * backoff_factor**k,
+    backoff_max) * (1 + jitter * U)`` before attempt ``k+1``, with ``U``
+    drawn from the keyed stream of the transfer's identity.
+    """
+
+    max_attempts: int = 3
+    timeout: float = 0.5
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        for name in ("timeout", "backoff_base", "backoff_max"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_delay(self, attempt: int, *key) -> float:
+        """Simulated seconds to wait before retrying after failed ``attempt``."""
+        delay = min(self.backoff_base * self.backoff_factor ** int(attempt), self.backoff_max)
+        if self.jitter > 0.0 and delay > 0.0:
+            u = float(keyed_rng(self.seed, "backoff", attempt, *key).random())
+            delay *= 1.0 + self.jitter * u
+        return float(delay)

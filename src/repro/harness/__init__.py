@@ -11,6 +11,7 @@ hetero      Section IV-E — A100 vs V100 load imbalance
 volume      Section III-A/IV-D — per-round communication volume
 ablation    DESIGN.md ablations — proximal term ζ, batching
 async       beyond the paper — sync vs FedAsync vs FedBuff wall clock
+chaos       beyond the paper — convergence-under-churn + bitwise recovery
 ==========  =======================================================
 """
 
@@ -37,6 +38,7 @@ from .comm_compare import (
     run_codec_sweep,
     run_comm_compare,
 )
+from .chaos import ChaosResult, ChaosSettings, histories_bitwise_equal, run_chaos
 from .comm_volume import CommVolumeResult, CommVolumeRow, CommVolumeSettings, run_comm_volume
 from .fig2 import Fig2Cell, Fig2Result, Fig2Settings, default_epsilons, run_fig2
 from .hetero import HeteroResult, HeteroSettings, run_hetero
@@ -86,4 +88,8 @@ __all__ = [
     "AblationResult",
     "run_zeta_ablation",
     "run_batching_ablation",
+    "ChaosSettings",
+    "ChaosResult",
+    "run_chaos",
+    "histories_bitwise_equal",
 ]

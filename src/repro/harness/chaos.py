@@ -1,0 +1,300 @@
+"""Convergence-under-churn: the chaos-engineering harness.
+
+Two claims make the fault layer (:mod:`repro.faults`) trustworthy, and this
+harness turns both into assertions:
+
+* **Convergence under churn** — a hierarchical asynchronous federation whose
+  edges are killed at seeded-random event counts (losing their in-flight
+  cohorts and rolling back to their last flush-boundary slice) and whose
+  clients crash probabilistically still trains: every planned kill is
+  recovered, every round completes, and the final accuracy lands within a
+  tolerance of the fault-free run over the same data.
+* **Boundary recovery is bitwise** — when kills land exactly at flush
+  boundaries (where the rollback slice was captured an instant earlier) and
+  both hops use identity codecs, the crash+recover run is **bit-for-bit**
+  the crash-free run: same per-round accuracy/loss, same global parameter
+  vector, and — run under IIADMM — the same dual replicas on every edge.
+  Anything short of an exact state capture/restore (a missed RNG stream, an
+  aliased array, a double-replayed dual) breaks this equality.
+
+``main()`` runs both checks and renders them; ``--smoke`` keeps the workload
+in CI-friendly seconds (the chaos smoke job in ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import FLConfig
+from ..core.models import MLP
+from ..data import TensorDataset
+from ..faults import FaultPlan
+from ..hier import RootFedBuff, build_hier_async_federation
+from .reporting import format_check, format_history
+
+__all__ = ["ChaosSettings", "ChaosResult", "run_chaos", "histories_bitwise_equal", "main"]
+
+
+@dataclass(frozen=True)
+class ChaosSettings:
+    """Scaled-down chaos scenario (tiny MLP over synthetic shards).
+
+    ``kills`` edges die at seeded-random event counts during the churn run;
+    ``boundary_kills`` maps edges to flush-boundary waves for the bitwise
+    check.  Tolerance is on final accuracy against the fault-free baseline.
+    """
+
+    num_clients: int = 24
+    num_edges: int = 8
+    kills: int = 2
+    num_rounds: int = 5
+    bitwise_rounds: int = 3
+    local_steps: int = 2
+    batch_size: int = 4
+    lr: float = 0.05
+    seed: int = 0
+    input_dim: int = 16
+    num_classes: int = 4
+    samples_per_client: int = 12
+    test_size: int = 48
+    client_crash_prob: float = 0.04
+    accuracy_tolerance: float = 0.05
+    boundary_kills: Optional[Mapping] = None
+
+    def boundary_schedule(self) -> Dict[int, Tuple[int, ...]]:
+        """Which edges die at which flush boundaries in the bitwise check
+        (default: edge 0 at its first flush, edge 1 at its second; with a
+        RootFedBuff(num_edges) window every edge flushes once per round, so
+        these fire for any ``bitwise_rounds >= 2``)."""
+        if self.boundary_kills is not None:
+            return {int(e): tuple(int(w) for w in ws) for e, ws in dict(self.boundary_kills).items()}
+        return {0: (0,), 1: (1,)}
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of both chaos checks plus the evidence behind them."""
+
+    baseline_accuracy: float
+    chaos_accuracy: float
+    converged: bool
+    kills_planned: int
+    kills_recovered: int
+    failed_client_events: int
+    fault_stats: Dict[str, int]
+    bitwise_identical: bool
+    bitwise_algorithm: str
+    histories: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.converged and self.bitwise_identical and (
+            self.kills_recovered == self.kills_planned
+        )
+
+    def render(self) -> str:
+        lines = [
+            format_check(
+                "convergence under churn (final accuracy)",
+                f"{self.baseline_accuracy:.4f}±tol",
+                f"{self.chaos_accuracy:.4f}",
+                self.converged,
+            ),
+            format_check(
+                "edge kills recovered",
+                str(self.kills_planned),
+                str(self.kills_recovered),
+                self.kills_recovered == self.kills_planned,
+            ),
+            format_check(
+                f"boundary crash+recover bitwise ({self.bitwise_algorithm}, incl. duals)",
+                "identical",
+                "identical" if self.bitwise_identical else "DIVERGED",
+                self.bitwise_identical,
+            ),
+            f"fault stats: {self.fault_stats}",
+        ]
+        if "chaos" in self.histories:
+            lines.append(format_history(self.histories["chaos"], title="churn run:"))
+        return "\n".join(lines)
+
+
+def _make_data(settings: ChaosSettings):
+    """Deterministic per-client shards + a shared test set."""
+    rng = np.random.default_rng(settings.seed + 99)
+    # A fixed linear teacher makes the synthetic task learnable, so accuracy
+    # genuinely improves over rounds and the convergence check has teeth.
+    teacher = rng.standard_normal((settings.input_dim, settings.num_classes))
+
+    def _split(n):
+        x = rng.standard_normal((n, settings.input_dim))
+        y = np.argmax(x @ teacher + 0.1 * rng.standard_normal((n, settings.num_classes)), axis=1)
+        return TensorDataset(x, y)
+
+    datasets = [_split(settings.samples_per_client) for _ in range(settings.num_clients)]
+    return datasets, _split(settings.test_size)
+
+
+def _model_fn(settings: ChaosSettings):
+    return lambda: MLP(
+        settings.input_dim,
+        settings.num_classes,
+        hidden_sizes=(8,),
+        rng=np.random.default_rng(settings.seed + 4242),
+    )
+
+
+def _build(settings: ChaosSettings, algorithm: str, num_rounds: int, datasets, test_dataset):
+    config = FLConfig(
+        algorithm=algorithm,
+        num_rounds=num_rounds,
+        local_steps=settings.local_steps,
+        batch_size=settings.batch_size,
+        lr=settings.lr,
+        seed=settings.seed,
+        topology=f"edges:{settings.num_edges}",
+    )
+    return build_hier_async_federation(
+        config,
+        _model_fn(settings),
+        datasets,
+        test_dataset=test_dataset,
+        strategy=RootFedBuff(settings.num_edges),
+    )
+
+
+def _final_accuracy(history) -> float:
+    accs = [r.test_accuracy for r in history.rounds if r.test_accuracy is not None]
+    return float(accs[-1]) if accs else 0.0
+
+
+def run_chaos(settings: Optional[ChaosSettings] = None) -> ChaosResult:
+    """Run both chaos checks and return the evidence.
+
+    1. A fault-free hierarchical async baseline fixes the convergence target
+       and the event-count budget the kill schedule is drawn over.
+    2. The churn run replays the same federation with ``kills`` edges dying
+       at seeded-random event counts plus probabilistic client crashes, and
+       must recover every kill and land within ``accuracy_tolerance`` of the
+       baseline's final accuracy.
+    3. The bitwise check runs IIADMM (identity codecs) twice — crash-free vs
+       flush-boundary kills — and compares per-round metrics, the global
+       vector, and every edge's dual replicas exactly.
+    """
+    settings = settings if settings is not None else ChaosSettings()
+    datasets, test_dataset = _make_data(settings)
+
+    # ---- 1. fault-free baseline ------------------------------------------
+    baseline = _build(settings, "fedavg", settings.num_rounds, datasets, test_dataset)
+    baseline_history = baseline.run(settings.num_rounds)
+    baseline_acc = _final_accuracy(baseline_history)
+
+    # ---- 2. convergence under churn --------------------------------------
+    # Kills are drawn over the first ~2/3 of the baseline's event budget so
+    # every kill actually lands before the run completes.
+    max_count = max(2, (baseline.events_processed * 2) // 3)
+    plan = FaultPlan.chaos(
+        settings.seed,
+        settings.num_edges,
+        settings.kills,
+        max_event_count=max_count,
+        min_event_count=max(1, max_count // 8),
+        client_crash_prob=settings.client_crash_prob,
+    )
+    chaos = _build(settings, "fedavg", settings.num_rounds, datasets, test_dataset)
+    chaos.enable_faults(plan)
+    chaos_history = chaos.run(settings.num_rounds)
+    chaos_acc = _final_accuracy(chaos_history)
+    stats = chaos.injector.stats
+    converged = (
+        len(chaos_history) == len(baseline_history)
+        and chaos_acc >= baseline_acc - settings.accuracy_tolerance
+    )
+
+    # ---- 3. boundary crash+recover is bitwise (IIADMM, identity codecs) --
+    clean = _build(settings, "iiadmm", settings.bitwise_rounds, datasets, test_dataset)
+    clean_history = clean.run(settings.bitwise_rounds)
+    killed = _build(settings, "iiadmm", settings.bitwise_rounds, datasets, test_dataset)
+    killed.enable_faults(FaultPlan(seed=settings.seed, edge_boundary_kills=settings.boundary_schedule()))
+    killed_history = killed.run(settings.bitwise_rounds)
+    bitwise = histories_bitwise_equal(clean_history, killed_history)
+    bitwise = bitwise and np.array_equal(clean.server.global_params, killed.server.global_params)
+    for edge_clean, edge_killed in zip(clean.edges, killed.edges):
+        bitwise = bitwise and np.array_equal(
+            edge_clean.server.global_params, edge_killed.server.global_params
+        )
+        for cid in edge_clean.shard:
+            bitwise = bitwise and np.array_equal(
+                edge_clean.server.duals[cid], edge_killed.server.duals[cid]
+            )
+    assert killed.injector.stats.recoveries == sum(
+        len(w) for w in settings.boundary_schedule().values()
+    ), "not every boundary kill was recovered"
+
+    return ChaosResult(
+        baseline_accuracy=baseline_acc,
+        chaos_accuracy=chaos_acc,
+        converged=converged,
+        kills_planned=settings.kills,
+        kills_recovered=int(stats.recoveries),
+        failed_client_events=int(stats.client_crashes),
+        fault_stats=stats.as_dict(),
+        bitwise_identical=bool(bitwise),
+        bitwise_algorithm="iiadmm",
+        histories={
+            "baseline": baseline_history,
+            "chaos": chaos_history,
+            "bitwise_clean": clean_history,
+            "bitwise_killed": killed_history,
+        },
+    )
+
+
+def histories_bitwise_equal(a, b) -> bool:
+    """Whether two histories agree exactly on the trained outcome: per-round
+    accuracy, loss, simulated clock, and participating cohorts.  (Fault
+    bookkeeping fields — ``failed_clients``/``recovered_edges`` — are
+    *expected* to differ between a faulted and a fault-free run and are
+    deliberately not compared.)"""
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a.rounds, b.rounds):
+        if ra.test_accuracy != rb.test_accuracy or ra.test_loss != rb.test_loss:
+            return False
+        if ra.wall_clock_seconds != rb.wall_clock_seconds:
+            return False
+        if ra.participating_clients != rb.participating_clients:
+            return False
+    return True
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="chaos: convergence-under-churn checks")
+    parser.add_argument("--smoke", action="store_true", help="smallest CI-friendly workload")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=None)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        settings = ChaosSettings(
+            num_clients=16,
+            num_edges=8,
+            kills=2,
+            num_rounds=args.rounds or 4,
+            bitwise_rounds=2,
+            samples_per_client=8,
+            test_size=32,
+            seed=args.seed,
+        )
+    else:
+        settings = ChaosSettings(seed=args.seed, num_rounds=args.rounds or ChaosSettings.num_rounds)
+    result = run_chaos(settings)
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,7 +48,10 @@ def format_history(history, title: str = "") -> str:
     participating clients alongside accuracy/loss and communication volume.
     Hierarchical runs additionally report the per-tier split of that volume
     (client→edge vs edge→root, see :mod:`repro.hier`) so the edge fan-in
-    savings are visible in every run summary; flat runs show ``-``.
+    savings are visible in every run summary; flat runs show ``-``.  Runs
+    with fault injection armed (:mod:`repro.faults`) report how many clients
+    failed and how many edges were recovered each round; fault-free runs
+    show ``-``.
     """
     rows = []
     for r in history.rounds:
@@ -63,10 +66,23 @@ def format_history(history, title: str = "") -> str:
                 "-" if "edge_root" not in tiers else round(tiers["edge_root"] / 1e6, 3),
                 "-" if r.wall_clock_seconds is None else round(r.wall_clock_seconds, 3),
                 "-" if r.participating_clients is None else len(r.participating_clients),
+                "-" if r.failed_clients is None else len(r.failed_clients),
+                "-" if r.recovered_edges is None else len(r.recovered_edges),
             ]
         )
     return format_table(
-        ["round", "test_acc", "test_loss", "comm_MB", "c2e_MB", "e2r_MB", "sim_clock_s", "clients"],
+        [
+            "round",
+            "test_acc",
+            "test_loss",
+            "comm_MB",
+            "c2e_MB",
+            "e2r_MB",
+            "sim_clock_s",
+            "clients",
+            "failed",
+            "recovered",
+        ],
         rows,
         title=title,
     )

@@ -39,6 +39,7 @@ so 100k-client populations run under a live set bounded by
 from __future__ import annotations
 
 import math
+import time
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -158,7 +159,13 @@ class RootFedAsync(RootStrategy):
 
 
 class _EdgeActor:
-    """One edge's event-driven shell: cohorts, per-client timing, flushing."""
+    """One edge's event-driven shell: cohorts, per-client timing, flushing.
+
+    ``max_in_flight`` bounds how many of a cohort's dispatches are on the
+    wire/device at once — the rest wait in a FIFO and dispatch as slots free
+    (backpressure: a store-backed shard then pins at most that many clients).
+    ``None`` keeps the dispatch-everything legacy path bit-identically.
+    """
 
     def __init__(
         self,
@@ -170,6 +177,7 @@ class _EdgeActor:
         fraction: float,
         round_based: bool,
         seed: int,
+        max_in_flight: Optional[int] = None,
     ):
         self.runner = runner
         self.edge = edge
@@ -179,11 +187,22 @@ class _EdgeActor:
         self.root_link = root_link
         self.fraction = float(fraction)
         self.round_based = bool(round_based)
+        if max_in_flight is not None and int(max_in_flight) < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self.max_in_flight = int(max_in_flight) if max_in_flight is not None else None
         self.rng = np.random.default_rng(seed)
         self._outstanding = 0
         self._dispatched_version = 0
         self._pending_global: Optional[Tuple[Dict[str, np.ndarray], int]] = None
         self._waiting_for_global = False
+        #: cohort members awaiting a dispatch slot (backpressure FIFO)
+        self._queue: List[int] = []
+        self._cohort_packet = None
+        #: completed flush boundaries (the wave index boundary kills key on)
+        self._wave_index = 0
+        #: last quiescent-point state blob (crash-recovery rollback target);
+        #: refreshed at every flush boundary while faults are armed
+        self.slice_blob: Optional[bytes] = None
 
     # ----------------------------------------------------------- scheduling
     def sample_cohort(self) -> List[int]:
@@ -193,6 +212,25 @@ class _EdgeActor:
         k = max(1, int(round(self.fraction * len(shard))))
         picked = self.rng.choice(len(shard), size=k, replace=False)
         return [shard[i] for i in sorted(picked)]
+
+    def _dispatch_one(self, cid: int, packet) -> None:
+        """Put one client's download+compute on the timeline (pins it in
+        store mode).  A planned crash for this dispatch schedules a dead
+        ``compute_done`` instead: the update never runs, so the client's
+        persistent state — and the edge's server-side replica — stay exactly
+        where they were."""
+        runner = self.runner
+        nbytes = packet.nbytes
+        runner._client_bytes += nbytes
+        download = self.client_link.transfer_time(nbytes)
+        payload = self.edge.exchange.open_dispatch(packet)
+        client = self.edge._acquire(cid)
+        compute = runner.cost_model.local_update_time(self.devices[cid], client.num_samples)
+        injector = runner.injector
+        if injector is not None and injector.client_crashed(cid, self._dispatched_version):
+            self.loop.schedule_after(download + compute, _COMPUTE_DONE, cid=cid, crashed=True)
+            return
+        self.loop.schedule_after(download + compute, _COMPUTE_DONE, cid=cid, payload=payload)
 
     def start_cohort(self) -> None:
         """Dispatch the edge's current global to a fresh cohort."""
@@ -204,15 +242,12 @@ class _EdgeActor:
         self._waiting_for_global = False
         cohort = self.sample_cohort()
         packet = self.edge.exchange.encode_dispatch({GLOBAL_KEY: self.edge.current_global.copy()})
-        nbytes = packet.nbytes
-        for cid in cohort:
-            self.runner._client_bytes += nbytes
-            download = self.client_link.transfer_time(nbytes)
-            payload = self.edge.exchange.open_dispatch(packet)
-            client = self.edge._acquire(cid)
-            compute = self.runner.cost_model.local_update_time(self.devices[cid], client.num_samples)
-            self.loop.schedule_after(download + compute, _COMPUTE_DONE, cid=cid, payload=payload)
-            self._outstanding += 1
+        limit = len(cohort) if self.max_in_flight is None else self.max_in_flight
+        self._cohort_packet = packet
+        self._queue = list(cohort[limit:])
+        for cid in cohort[:limit]:
+            self._dispatch_one(cid, packet)
+        self._outstanding += len(cohort)
 
     # -------------------------------------------------------------- handlers
     def handle(self, event) -> None:
@@ -227,14 +262,24 @@ class _EdgeActor:
 
     def _handle_compute_done(self, event) -> None:
         cid = event.data["cid"]
+        if event.data.get("crashed"):
+            # The dispatch-time crash comes due: unpin, tally, free the slot.
+            # The cohort window completes over the survivors.
+            self.edge._release(cid)
+            self.runner.injector.count("crash")
+            self.runner._failed_since_round.append(cid)
+            self._complete_one()
+            return
         client = self.edge._acquire(cid)
         payload = event.data["payload"]
         upload = client.update(payload)
-        if client.config.privacy.enabled:
-            self.runner.accountant.record(cid, client.config.privacy.epsilon)
         dispatched_global = payload[GLOBAL_KEY]
         packet = self.edge.exchange.encode_upload(upload, dispatched_global)
         self.edge.exchange.reconcile(client, upload, packet, dispatched_global)
+        # Privacy is charged when the upload is *ingested* (see
+        # _handle_arrival) — the epsilon rides the event since the client may
+        # be spilled by then.
+        privacy_eps = client.config.privacy.epsilon if client.config.privacy.enabled else None
         # Store mode holds two pins — the dispatch-time checkout (kept while
         # in flight) and this handler's re-acquire; both end here, making the
         # client spillable the moment its upload is on the wire.
@@ -243,12 +288,27 @@ class _EdgeActor:
         self.runner._client_bytes += packet.nbytes
         uplink = self.client_link.transfer_time(packet.nbytes)
         self.loop.schedule_after(
-            uplink, _ARRIVAL, cid=cid, upload=packet, dispatched_global=dispatched_global
+            uplink,
+            _ARRIVAL,
+            cid=cid,
+            upload=packet,
+            dispatched_global=dispatched_global,
+            privacy_eps=privacy_eps,
         )
 
     def _handle_arrival(self, event) -> None:
+        eps = event.data.get("privacy_eps")
+        if eps is not None:
+            self.runner.accountant.record(event.data["cid"], eps)
         self.edge.ingest_upload(event.data["cid"], event.data["upload"], event.data["dispatched_global"])
+        self._complete_one()
+
+    def _complete_one(self) -> None:
+        """One cohort member accounted for (arrived or crashed): hand its
+        slot to the backpressure queue, flush when the window completes."""
         self._outstanding -= 1
+        if self._queue:
+            self._dispatch_one(self._queue.pop(0), self._cohort_packet)
         if self._outstanding == 0:
             self._flush()
 
@@ -265,11 +325,79 @@ class _EdgeActor:
             participants=participants,
             version=self._dispatched_version,
         )
+        if self.runner.injector is not None:
+            # A flush boundary is the edge's quiescent point (no in-flight
+            # clients, empty fold): refresh the rollback slice here, and land
+            # any planned boundary kill *now* — killing a just-snapshotted
+            # edge recovers to exactly this state, which is why a
+            # boundary-kill run is bitwise the crash-free run.
+            wave = self._wave_index
+            self._wave_index += 1
+            self.slice_blob = self.capture_slice()
+            if self.runner.injector.boundary_kill(self.edge.edge_id, wave):
+                self.runner._kill_and_recover(self)
+                return
         if not self.round_based:
             self.start_cohort()
         elif self._pending_global is not None:
             # A newer global already arrived mid-cohort — adopt it now
             # rather than idling until some later broadcast.
+            self.start_cohort()
+        else:
+            self._waiting_for_global = True
+
+    # ------------------------------------------------------- crash / recover
+    def capture_slice(self) -> bytes:
+        """Serialize this edge's rollback slice: shard server + clients (the
+        :func:`repro.scale.edge_slice_state` tree) plus the actor's cohort
+        RNG and the root version its dispatches carry.  Only meaningful at a
+        quiescent point (no in-flight cohort)."""
+        from ..comm.serialization import encode_state_blob
+        from ..scale.checkpoint import edge_slice_state
+
+        return encode_state_blob(
+            {
+                "edge": edge_slice_state(self.edge),
+                "rng": self.rng.bit_generator.state,
+                "version": self._dispatched_version,
+            }
+        )
+
+    def kill(self) -> None:
+        """Lose the edge's volatile state: every in-flight dispatch and
+        arrival vanishes (their store pins released so the population can be
+        rolled back), queued work is dropped, and only root broadcasts still
+        in transit — which live on the wire, not in the edge's memory — keep
+        their place on the clock."""
+        kept = []
+        for ev in self.loop.snapshot_events():
+            if ev.kind == _COMPUTE_DONE:
+                # One pin per in-flight dispatch (crashed ones included:
+                # their release in _handle_compute_done never ran).
+                self.edge._release(ev.data["cid"])
+            elif ev.kind == _GLOBAL:
+                kept.append((ev.time, ev.seq, ev.kind, ev.data))
+        self.loop.load(self.loop.now, self.loop.sequence, kept)
+        self._outstanding = 0
+        self._queue = []
+        self._cohort_packet = None
+        self._waiting_for_global = False
+
+    def recover(self, blob: bytes) -> None:
+        """Restore the edge from a :meth:`capture_slice` blob and rejoin the
+        federation: the shard server, client population, cohort RNG and
+        dispatched version roll back to the captured quiescent point, then a
+        fresh cohort starts (or the edge waits for the next broadcast, in
+        round-based mode with nothing pending)."""
+        from ..comm.serialization import decode_state_blob
+        from ..scale.checkpoint import restore_edge_slice
+
+        state = decode_state_blob(blob)
+        restore_edge_slice(self.edge, state["edge"])
+        self.rng = np.random.default_rng(0)
+        self.rng.bit_generator.state = state["rng"]
+        self._dispatched_version = int(state["version"])
+        if not self.round_based or self._pending_global is not None:
             self.start_cohort()
         else:
             self._waiting_for_global = True
@@ -298,6 +426,7 @@ class HierAsyncRunner:
         edge_fraction: Optional[float] = None,
         edge_round_based: bool = False,
         seed: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
     ):
         if not list(edges):
             raise ValueError("at least one edge is required")
@@ -342,9 +471,11 @@ class HierAsyncRunner:
                 fraction=fraction,
                 round_based=edge_round_based,
                 seed=seed + 7700 + edge.edge_id,
+                max_in_flight=max_in_flight,
             )
             for edge in self.edges
         ]
+        self._actor_by_edge = {actor.edge.edge_id: actor for actor in self.actors}
         self.root_loop = EventLoop()
         self.history = TrainingHistory()
         self.version = 0
@@ -362,6 +493,62 @@ class HierAsyncRunner:
                 summary, participants = edge.initial_summary()
                 self._last_summary[edge.edge_id] = (unpack_partial(summary), participants)
         self._primed = False
+        #: fault layer (edge kills + client crashes on the merged clocks);
+        #: see :meth:`enable_faults`
+        self.injector = None
+        self._failed_since_round: List[int] = []
+        self._recovered_since_round: List[int] = []
+        #: real seconds spent restoring killed edges (the recovery-latency
+        #: gauge benchmarks/bench_hotpath.py reports)
+        self.recovery_seconds = 0.0
+
+    # ---------------------------------------------------------------- faults
+    def enable_faults(self, faults) -> "HierAsyncRunner":
+        """Arm edge-kill and client-crash injection on the merged clocks.
+
+        ``faults`` is a :class:`repro.faults.FaultPlan` or injector.  Three
+        fault families apply here:
+
+        * the plan's ``edge_kills`` — ``(event_count, edge_id)`` one-shots:
+          when the runner has processed that many events the edge's volatile
+          state (in-flight cohort, half-folded summary) vanishes and it is
+          restored from the slice captured at its last flush boundary, then
+          rejoins;
+        * ``edge_boundary_kills`` — kills landing exactly at a flush
+          boundary, where the rollback slice was captured an instant earlier:
+          the recovered state is bit-identical, which the chaos harness turns
+          into a bitwise-equality assertion against the crash-free run;
+        * the client-crash schedule — a crashed dispatch dies on-device
+          before its update runs; the cohort window completes over the
+          survivors.
+
+        Must be called before the first :meth:`run` so every edge's initial
+        rollback slice exists before anything can kill it.
+        """
+        from ..faults.injector import FaultInjector
+        from ..faults.plan import FaultPlan
+
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        if self._primed:
+            raise RuntimeError(
+                "enable_faults must be called before the first run(): the initial "
+                "per-edge recovery slices are captured at arm time"
+            )
+        self.injector = faults
+        for actor in self.actors:
+            actor.slice_blob = actor.capture_slice()
+        return self
+
+    def _kill_and_recover(self, actor: _EdgeActor) -> None:
+        """Kill one edge and bring it back from its last rollback slice."""
+        tick = time.perf_counter()
+        actor.kill()
+        self.injector.stats.edge_kills += 1
+        actor.recover(actor.slice_blob)
+        self.injector.stats.recoveries += 1
+        self.recovery_seconds += time.perf_counter() - tick
+        self._recovered_since_round.append(actor.edge.edge_id)
 
     # -------------------------------------------------------------- combine
     def _combine_last_known(self) -> Optional[Tuple[int, ...]]:
@@ -418,7 +605,17 @@ class HierAsyncRunner:
             wall_clock_seconds=self.root_loop.now,
             participating_clients=tuple(participants),
             comm_bytes_by_tier={CLIENT_EDGE: client_bytes, EDGE_ROOT: root_bytes},
+            failed_clients=(
+                tuple(sorted(set(self._failed_since_round))) if self.injector is not None else None
+            ),
+            recovered_edges=(
+                tuple(sorted(set(self._recovered_since_round)))
+                if self.injector is not None
+                else None
+            ),
         )
+        self._failed_since_round = []
+        self._recovered_since_round = []
         self.history.add(result)
         if callback is not None:
             callback(result)
@@ -459,6 +656,11 @@ class HierAsyncRunner:
             else:
                 actor = self.actors[index - 1]
                 actor.handle(actor.loop.pop())
+            if self.injector is not None:
+                for edge_id in self.injector.edge_kills_due(self.events_processed):
+                    victim = self._actor_by_edge.get(edge_id)
+                    if victim is not None:
+                        self._kill_and_recover(victim)
         return self.history
 
     def close(self) -> None:
@@ -490,6 +692,7 @@ def build_hier_async_federation(
     edge_round_based: bool = False,
     state_codec: str = "identity",
     compress: Optional[str] = None,
+    max_in_flight: Optional[int] = None,
 ) -> HierAsyncRunner:
     """Construct a :class:`HierAsyncRunner` for a named algorithm.
 
@@ -530,4 +733,5 @@ def build_hier_async_federation(
         edge_fraction=edge_fraction,
         edge_round_based=edge_round_based,
         seed=seed_value,
+        max_in_flight=max_in_flight,
     )

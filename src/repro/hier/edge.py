@@ -37,10 +37,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..comm import Communicator
+from ..comm import Communicator, client_endpoint
+from ..comm.records import DeadLetter
 from ..core.base import GLOBAL_KEY, BaseClient, BaseServer
 from ..core.exchange import PacketExchange
 from ..core.partial import ExactPartial, pack_partial
+from ..privacy import dispatch_fingerprint
 
 __all__ = ["EdgeAggregator"]
 
@@ -223,6 +225,7 @@ class EdgeAggregator:
         timings.setdefault("gather", 0.0)
         timings.setdefault("aggregate", 0.0)
         shard = list(self.shard)
+        injector = self.communicator.injector if self.communicator is not None else None
         tick = time.perf_counter()
         broadcast_payload = {GLOBAL_KEY: self._global.copy()}
         packet = self.exchange.encode_dispatch(broadcast_payload)
@@ -234,11 +237,27 @@ class EdgeAggregator:
             dispatched_global = self.exchange.open_dispatch(packet)[GLOBAL_KEY]
         else:
             dispatched_global = broadcast_payload[GLOBAL_KEY]
+        # Same degraded-cohort rules as the flat runner: unreachable clients
+        # sit the round out, crashed ones die before computing (their local
+        # state — and this edge's server-side replica of it — must not
+        # advance), and their unsent uploads are dead-lettered.
+        active_ids = [cid for cid in shard if cid in received]
+        if injector is not None:
+            crashed = [cid for cid in active_ids if injector.client_crashed(cid, round_idx)]
+            if crashed:
+                crashed_set = set(crashed)
+                active_ids = [cid for cid in active_ids if cid not in crashed_set]
+                for cid in crashed:
+                    injector.count("crash")
+                    self.communicator.log.add_dead_letter(
+                        DeadLetter(round_idx, client_endpoint(cid), "send_local", 0, 0, "crash")
+                    )
         timings["broadcast"] += time.perf_counter() - tick
 
+        privacy_key = None
         wave = max(1, int(self._store.live_cap)) if self._store is not None else len(shard)
-        for start in range(0, len(shard), wave):
-            ids = shard[start : start + wave]
+        for start in range(0, len(active_ids), wave):
+            ids = active_ids[start : start + wave]
             tick = time.perf_counter()
             clients = [self._acquire(cid) for cid in ids]
             payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in ids}
@@ -246,10 +265,6 @@ class EdgeAggregator:
 
             tick = time.perf_counter()
             uploads = self._update_clients(clients, payloads)
-            if accountant is not None:
-                for client in clients:
-                    if client.config.privacy.enabled:
-                        accountant.record(client.client_id, client.config.privacy.epsilon)
             timings["local_update"] += time.perf_counter() - tick
 
             tick = time.perf_counter()
@@ -265,8 +280,18 @@ class EdgeAggregator:
             timings["gather"] += time.perf_counter() - tick
 
             tick = time.perf_counter()
-            for cid in ids:
+            # Privacy is charged per *accepted* ingest, keyed on the exact
+            # dispatched-global bytes so a crash-recovery replay of this shard
+            # round never double-spends the budget.
+            for client in clients:
+                cid = client.client_id
+                if cid not in gathered:
+                    continue
                 self.ingest_upload(cid, gathered[cid], dispatched_global)
+                if accountant is not None and client.config.privacy.enabled:
+                    if privacy_key is None:
+                        privacy_key = dispatch_fingerprint(round_idx, dispatched_global)
+                    accountant.record(cid, client.config.privacy.epsilon, key=privacy_key)
             timings["aggregate"] += time.perf_counter() - tick
             for cid in ids:
                 self._release(cid)

@@ -134,6 +134,47 @@ class HierRunner:
             "aggregate": 0.0,
             "evaluate": 0.0,
         }
+        #: fault layer (see :meth:`enable_faults`); ``None`` keeps every code
+        #: path bit-identical to the fault-free runner
+        self.injector = None
+        #: last shard summary the root received per edge (decoded), the
+        #: stale stand-in ADMM combines for an unreachable edge
+        self._last_summary: Dict[int, Dict[str, np.ndarray]] = {}
+        #: round-start snapshot crashed edges recover from
+        self._ckpt = None
+
+    # ---------------------------------------------------------------- faults
+    def enable_faults(self, faults, retry=None) -> "HierRunner":
+        """Arm fault injection across the whole two-tier federation.
+
+        ``faults`` is a :class:`repro.faults.FaultPlan` or injector; it is
+        installed on *both* communicators (client↔edge and edge↔root link
+        faults, client crashes at the uplink seam) and drives the runner's
+        own edge-crash/recovery machinery: an edge in the plan's
+        ``edge_crash_rounds`` loses its in-memory state mid-round — the root
+        detects the death, restores that edge's slice of the round-start
+        :class:`~repro.scale.RunCheckpoint`, and replays its shard round.
+        ADMM-family roots combine a stale cached summary for edges that stay
+        unreachable (their clients' last-known state — the algorithms'
+        partial-participation form); FedAvg omits them and renormalises.
+        """
+        from ..faults.injector import FaultInjector
+        from ..faults.plan import FaultPlan
+
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.injector = faults
+        self.client_communicator.install_faults(faults, retry)
+        self.root_communicator.install_faults(faults, retry)
+        if hasattr(self.server, "aggregate_global"):
+            from ..core.partial import pack_partial
+
+            # Seed the stale-summary cache with each shard's current
+            # last-known fold, so an edge unreachable on the very first
+            # faulted round still contributes its (initial) state.
+            for edge in self.edges:
+                self._last_summary[edge.edge_id] = pack_partial(edge.server.partial_sum())
+        return self
 
     # ------------------------------------------------------------------- run
     def run_round(self, round_idx: int) -> RoundResult:
@@ -146,28 +187,63 @@ class HierRunner:
             + self.root_communicator.log.total_seconds()
         )
         edge_ids = [edge.edge_id for edge in self.edges]
+        injector = self.injector
+        faulted_before = (
+            self.client_communicator.log.failed_attempts()
+            + self.root_communicator.log.failed_attempts()
+            if injector is not None
+            else 0
+        )
+        if injector is not None and injector.plan.edge_crash_rounds:
+            # Round-start snapshot: the slice a mid-round edge death rolls
+            # back to.  Taken before the broadcast mutates any edge, so a
+            # recovered edge re-applies this round's global and replays its
+            # shard round bit-identically.
+            from ..scale.checkpoint import RunCheckpoint
+
+            self._ckpt = RunCheckpoint.capture(self)
 
         # Root → edges: one packet, E simulated downlinks; each edge decodes
         # its own copy — with a lossy root hop every edge trains its shard on
         # the *decoded* global, exactly what it will be ingested against.
+        # Edges whose downlink dead-lettered sit the round out with their
+        # previous state intact.
         tick = time.perf_counter()
         packet = self.exchange.encode_dispatch(self.server.broadcast_payload())
         received = self.root_communicator.broadcast(round_idx, packet, edge_ids)
-        for edge in self.edges:
+        live_edges = [edge for edge in self.edges if edge.edge_id in received]
+        for edge in live_edges:
             edge.receive_global(self.exchange.open_dispatch(received[edge.edge_id]))
         timings["broadcast"] += time.perf_counter() - tick
 
         # Edges: the shard client loops (client↔edge hop), folded to
         # summaries.  Edge order is fixed but irrelevant to the result —
-        # summaries are exact partials.
+        # summaries are exact partials.  A planned edge crash loses the
+        # summary with the edge's memory; the root restores the edge's
+        # checkpoint slice, re-sends this round's global, and the replay —
+        # same round, same keyed fault draws, rolled-back clients — yields
+        # the exact summary the crash destroyed (privacy dedupe keeps the
+        # replayed releases from double-charging the budget).
         summaries: Dict[int, Dict[str, np.ndarray]] = {}
-        participants: List[int] = []
-        for edge in self.edges:
+        parts_by_edge: Dict[int, Tuple[int, ...]] = {}
+        recovered: List[int] = []
+        for edge in live_edges:
             summary, part = edge.run_local_round(round_idx, accountant=self.accountant, timings=timings)
+            if injector is not None and injector.edge_crashed(edge.edge_id, round_idx):
+                injector.stats.edge_kills += 1
+                tick = time.perf_counter()
+                self._ckpt.restore_edge(edge)
+                edge.receive_global(self.exchange.open_dispatch(received[edge.edge_id]))
+                timings["broadcast"] += time.perf_counter() - tick
+                summary, part = edge.run_local_round(
+                    round_idx, accountant=self.accountant, timings=timings
+                )
+                injector.stats.recoveries += 1
+                recovered.append(edge.edge_id)
             summaries[edge.edge_id] = summary
-            participants.extend(part)
+            parts_by_edge[edge.edge_id] = part
 
-        # Edges → root: E summary packets over the root hop.
+        # Edges → root: one summary packet per live edge over the root hop.
         tick = time.perf_counter()
         packets = {
             eid: self.exchange.pipeline.encode_state(summary) for eid, summary in summaries.items()
@@ -177,10 +253,33 @@ class HierRunner:
 
         # Root: decode each summary once and combine the exact partials.
         tick = time.perf_counter()
-        partials = [
-            unpack_partial(self.exchange.pipeline.decode_state(gathered[eid])) for eid in edge_ids
-        ]
-        self.server.combine_partials(partials, participants)
+        participants: List[int] = []
+        if injector is None:
+            participants = [cid for eid in edge_ids for cid in parts_by_edge[eid]]
+            partials = [
+                unpack_partial(self.exchange.pipeline.decode_state(gathered[eid])) for eid in edge_ids
+            ]
+            self.server.combine_partials(partials, participants)
+        else:
+            # Degraded combine: only delivered summaries count as this
+            # round's participants.  ADMM-family roots substitute the cached
+            # last-delivered summary for a missing edge (its clients'
+            # last-known state — the partial-participation form those
+            # algorithms already define); FedAvg omits the missing shard and
+            # renormalises over who actually reported.
+            streaming = hasattr(self.server, "aggregate_global")
+            partials = []
+            for eid in edge_ids:
+                if eid in gathered:
+                    decoded = self.exchange.pipeline.decode_state(gathered[eid])
+                    self._last_summary[eid] = decoded
+                    partials.append(unpack_partial(decoded))
+                    participants.extend(parts_by_edge[eid])
+                elif streaming and eid in self._last_summary:
+                    partials.append(unpack_partial(self._last_summary[eid]))
+            if streaming or participants:
+                self.server.combine_partials(partials, participants)
+            # else: the whole cohort was lost — keep the current global.
         timings["aggregate"] += time.perf_counter() - tick
 
         accuracy = loss = None
@@ -208,6 +307,19 @@ class HierRunner:
             phase_seconds=timings,
             participating_clients=tuple(sorted(participants)),
             comm_bytes_by_tier={CLIENT_EDGE: client_bytes, EDGE_ROOT: root_bytes},
+            failed_clients=(
+                tuple(sorted(set(range(self.num_clients)) - set(participants)))
+                if injector is not None
+                else None
+            ),
+            retries=(
+                self.client_communicator.log.failed_attempts()
+                + self.root_communicator.log.failed_attempts()
+                - faulted_before
+                if injector is not None
+                else None
+            ),
+            recovered_edges=tuple(sorted(recovered)) if injector is not None else None,
         )
         self.history.add(result)
         return result

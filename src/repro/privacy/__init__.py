@@ -1,6 +1,6 @@
 """Differential-privacy mechanisms, sensitivity rules, clipping, and accounting."""
 
-from .accountant import PrivacyAccountant
+from .accountant import PrivacyAccountant, dispatch_fingerprint
 from .clipping import clip_by_norm, clip_state_by_global_norm, global_norm
 from .mechanisms import (
     GaussianMechanism,
@@ -25,4 +25,5 @@ __all__ = [
     "clip_state_by_global_norm",
     "global_norm",
     "PrivacyAccountant",
+    "dispatch_fingerprint",
 ]

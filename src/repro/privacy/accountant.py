@@ -5,15 +5,39 @@ each round consumes ε̄ of budget on the data released in that round.  The
 accountant tracks per-client spend under basic (sequential) composition so
 experiments can report the cumulative budget consumed over T rounds — a
 useful diagnostic even though the paper itself reports only the per-round ε̄.
+
+Charging discipline
+-------------------
+Budget is consumed when data is *released*, which happens exactly once per
+client update no matter how the bytes travel: a retried upload, a replayed
+edge shard (crash recovery), or a duplicated packet re-sends the *same*
+noised release and must not charge ε again.  The runners therefore charge at
+their accepted-ingest points and pass a ``key`` identifying the release —
+``(round or version, crc32 of the dispatched global)`` via
+:func:`dispatch_fingerprint` — and :meth:`PrivacyAccountant.record` dedupes
+on ``(client_id, key)``.  Keyless records (direct/legacy callers) keep the
+old charge-every-call behaviour.
 """
 
 from __future__ import annotations
 
 import math
+import zlib
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["PrivacyAccountant"]
+import numpy as np
+
+__all__ = ["PrivacyAccountant", "dispatch_fingerprint"]
+
+
+def dispatch_fingerprint(round_idx: int, dispatched_global) -> Tuple[int, int]:
+    """A dedupe key identifying one logical release: the round (or async
+    model version) plus the CRC-32 of the exact dispatched-global bytes the
+    client trained against."""
+    arr = np.ascontiguousarray(np.asarray(dispatched_global))
+    crc = zlib.crc32(arr.view(np.uint8)) if arr.nbytes else 0
+    return (int(round_idx), crc)
 
 
 class PrivacyAccountant:
@@ -21,15 +45,35 @@ class PrivacyAccountant:
 
     def __init__(self) -> None:
         self._spend: Dict[int, List[Tuple[float, float]]] = defaultdict(list)
+        #: (client_id, *key) tuples already charged — the dedupe ledger
+        self._seen: set = set()
 
-    def record(self, client_id: int, epsilon: float, delta: float = 0.0) -> None:
-        """Record one release by ``client_id`` with per-release budget (ε, δ)."""
+    def record(
+        self,
+        client_id: int,
+        epsilon: float,
+        delta: float = 0.0,
+        key: Optional[Tuple[int, ...]] = None,
+    ) -> bool:
+        """Record one release by ``client_id`` with per-release budget (ε, δ).
+
+        ``key`` identifies the logical release (see
+        :func:`dispatch_fingerprint`); a repeated ``(client_id, key)`` — a
+        retransmission or a crash-recovery replay of data already released —
+        is a no-op.  Returns ``True`` when the release was charged.
+        """
         if epsilon < 0 or delta < 0:
             raise ValueError("epsilon and delta must be non-negative")
         if not math.isfinite(epsilon):
             # Non-private release: nothing to account for.
-            return
+            return False
+        if key is not None:
+            seen_key = (int(client_id),) + tuple(int(k) for k in key)
+            if seen_key in self._seen:
+                return False
+            self._seen.add(seen_key)
         self._spend[client_id].append((float(epsilon), float(delta)))
+        return True
 
     def releases(self, client_id: int) -> int:
         """Number of private releases recorded for a client."""
@@ -50,15 +94,25 @@ class PrivacyAccountant:
         return max(self.epsilon_spent(cid) for cid in self._spend)
 
     # ------------------------------------------------------- persistent state
-    def accountant_state(self) -> Dict[int, list]:
-        """Per-client spend ledger as a plain tree (for run checkpoints)."""
-        return {cid: list(spends) for cid, spends in self._spend.items()}
+    def accountant_state(self) -> Dict[str, object]:
+        """Spend ledger + dedupe set as a plain tree (for run checkpoints)."""
+        return {
+            "spend": {cid: list(spends) for cid, spends in self._spend.items()},
+            "seen": sorted(list(k) for k in self._seen),
+        }
 
-    def load_accountant_state(self, state: Dict[int, list]) -> None:
-        """Restore a ledger captured by :meth:`accountant_state`."""
+    def load_accountant_state(self, state) -> None:
+        """Restore a ledger captured by :meth:`accountant_state` (also accepts
+        the pre-dedupe flat ``{cid: [(ε, δ), ...]}`` format)."""
+        if isinstance(state, dict) and "spend" in state:
+            spend, seen = state["spend"], state.get("seen", [])
+        else:
+            # Old flat format: every top-level key is a client id.
+            spend, seen = state, []
         self._spend = defaultdict(list)
-        for cid, spends in state.items():
+        for cid, spends in spend.items():
             self._spend[int(cid)] = [(float(e), float(d)) for e, d in spends]
+        self._seen = {tuple(int(x) for x in k) for k in seen}
 
     def summary(self) -> Dict[int, Dict[str, float]]:
         """Per-client accounting summary."""

@@ -9,7 +9,13 @@ population.  :class:`~repro.scale.checkpoint.RunCheckpoint` snapshots a
 running federation — sync or async — for bit-identical resume.
 """
 
-from .checkpoint import RunCheckpoint, load_checkpoint, save_checkpoint
+from .checkpoint import (
+    RunCheckpoint,
+    edge_slice_state,
+    load_checkpoint,
+    restore_edge_slice,
+    save_checkpoint,
+)
 from .store import ClientStateStore, StoreStats
 from .virtual import build_virtual_async_federation, build_virtual_federation, make_client_factory
 
@@ -19,6 +25,8 @@ __all__ = [
     "RunCheckpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "edge_slice_state",
+    "restore_edge_slice",
     "make_client_factory",
     "build_virtual_federation",
     "build_virtual_async_federation",

@@ -49,7 +49,13 @@ import numpy as np
 from ..comm.serialization import decode_state_blob, encode_state_blob
 from ..core.runner import FederatedRunner, RoundResult, TrainingHistory
 
-__all__ = ["RunCheckpoint", "save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "RunCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "edge_slice_state",
+    "restore_edge_slice",
+]
 
 _FORMAT = 1
 
@@ -63,8 +69,9 @@ def _load_history(state) -> TrainingHistory:
     history = TrainingHistory()
     for row in state:
         row = dict(row)
-        if row.get("participating_clients") is not None:
-            row["participating_clients"] = tuple(int(c) for c in row["participating_clients"])
+        for field in ("participating_clients", "failed_clients", "recovered_edges"):
+            if row.get(field) is not None:
+                row[field] = tuple(int(c) for c in row[field])
         history.add(RoundResult(**row))
     return history
 
@@ -93,6 +100,28 @@ def _restore_clients(runner, state) -> None:
     by_id = {c.client_id: c for c in runner.clients}
     for cid, client_state in state["states"].items():
         by_id[int(cid)].load_client_state(client_state)
+
+
+def edge_slice_state(edge) -> Dict[str, object]:
+    """One edge's checkpoint slice: its shard server + client population.
+
+    This is the unit :meth:`RunCheckpoint.restore_edge` (hier crash
+    recovery) restores independently of the rest of the federation.
+    """
+    return {
+        "server": edge.server.server_state(),
+        "clients": _clients_state(edge),
+    }
+
+
+def restore_edge_slice(edge, state) -> None:
+    """Load one :func:`edge_slice_state` tree back into ``edge``."""
+    edge.server.load_server_state(state["server"])
+    # The edge's working global is whatever its server last held
+    # (the root broadcast it trained its previous round on).
+    edge._global = edge.server.global_params
+    edge.begin_collect()
+    _restore_clients(edge, state["clients"])
 
 
 class RunCheckpoint:
@@ -160,17 +189,25 @@ class RunCheckpoint:
             "phase_seconds": dict(runner.phase_seconds),
         }
         if isinstance(runner, HierRunner):
-            # Safe points are between rounds: every edge's summary fold is
-            # then empty, so shard-server state + client populations are the
-            # whole story.  Per-edge stores snapshot like any other store.
+            # Safe points are between rounds (or at a hier round *start*,
+            # before any shard loop ran): every edge's summary fold is then
+            # empty, so shard-server state + client populations are the whole
+            # story.  Per-edge stores snapshot like any other store.  A
+            # mid-wave capture would silently lose the half-folded uploads
+            # and the pinned clients' in-flight progress — reject it.
+            for edge in runner.edges:
+                store = getattr(edge, "_store", None)
+                if edge._participants or (store is not None and store.pinned_count > 0):
+                    raise RuntimeError(
+                        f"cannot checkpoint a HierRunner mid-wave: edge "
+                        f"{edge.edge_id} has "
+                        f"{len(edge._participants)} half-folded uploads and "
+                        f"{store.pinned_count if store is not None else 0} pinned "
+                        f"clients; let run_round() finish (or capture before the "
+                        f"shard loops start) so every edge's fold is empty"
+                    )
             payload["meta"]["num_edges"] = len(runner.edges)  # type: ignore[index]
-            payload["edges"] = {
-                edge.edge_id: {
-                    "server": edge.server.server_state(),
-                    "clients": _clients_state(edge),
-                }
-                for edge in runner.edges
-            }
+            payload["edges"] = {edge.edge_id: edge_slice_state(edge) for edge in runner.edges}
             payload["clients"] = {"mode": "hier"}
             return cls(encode_state_blob(payload))
         if isinstance(runner, AsyncRunner):
@@ -246,13 +283,7 @@ class RunCheckpoint:
         if kind == "hier":
             edges_state = self.payload["edges"]
             for edge in runner.edges:
-                state = edges_state[edge.edge_id]
-                edge.server.load_server_state(state["server"])
-                # The edge's working global is whatever its server last held
-                # (the root broadcast it trained its previous round on).
-                edge._global = edge.server.global_params
-                edge.begin_collect()
-                _restore_clients(edge, state["clients"])
+                restore_edge_slice(edge, edges_state[edge.edge_id])
         else:
             _restore_clients(runner, self.payload["clients"])
         runner.history = _load_history(self.payload["history"])
@@ -279,6 +310,23 @@ class RunCheckpoint:
             runner._dispatch_cache = None
             runner._active = {}
         return runner
+
+    def restore_edge(self, edge) -> None:
+        """Restore one edge's slice of a ``"hier"`` checkpoint into ``edge``
+        — the crash-recovery primitive: the rest of the federation keeps its
+        live state and only the dead edge rolls back to the capture point.
+
+        Decodes a fresh copy of the slice from the raw blob so repeated
+        recoveries (or a recovery after the cached :attr:`payload` was handed
+        to other code) never alias arrays already given out.
+        """
+        if self.payload["kind"] != "hier":
+            raise ValueError(f"restore_edge needs a 'hier' checkpoint, got {self.payload['kind']!r}")
+        fresh = decode_state_blob(self._raw)
+        edges_state = fresh["edges"]
+        if edge.edge_id not in edges_state:
+            raise ValueError(f"checkpoint has no slice for edge {edge.edge_id}")
+        restore_edge_slice(edge, edges_state[edge.edge_id])
 
     # -------------------------------------------------------------------- I/O
     def to_bytes(self) -> bytes:

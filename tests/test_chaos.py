@@ -1,0 +1,202 @@
+"""Chaos-engineering headline tests (ISSUE 6).
+
+The two claims the fault layer stands on, asserted end-to-end:
+
+* **Self-healing convergence** — hier federations whose edges are killed at
+  seeded-random event counts (async) or crash mid-round (sync) recover and
+  keep training; rounds finalize with the surviving cohort.
+* **Bitwise recovery** — under identity codecs, crash+recover runs whose
+  kills land at safe boundaries (wave flush for the async runner, the
+  round-start checkpoint for the sync one) are bit-for-bit the crash-free
+  runs, IIADMM dual replicas included.
+
+The full two-check scenario lives in :mod:`repro.harness.chaos`; these tests
+run it at CI scale plus targeted runner-level cases the harness doesn't
+isolate (sync replay, round-based boundary kills, backpressure).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FLConfig, MLP
+from repro.data import TensorDataset, iid_partition
+from repro.faults import FaultPlan
+from repro.harness import ChaosSettings, histories_bitwise_equal, run_chaos
+from repro.hier import RootFedBuff, build_hier_async_federation, build_hier_federation
+
+
+# ----------------------------------------------------------------- fixtures
+def make_clients_and_test(num_clients=8, seed=0):
+    rng = np.random.default_rng(seed + 555)
+    centers = rng.standard_normal((3, 8)) * 3.0
+
+    def make(n, s):
+        r = np.random.default_rng(s)
+        y = r.integers(0, 3, n)
+        return TensorDataset(centers[y] + r.standard_normal((n, 8)), y)
+
+    train = make(240, seed)
+    test = make(60, seed + 100)
+    clients = iid_partition(train, num_clients, rng=np.random.default_rng(seed))
+    return clients, test
+
+
+def model_fn():
+    return MLP(8, 3, hidden_sizes=(12,), rng=np.random.default_rng(7))
+
+
+def base_config(algorithm, **kwargs):
+    defaults = dict(num_rounds=3, local_steps=2, batch_size=32, lr=0.05, rho=2.0, zeta=2.0, seed=0)
+    defaults.update(kwargs)
+    return FLConfig(algorithm=algorithm, **defaults)
+
+
+def assert_hier_bitwise(a_runner, b_runner, a_history, b_history):
+    assert histories_bitwise_equal(a_history, b_history)
+    assert np.array_equal(a_runner.server.global_params, b_runner.server.global_params)
+    for ea, eb in zip(a_runner.edges, b_runner.edges):
+        assert np.array_equal(ea.server.global_params, eb.server.global_params)
+        if hasattr(ea.server, "duals"):
+            for cid in ea.shard:
+                assert np.array_equal(ea.server.duals[cid], eb.server.duals[cid])
+
+
+# ------------------------------------------------------------- the harness
+@pytest.fixture(scope="module")
+def chaos_result():
+    return run_chaos(
+        ChaosSettings(
+            num_clients=16,
+            num_edges=8,
+            kills=2,
+            num_rounds=4,
+            bitwise_rounds=2,
+            samples_per_client=8,
+            test_size=32,
+            seed=0,
+        )
+    )
+
+
+class TestChaosHarness:
+    def test_converges_under_churn(self, chaos_result):
+        assert chaos_result.converged
+        assert chaos_result.chaos_accuracy >= chaos_result.baseline_accuracy - 0.05
+
+    def test_every_random_kill_recovers(self, chaos_result):
+        assert chaos_result.kills_recovered == chaos_result.kills_planned == 2
+        assert chaos_result.fault_stats["edge_kills"] == 2
+        assert chaos_result.fault_stats["recoveries"] >= 2
+
+    def test_boundary_crash_recover_is_bitwise(self, chaos_result):
+        assert chaos_result.bitwise_identical
+        assert chaos_result.bitwise_algorithm == "iiadmm"
+
+    def test_churn_run_reports_fault_columns(self, chaos_result):
+        history = chaos_result.histories["chaos"]
+        assert all(r.failed_clients is not None for r in history.rounds)
+        assert all(r.recovered_edges is not None for r in history.rounds)
+        assert sum(len(r.recovered_edges) for r in history.rounds) >= 2
+        assert chaos_result.ok
+
+
+# ------------------------------------------------- sync hier crash-recovery
+class TestHierSyncEdgeCrash:
+    @pytest.mark.parametrize("algorithm", ["fedavg", "iiadmm"])
+    def test_crash_replay_is_bitwise_the_crash_free_run(self, algorithm):
+        clients, test = make_clients_and_test()
+        clean = build_hier_federation(
+            base_config(algorithm), model_fn, clients, test_dataset=test, topology="edges:2"
+        )
+        clean_history = clean.run(3)
+        crashed = build_hier_federation(
+            base_config(algorithm), model_fn, clients, test_dataset=test, topology="edges:2"
+        )
+        crashed.enable_faults(FaultPlan(seed=0, edge_crash_rounds={1: (0,)}))
+        crashed_history = crashed.run(3)
+        assert_hier_bitwise(clean, crashed, clean_history, crashed_history)
+        assert crashed.injector.stats.edge_kills == 1
+        assert crashed.injector.stats.recoveries == 1
+        assert crashed_history.rounds[1].recovered_edges == (0,)
+        assert crashed_history.rounds[0].recovered_edges == ()
+
+    def test_multiple_edges_crash_same_round(self):
+        clients, test = make_clients_and_test()
+        runner = build_hier_federation(
+            base_config("iiadmm"), model_fn, clients, test_dataset=test, topology="edges:4"
+        )
+        runner.enable_faults(FaultPlan(seed=0, edge_crash_rounds={0: (0, 2), 2: (1,)}))
+        history = runner.run(3)
+        assert len(history) == 3
+        assert history.rounds[0].recovered_edges == (0, 2)
+        assert history.rounds[2].recovered_edges == (1,)
+        assert runner.injector.stats.recoveries == 3
+
+    def test_link_faults_degrade_but_complete(self):
+        clients, test = make_clients_and_test()
+        runner = build_hier_federation(
+            base_config("fedavg"), model_fn, clients, test_dataset=test, topology="edges:2"
+        )
+        runner.enable_faults(FaultPlan(seed=3, drop_prob=0.15, timeout_prob=0.1))
+        history = runner.run(3)
+        assert len(history) == 3
+        assert np.all(np.isfinite(runner.server.global_params))
+        assert runner.injector.stats.drops + runner.injector.stats.timeouts > 0
+        assert all(r.retries is not None for r in history.rounds)
+
+
+# ------------------------------------------------ async hier kill / recover
+class TestHierAsyncKillRecover:
+    def _build(self, clients, test, **kwargs):
+        kwargs.setdefault("strategy", RootFedBuff(2))
+        return build_hier_async_federation(
+            base_config("fedavg"), model_fn, clients, test_dataset=test,
+            topology="edges:2", **kwargs
+        )
+
+    def test_event_count_kills_recover_and_converge(self):
+        clients, test = make_clients_and_test()
+        runner = self._build(clients, test)
+        runner.enable_faults(FaultPlan(seed=0, edge_kills=((4, 0), (9, 1))))
+        history = runner.run(4)
+        assert len(history) == 4
+        assert runner.injector.stats.edge_kills == 2
+        assert runner.injector.stats.recoveries == 2
+        assert runner.recovery_seconds > 0.0
+        assert sum(len(r.recovered_edges) for r in history.rounds) == 2
+
+    def test_round_based_boundary_kill_is_bitwise(self):
+        clients, test = make_clients_and_test()
+        clean = self._build(clients, test, edge_round_based=True)
+        clean_history = clean.run(3)
+        killed = self._build(clients, test, edge_round_based=True)
+        killed.enable_faults(FaultPlan(seed=0, edge_boundary_kills={0: (0,), 1: (1,)}))
+        killed_history = killed.run(3)
+        assert_hier_bitwise(clean, killed, clean_history, killed_history)
+        assert killed.injector.stats.recoveries == 2
+
+    def test_enable_faults_requires_unprimed_runner(self):
+        clients, test = make_clients_and_test()
+        runner = self._build(clients, test)
+        runner.run(1)
+        with pytest.raises(RuntimeError, match="arm"):
+            runner.enable_faults(FaultPlan(seed=0))
+
+    def test_backpressure_bounds_in_flight_and_completes(self):
+        clients, test = make_clients_and_test()
+        runner = self._build(clients, test, max_in_flight=2)
+        for actor in runner.actors:
+            assert actor.max_in_flight == 2
+        history = runner.run(3)
+        assert len(history) == 3
+        with pytest.raises(ValueError, match="max_in_flight"):
+            self._build(clients, test, max_in_flight=0)
+
+    def test_client_crashes_on_virtual_timeline(self):
+        clients, test = make_clients_and_test()
+        runner = self._build(clients, test)
+        runner.enable_faults(FaultPlan(seed=1, client_crash_prob=0.3))
+        history = runner.run(4)
+        assert len(history) == 4
+        assert runner.injector.stats.client_crashes > 0
+        assert any(r.failed_clients for r in history.rounds)

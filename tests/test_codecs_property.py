@@ -230,3 +230,80 @@ def test_hypothesis_is_pinned():
             name, version = line.split("==")
             pins[name.strip()] = version.strip()
     assert pins.get("hypothesis") == hypothesis.__version__
+
+
+# --------------------------------------------- client-store crash semantics
+# The fault layer's edge recovery (ISSUE 6) leans on one store property: any
+# client whose live instance is lost — evicted under memory pressure or wiped
+# by a crash — rematerialises *bit-identically* from its last released state,
+# whatever interleaving of checkouts, mutations, releases and evictions came
+# before.  This property drives random interleavings at random live caps.
+
+
+@st.composite
+def store_scripts(draw):
+    num_clients = draw(st.integers(min_value=2, max_value=5))
+    live_cap = draw(st.integers(min_value=1, max_value=num_clients))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_clients - 1),
+                st.integers(min_value=0, max_value=2**16),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return num_clients, live_cap, ops
+
+
+@settings(max_examples=12, deadline=None)
+@given(store_scripts())
+def test_lost_clients_restore_bit_identically(script):
+    from repro.core import FLConfig, MLP
+    from repro.data import TensorDataset
+    from repro.scale import ClientStateStore, make_client_factory
+
+    num_clients, live_cap, ops = script
+    config = FLConfig(algorithm="iiadmm", num_rounds=1, local_steps=1, batch_size=4, seed=0)
+    rng = np.random.default_rng(0)
+    datasets = [
+        TensorDataset(rng.standard_normal((6, 4)), rng.integers(0, 2, 6))
+        for _ in range(num_clients)
+    ]
+
+    def model_fn():
+        return MLP(4, 2, hidden_sizes=(3,), rng=np.random.default_rng(5))
+
+    factory = make_client_factory(config, model_fn, datasets, model_fn().state_dict())
+    store = ClientStateStore(factory, num_clients, live_cap, config=config)
+
+    expected = {}
+    for step, (cid, value_seed) in enumerate(ops):
+        client = store.checkout(cid)
+        mut = np.random.default_rng(value_seed)
+        client.dual[:] = mut.standard_normal(client.dual.size)
+        client.rng.random()  # advance the per-client stream too
+        expected[cid] = {
+            "dual": client.dual.copy(),
+            "rng": client.rng.bit_generator.state,
+        }
+        store.release(cid)
+
+    # The crash: every live in-memory instance is lost; survivors exist only
+    # as spilled blobs.  flush() forces exactly that worst case.
+    store.flush()
+    assert store.live_count == 0
+
+    for cid, state in expected.items():
+        revived = store.checkout(cid)
+        np.testing.assert_array_equal(revived.dual, state["dual"])
+        assert revived.rng.bit_generator.state == state["rng"]
+        store.release(cid)
+
+    # Clients never touched by the script materialise fresh from the factory,
+    # bit-identical to a factory call outside the store.
+    untouched = [c for c in range(num_clients) if c not in expected]
+    for cid in untouched[:1]:
+        assert np.array_equal(store.checkout(cid).dual, factory(cid).dual)
+        store.release(cid)
