@@ -507,3 +507,55 @@ def test_fault_tolerance_overhead(hotpath_store):
     }
     print("\nfaults: " + json.dumps(record, indent=2))
     hotpath_store.check_and_update_faults(record)
+
+
+def test_obs_overhead(hotpath_store):
+    """Enabled-tracer overhead on the Fig. 2 hot-path workload.
+
+    The obs contract: disabled tracing is free, and an *armed* tracer costs
+    <5% rounds/sec on the optimized configuration.  Both sides are measured
+    best-of-REPEATS in the same session, so machine load largely cancels.
+    """
+    from repro.obs import Tracer, use_tracer
+
+    def run_once(tracer):
+        runner = _build_runner("flat", "float32", 0)
+        start = time.perf_counter()
+        with use_tracer(tracer):
+            history = runner.run()
+        return ROUNDS / (time.perf_counter() - start), history
+
+    repeats = max(2, REPEATS)
+    untraced = 0.0
+    untraced_history = None
+    for _ in range(repeats):
+        rps, history = run_once(None)
+        if rps > untraced:
+            untraced, untraced_history = rps, history
+    traced = 0.0
+    spans = 0
+    traced_history = None
+    for _ in range(repeats):
+        tracer = Tracer()
+        rps, history = run_once(tracer)
+        if rps > traced:
+            traced, spans, traced_history = rps, len(tracer), history
+    overhead_pct = 100.0 * (untraced - traced) / untraced
+
+    record = {
+        "workload": WORKLOAD,
+        "untraced_rounds_per_sec": round(untraced, 4),
+        "traced_rounds_per_sec": round(traced, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "trace_records": spans,
+    }
+    print("\nobs: " + json.dumps(record, indent=2))
+
+    # The tracer is observational only: the traced run trains identically.
+    assert traced_history.final_accuracy == untraced_history.final_accuracy
+    assert spans > 0, "armed tracer recorded nothing on a traced run"
+    assert overhead_pct < 5.0, (
+        f"enabled-tracer overhead {overhead_pct:.2f}% exceeds the 5% budget "
+        f"({untraced:.4f} -> {traced:.4f} rounds/sec)"
+    )
+    hotpath_store.check_and_update_obs(record)

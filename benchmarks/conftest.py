@@ -271,6 +271,26 @@ def hotpath_store():
             )
         _merge_write({"scale": record})
 
+    def check_and_update_obs(record):
+        previous = (load() or {}).get("obs") or None
+        if previous and previous.get("workload") != record.get("workload"):
+            previous = None
+        accept = os.environ.get("REPRO_BENCH_ACCEPT", "0") == "1"
+        old_rps = (previous or {}).get("traced_rounds_per_sec")
+        if (
+            old_rps
+            and not accept
+            and record["traced_rounds_per_sec"] < (1.0 - ABSOLUTE_TOLERANCE) * old_rps
+        ):
+            pytest.fail(
+                "obs tracer regression: traced rounds/sec collapsed "
+                f"{old_rps:.4f} -> {record['traced_rounds_per_sec']:.4f} "
+                f"(>{ABSOLUTE_TOLERANCE:.0%} even allowing for machine load) — "
+                "BENCH_hotpath.json keeps the previous baseline; "
+                "set REPRO_BENCH_ACCEPT=1 to accept the new numbers"
+            )
+        _merge_write({"obs": record})
+
     return SimpleNamespace(
         path=HOTPATH_PATH,
         load=load,
@@ -280,4 +300,5 @@ def hotpath_store():
         check_and_update_scale=check_and_update_scale,
         check_and_update_hier=check_and_update_hier,
         check_and_update_faults=check_and_update_faults,
+        check_and_update_obs=check_and_update_obs,
     )

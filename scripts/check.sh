@@ -30,6 +30,9 @@ if [ "$run_slow" -eq 1 ]; then
   python -m pytest -x -q -m slow
 fi
 
+echo "== obs quickstart: trace + metrics + run report =="
+python examples/obs_quickstart.py > /dev/null
+
 echo "== bench gates: BENCH_hotpath.json regression checks =="
 python -m pytest benchmarks/bench_hotpath.py -x -q
 

@@ -35,10 +35,14 @@ Subpackages
     Deterministic fault injection: seeded link/crash fault plans, retry
     policies with capped exponential backoff, and the injector the
     communicators and runners share for chaos testing and self-healing.
+``repro.obs``
+    Unified telemetry: context-local span ``Tracer`` (JSONL and Chrome/
+    Perfetto ``trace_event`` export) and the ``MetricsRegistry`` of
+    counters/gauges/histograms absorbing every tier's accounting.
 ``repro.harness``
     Experiment harnesses that regenerate each table/figure of the paper.
 """
 
 __version__ = "0.1.0"
 
-__all__ = ["nn", "data", "comm", "simulator", "privacy", "core", "asyncfl", "scale", "hier", "faults", "harness", "__version__"]
+__all__ = ["nn", "data", "comm", "simulator", "privacy", "core", "asyncfl", "scale", "hier", "faults", "obs", "harness", "__version__"]

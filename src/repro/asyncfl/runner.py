@@ -69,8 +69,9 @@ from ..core.base import GLOBAL_KEY, BaseClient, BaseServer
 from ..core.config import FLConfig
 from ..core.exchange import PacketExchange
 from ..core.metrics import Evaluator
-from ..core.runner import RoundResult, TrainingHistory, build_endpoints
+from ..core.runner import PHASES, RoundResult, TrainingHistory, build_endpoints
 from ..data import Dataset
+from ..obs import current_tracer
 from ..privacy import PrivacyAccountant
 from ..simulator.device import A100, DeviceSpec, LocalUpdateCostModel
 from .events import EventLoop
@@ -213,13 +214,7 @@ class AsyncRunner:
         #: total events handled on the virtual timeline (the benchmark metric)
         self.events_processed = 0
         #: cumulative real wall-clock seconds per phase (FederatedRunner API)
-        self.phase_seconds: Dict[str, float] = {
-            "broadcast": 0.0,
-            "local_update": 0.0,
-            "gather": 0.0,
-            "aggregate": 0.0,
-            "evaluate": 0.0,
-        }
+        self.phase_seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
         self._round_timings: Dict[str, float] = {k: 0.0 for k in self.phase_seconds}
         self._comm_bytes = 0
         self._comm_bytes_last = 0
@@ -260,9 +255,17 @@ class AsyncRunner:
         return self
 
     # ------------------------------------------------------------- execution
-    def _charge(self, phase: str, seconds: float) -> None:
+    def _charge(self, phase: str, tick: float, **labels) -> None:
+        """Close the phase interval opened at ``tick`` (a ``perf_counter``
+        reading): accumulate its wall-clock seconds and, with a tracer armed,
+        emit the same interval as a span stamped with the virtual clock."""
+        now = time.perf_counter()
+        seconds = now - tick
         self.phase_seconds[phase] += seconds
         self._round_timings[phase] += seconds
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit_span(phase, "phase", tick, now, lane="async", vt0=self._clock.now, **labels)
 
     def _acquire(self, cid: int) -> BaseClient:
         """The live client for ``cid`` — checked out (and pinned) from the
@@ -329,7 +332,7 @@ class AsyncRunner:
                 download + compute, _COMPUTE_DONE, cid=cid, version=version, crashed=True
             )
             self._in_flight.add(cid)
-            self._charge("broadcast", time.perf_counter() - tick)
+            self._charge("broadcast", tick, client=cid)
             return
         future = self._submit(client, payload)
         self._clock.schedule_after(
@@ -341,7 +344,13 @@ class AsyncRunner:
             future=future,
         )
         self._in_flight.add(cid)
-        self._charge("broadcast", time.perf_counter() - tick)
+        self._charge("broadcast", tick, client=cid)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event(
+                "dispatch", "async", lane="async", vt=self._clock.now,
+                client=cid, version=version, nbytes=nbytes,
+            )
 
     def _handle_compute_done(self, event) -> None:
         cid = event.data["cid"]
@@ -367,7 +376,7 @@ class AsyncRunner:
             upload = future.result()
         else:
             upload = client.update(event.data["payload"])
-        self._charge("local_update", time.perf_counter() - tick)
+        self._charge("local_update", tick, client=cid)
         # Encode the upload against the *dispatched* global (delta reference;
         # DP noise was already applied inside client.update), reconcile any
         # lossy-codec client state with the decoded echo, and charge the
@@ -381,7 +390,7 @@ class AsyncRunner:
         self.exchange.reconcile(client, upload, packet, dispatched_global)
         privacy_eps = client.config.privacy.epsilon if client.config.privacy.enabled else None
         self._release(cid)  # store mode: pinned since dispatch, now spillable
-        self._charge("gather", time.perf_counter() - tick)
+        self._charge("gather", tick, client=cid)
         nbytes = packet.nbytes
         self._comm_bytes += nbytes
         uplink = self.links[cid].transfer_time(nbytes)
@@ -406,11 +415,17 @@ class AsyncRunner:
         eps = event.data.get("privacy_eps")
         if eps is not None:
             self.accountant.record(cid, eps)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event(
+                "arrival", "async", lane="async", vt=self._clock.now,
+                client=cid, version=event.data["version"], nbytes=event.data["upload"].nbytes,
+            )
         tick = time.perf_counter()
         participants = self.async_server.receive(
             cid, event.data["upload"], event.data["version"], event.data["dispatched_global"]
         )
-        self._charge("aggregate", time.perf_counter() - tick)
+        self._charge("aggregate", tick, client=cid)
         if participants is not None:
             self._record_round(participants, callback)
             if self.strategy.round_based:
@@ -424,7 +439,13 @@ class AsyncRunner:
         if self.evaluator is not None:
             self.server.sync_model()
             accuracy, loss = self.evaluator(self.server.model)
-        self._charge("evaluate", time.perf_counter() - tick)
+        self._charge("evaluate", tick)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event(
+                "round_complete", "async", lane="async", vt=self._clock.now,
+                round=len(self.history), participants=len(participants),
+            )
         result = RoundResult(
             round=len(self.history),
             test_accuracy=accuracy,

@@ -26,6 +26,7 @@ import numpy as np
 from .codecs import UpdatePacket
 from .records import CommLog, CommRecord, DeadLetter
 from .serialization import payload_nbytes
+from ..obs import current_tracer
 
 __all__ = ["Communicator", "server_endpoint", "client_endpoint", "edge_endpoint"]
 
@@ -102,8 +103,17 @@ class Communicator(ABC):
         ``None`` (the runners then finalize with the surviving cohort).
         """
         injector = self.injector
+        tracer = current_tracer()
+        codec = getattr(payload, "codec", None)
         if injector is None:
-            self.log.add(CommRecord(round_idx, endpoint, op, nbytes, time_fn()))
+            seconds = time_fn()
+            self.log.add(CommRecord(round_idx, endpoint, op, nbytes, seconds))
+            if tracer is not None:
+                tracer.event(
+                    "comm_send", "comm", lane="comm", round=round_idx,
+                    endpoint=endpoint, op=op, nbytes=nbytes, sim_seconds=seconds,
+                    codec=codec,
+                )
             return payload
         policy = self.retry
         attempts = max(1, int(policy.max_attempts))
@@ -117,15 +127,28 @@ class Communicator(ABC):
                 else:
                     fault = "drop"  # raw dicts carry no checksum; model as loss
             if fault is None:
+                seconds = time_fn()
                 self.log.add(
-                    CommRecord(round_idx, endpoint, op, nbytes, time_fn(), attempt=attempt)
+                    CommRecord(round_idx, endpoint, op, nbytes, seconds, attempt=attempt)
                 )
+                if tracer is not None:
+                    tracer.event(
+                        "comm_send", "comm", lane="comm", round=round_idx,
+                        endpoint=endpoint, op=op, nbytes=nbytes, sim_seconds=seconds,
+                        attempt=attempt, codec=codec,
+                    )
                 return payload
             injector.count(fault)
             if fault == "crash":
                 self.log.add(CommRecord(round_idx, endpoint, op, 0, 0.0, attempt=attempt, fault=fault))
                 self.log.add_dead_letter(DeadLetter(round_idx, endpoint, op, nbytes, attempt + 1, "crash"))
                 injector.stats.dead_letters += 1
+                if tracer is not None:
+                    tracer.event(
+                        "comm_dead_letter", "comm", lane="comm", round=round_idx,
+                        endpoint=endpoint, op=op, nbytes=nbytes, reason="crash",
+                        attempts=attempt + 1,
+                    )
                 return None
             # Corrupted bytes crossed the wire (charge the attempt's wire
             # time); dropped/timed-out ones cost the sender its full timeout.
@@ -139,18 +162,30 @@ class Communicator(ABC):
                 )
             if attempt + 1 < attempts:
                 injector.stats.retries += 1
+                delay = policy.backoff_delay(attempt, round_idx, endpoint, op)
                 self.log.add(
                     CommRecord(
                         round_idx,
                         endpoint,
                         "backoff",
                         0,
-                        policy.backoff_delay(attempt, round_idx, endpoint, op),
+                        delay,
                         attempt=attempt + 1,
                     )
                 )
+                if tracer is not None:
+                    tracer.event(
+                        "comm_backoff", "comm", lane="comm", round=round_idx,
+                        endpoint=endpoint, op=op, attempt=attempt + 1, sim_seconds=delay,
+                    )
         self.log.add_dead_letter(DeadLetter(round_idx, endpoint, op, nbytes, attempts, "max_attempts"))
         injector.stats.dead_letters += 1
+        if tracer is not None:
+            tracer.event(
+                "comm_dead_letter", "comm", lane="comm", round=round_idx,
+                endpoint=endpoint, op=op, nbytes=nbytes, reason="max_attempts",
+                attempts=attempts,
+            )
         return None
 
     # ------------------------------------------------------------------ hooks

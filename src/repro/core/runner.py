@@ -57,6 +57,7 @@ from .. import nn
 from ..comm import Communicator, SerialCommunicator, client_endpoint
 from ..comm.records import DeadLetter
 from ..data import Dataset
+from ..obs import current_tracer, timed_call
 from ..privacy import PrivacyAccountant, dispatch_fingerprint
 from .base import GLOBAL_KEY, BaseClient, BaseServer
 from .config import FLConfig
@@ -64,7 +65,19 @@ from .exchange import PacketExchange
 from .metrics import Evaluator
 from .registry import get_algorithm
 
-__all__ = ["RoundResult", "TrainingHistory", "FederatedRunner", "build_endpoints", "build_federation"]
+__all__ = [
+    "PHASES",
+    "RoundResult",
+    "TrainingHistory",
+    "FederatedRunner",
+    "build_endpoints",
+    "build_federation",
+]
+
+#: Canonical per-round phase names.  Every runner (sync, async, hier sync,
+#: hier async) accumulates wall-clock seconds under exactly these keys in
+#: ``phase_seconds`` / ``RoundResult.phase_seconds``.
+PHASES: Tuple[str, ...] = ("broadcast", "local_update", "gather", "aggregate", "evaluate")
 
 
 @dataclass(frozen=True)
@@ -197,29 +210,49 @@ class FederatedRunner:
         self.max_workers = max(1, int(max_workers))
         self._executor: Optional[ThreadPoolExecutor] = None
         #: cumulative wall-clock seconds spent in each phase across all rounds
-        self.phase_seconds: Dict[str, float] = {
-            "broadcast": 0.0,
-            "local_update": 0.0,
-            "gather": 0.0,
-            "aggregate": 0.0,
-            "evaluate": 0.0,
-        }
+        self.phase_seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
 
     def _update_clients(
         self, clients: Sequence[BaseClient], received: Dict[int, Dict[str, np.ndarray]]
     ) -> Dict[int, Dict[str, np.ndarray]]:
-        """Run the given clients' updates (thread pool when ``max_workers > 1``)."""
+        """Run the given clients' updates (thread pool when ``max_workers > 1``).
+
+        With a tracer armed, each update is timed in place (inside the worker
+        for the pooled path) and its span emitted afterwards from this thread
+        in client order — tracing never changes execution order or results.
+        """
+        tracer = current_tracer()
         if self.max_workers > 1 and len(clients) > 1:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=min(self.max_workers, self.num_clients),
                     thread_name_prefix="fl-client",
                 )
-            results = list(
-                self._executor.map(lambda c: c.update(received[c.client_id]), clients)
+            if tracer is None:
+                results = list(
+                    self._executor.map(lambda c: c.update(received[c.client_id]), clients)
+                )
+                return {c.client_id: r for c, r in zip(clients, results)}
+            timed = list(
+                self._executor.map(lambda c: timed_call(c.update, received[c.client_id]), clients)
             )
-            return {c.client_id: r for c, r in zip(clients, results)}
-        return {c.client_id: c.update(received[c.client_id]) for c in clients}
+            for client, (_, t0, t1) in zip(clients, timed):
+                tracer.emit_span(
+                    "local_update", "client", t0, t1,
+                    lane=f"client:{client.client_id}", client=client.client_id,
+                )
+            return {c.client_id: r for c, (r, _, _) in zip(clients, timed)}
+        if tracer is None:
+            return {c.client_id: c.update(received[c.client_id]) for c in clients}
+        uploads: Dict[int, Dict[str, np.ndarray]] = {}
+        for client in clients:
+            upload, t0, t1 = timed_call(client.update, received[client.client_id])
+            tracer.emit_span(
+                "local_update", "client", t0, t1,
+                lane=f"client:{client.client_id}", client=client.client_id,
+            )
+            uploads[client.client_id] = upload
+        return uploads
 
     def _run_clients(self, received: Dict[int, Dict[str, np.ndarray]]) -> Dict[int, Dict[str, np.ndarray]]:
         """Run all (eager) client updates."""
@@ -243,7 +276,17 @@ class FederatedRunner:
         seconds_before = self.communicator.log.total_seconds()
         faulted_before = self.communicator.log.failed_attempts() if injector is not None else 0
         timings: Dict[str, float] = {k: 0.0 for k in self.phase_seconds}
-        tick = time.perf_counter()
+        tracer = current_tracer()
+        round_start = tick = time.perf_counter()
+
+        def end_phase(phase: str) -> None:
+            # Close the phase interval opened at the last `tick` and (when a
+            # tracer is armed) emit it as a span — reusing the same
+            # perf_counter reading the timings accounting already needs.
+            now = time.perf_counter()
+            timings[phase] += now - tick
+            if tracer is not None:
+                tracer.emit_span(phase, "phase", tick, now, lane="runner", round=round_idx)
 
         broadcast_payload = self.server.broadcast_payload()
         packet = self.exchange.encode_dispatch(broadcast_payload)
@@ -266,7 +309,7 @@ class FederatedRunner:
                     self.communicator.log.add_dead_letter(
                         DeadLetter(round_idx, client_endpoint(cid), "send_local", 0, 0, "crash")
                     )
-        timings["broadcast"] += time.perf_counter() - tick
+        end_phase("broadcast")
 
         legacy = self.server.uses_legacy_update
         # Servers exposing aggregate_global() absorb every upload inside
@@ -279,14 +322,14 @@ class FederatedRunner:
         wave = max(1, int(store.live_cap))
         for start in range(0, len(active_ids), wave):
             ids = active_ids[start : start + wave]
-            tick = time.perf_counter()
+            wave_start = tick = time.perf_counter()
             clients = [store.checkout(cid) for cid in ids]
             payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in ids}
-            timings["broadcast"] += time.perf_counter() - tick
+            end_phase("broadcast")
 
             tick = time.perf_counter()
             uploads = self._update_clients(clients, payloads)
-            timings["local_update"] += time.perf_counter() - tick
+            end_phase("local_update")
 
             tick = time.perf_counter()
             packets = {}
@@ -295,7 +338,7 @@ class FederatedRunner:
                 packets[cid] = self.exchange.encode_upload(uploads[cid], payloads[cid][GLOBAL_KEY])
                 self.exchange.reconcile(client, uploads[cid], packets[cid], payloads[cid][GLOBAL_KEY])
             gathered = self.communicator.collect(round_idx, packets)
-            timings["gather"] += time.perf_counter() - tick
+            end_phase("gather")
 
             # Privacy is charged per accepted ingest, deduped on (client,
             # round, dispatched global) — uplink dead letters never consume
@@ -318,9 +361,14 @@ class FederatedRunner:
                         if privacy_key is None:
                             privacy_key = dispatch_fingerprint(round_idx, dispatched_global)
                         self.accountant.record(cid, client.config.privacy.epsilon, key=privacy_key)
-            timings["aggregate"] += time.perf_counter() - tick
+            end_phase("aggregate")
             for cid in ids:
                 store.release(cid)
+            if tracer is not None:
+                tracer.emit_span(
+                    "wave", "round", wave_start, time.perf_counter(),
+                    lane="runner", round=round_idx, wave=start // wave, clients=len(ids),
+                )
 
         tick = time.perf_counter()
         if legacy:
@@ -329,17 +377,22 @@ class FederatedRunner:
         else:
             if decoded_payloads or streaming or injector is None:
                 self.server.finalize_round(decoded_payloads)
-        timings["aggregate"] += time.perf_counter() - tick
+        end_phase("aggregate")
 
         accuracy = loss = None
         tick = time.perf_counter()
         if self.evaluator is not None:
             self.server.sync_model()
             accuracy, loss = self.evaluator(self.server.model)
-        timings["evaluate"] += time.perf_counter() - tick
+        end_phase("evaluate")
 
         for phase, seconds in timings.items():
             self.phase_seconds[phase] += seconds
+        if tracer is not None:
+            tracer.emit_span(
+                "round", "round", round_start, time.perf_counter(),
+                lane="runner", round=round_idx, participants=len(participants),
+            )
 
         faulty = injector is not None
         result = RoundResult(
@@ -366,7 +419,14 @@ class FederatedRunner:
         seconds_before = self.communicator.log.total_seconds()
         faulted_before = self.communicator.log.failed_attempts() if injector is not None else 0
         timings: Dict[str, float] = {}
-        tick = time.perf_counter()
+        tracer = current_tracer()
+        round_start = tick = time.perf_counter()
+
+        def end_phase(phase: str) -> None:
+            now = time.perf_counter()
+            timings[phase] = timings.get(phase, 0.0) + (now - tick)
+            if tracer is not None:
+                tracer.emit_span(phase, "phase", tick, now, lane="runner", round=round_idx)
 
         # Server -> clients: encode the global model into one UpdatePacket,
         # transport it (the communicator charges packet.nbytes), and decode a
@@ -398,14 +458,14 @@ class FederatedRunner:
             dispatched_global = self.exchange.open_dispatch(packet)[GLOBAL_KEY]
         else:
             dispatched_global = broadcast_payload[GLOBAL_KEY]
-        timings["broadcast"] = time.perf_counter() - tick
+        end_phase("broadcast")
 
         # Clients: local updates (optionally on the thread pool).  Any DP
         # clipping/noising happens inside client.update — before the codec
         # encode below — so the guarantee survives quantization.
         tick = time.perf_counter()
         uploads = self._update_clients(active, payloads)
-        timings["local_update"] = time.perf_counter() - tick
+        end_phase("local_update")
 
         # Clients -> server: encode each upload against the dispatched
         # global, reconcile lossy-codec client state with the decoded echo,
@@ -417,7 +477,7 @@ class FederatedRunner:
             packets[cid] = self.exchange.encode_upload(uploads[cid], payloads[cid][GLOBAL_KEY])
             self.exchange.reconcile(client, uploads[cid], packets[cid], payloads[cid][GLOBAL_KEY])
         gathered = self.communicator.collect(round_idx, packets)
-        timings["gather"] = time.perf_counter() - tick
+        end_phase("gather")
 
         # Server: decode each upload exactly once (ingest) and finalize with
         # whatever cohort survived the wire.  Privacy budget is charged per
@@ -447,17 +507,22 @@ class FederatedRunner:
                 if privacy_key is None:
                     privacy_key = dispatch_fingerprint(round_idx, dispatched_global)
                 self.accountant.record(cid, client.config.privacy.epsilon, key=privacy_key)
-        timings["aggregate"] = time.perf_counter() - tick
+        end_phase("aggregate")
 
         accuracy = loss = None
         tick = time.perf_counter()
         if self.evaluator is not None:
             self.server.sync_model()
             accuracy, loss = self.evaluator(self.server.model)
-        timings["evaluate"] = time.perf_counter() - tick
+        end_phase("evaluate")
 
         for phase, seconds in timings.items():
             self.phase_seconds[phase] += seconds
+        if tracer is not None:
+            tracer.emit_span(
+                "round", "round", round_start, time.perf_counter(),
+                lane="runner", round=round_idx, participants=len(gathered),
+            )
 
         faulty = injector is not None
         result = RoundResult(

@@ -19,6 +19,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..comm.codecs import UpdatePacket
+from ..obs import current_tracer
 from .plan import FaultPlan
 from .retry import RetryPolicy
 
@@ -81,7 +82,8 @@ class FaultInjector:
         return corrupted
 
     def count(self, fault: str) -> None:
-        """Tally one wire fault by kind."""
+        """Tally one wire fault by kind (every injection site funnels through
+        here, which is also where an armed tracer sees the injection)."""
         attr = {
             "drop": "drops",
             "timeout": "timeouts",
@@ -89,6 +91,9 @@ class FaultInjector:
             "crash": "client_crashes",
         }[fault]
         setattr(self.stats, attr, getattr(self.stats, attr) + 1)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event("fault_injected", "fault", lane="faults", kind=fault)
 
     # ---------------------------------------------------------- crash queries
     def client_crashed(self, cid: int, round_idx: int) -> bool:

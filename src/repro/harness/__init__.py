@@ -12,6 +12,7 @@ volume      Section III-A/IV-D — per-round communication volume
 ablation    DESIGN.md ablations — proximal term ζ, batching
 async       beyond the paper — sync vs FedAsync vs FedBuff wall clock
 chaos       beyond the paper — convergence-under-churn + bitwise recovery
+obsreport   beyond the paper — terminal run explorer over an obs trace
 ==========  =======================================================
 """
 
@@ -42,6 +43,7 @@ from .chaos import ChaosResult, ChaosSettings, histories_bitwise_equal, run_chao
 from .comm_volume import CommVolumeResult, CommVolumeRow, CommVolumeSettings, run_comm_volume
 from .fig2 import Fig2Cell, Fig2Result, Fig2Settings, default_epsilons, run_fig2
 from .hetero import HeteroResult, HeteroSettings, run_hetero
+from .obsreport import load_trace, render_metrics, render_report
 from .reporting import format_check, format_history, format_series, format_table
 from .scaling import ScalingPoint, ScalingResult, ScalingSettings, run_scaling
 from .table1 import PAPER_TABLE1, framework_capabilities, render_table1, verify_appfl_column
@@ -92,4 +94,7 @@ __all__ = [
     "ChaosResult",
     "run_chaos",
     "histories_bitwise_equal",
+    "load_trace",
+    "render_report",
+    "render_metrics",
 ]

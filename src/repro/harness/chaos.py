@@ -34,6 +34,7 @@ from ..core.models import MLP
 from ..data import TensorDataset
 from ..faults import FaultPlan
 from ..hier import RootFedBuff, build_hier_async_federation
+from ..obs import MetricsRegistry, Tracer, use_tracer
 from .reporting import format_check, format_history
 
 __all__ = ["ChaosSettings", "ChaosResult", "run_chaos", "histories_bitwise_equal", "main"]
@@ -89,6 +90,9 @@ class ChaosResult:
     bitwise_identical: bool
     bitwise_algorithm: str
     histories: Dict[str, object] = field(default_factory=dict)
+    #: full :meth:`repro.obs.MetricsRegistry.snapshot` of the churn run —
+    #: the single source the fault/comm numbers above are derived from
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -172,8 +176,13 @@ def _final_accuracy(history) -> float:
     return float(accs[-1]) if accs else 0.0
 
 
-def run_chaos(settings: Optional[ChaosSettings] = None) -> ChaosResult:
+def run_chaos(
+    settings: Optional[ChaosSettings] = None, tracer: Optional[Tracer] = None
+) -> ChaosResult:
     """Run both chaos checks and return the evidence.
+
+    ``tracer`` (optional) is armed for the whole harness — the churn run's
+    spans and fault events land in it for export (``main --trace``).
 
     1. A fault-free hierarchical async baseline fixes the convergence target
        and the event-count budget the kill schedule is drawn over.
@@ -186,6 +195,11 @@ def run_chaos(settings: Optional[ChaosSettings] = None) -> ChaosResult:
        vector, and every edge's dual replicas exactly.
     """
     settings = settings if settings is not None else ChaosSettings()
+    with use_tracer(tracer):
+        return _run_chaos(settings)
+
+
+def _run_chaos(settings: ChaosSettings) -> ChaosResult:
     datasets, test_dataset = _make_data(settings)
 
     # ---- 1. fault-free baseline ------------------------------------------
@@ -209,7 +223,17 @@ def run_chaos(settings: Optional[ChaosSettings] = None) -> ChaosResult:
     chaos.enable_faults(plan)
     chaos_history = chaos.run(settings.num_rounds)
     chaos_acc = _final_accuracy(chaos_history)
-    stats = chaos.injector.stats
+    # All churn-run accounting flows through the registry; the result's
+    # fault/kill numbers are read back from its snapshot rather than from
+    # the injector directly.
+    registry = MetricsRegistry(harness="chaos", algorithm="fedavg")
+    registry.absorb_runner(chaos)
+    metrics = registry.snapshot()
+    fault_stats = {
+        key[len("faults_"):]: int(value)
+        for key, value in metrics["counters"].items()
+        if key.startswith("faults_")
+    }
     converged = (
         len(chaos_history) == len(baseline_history)
         and chaos_acc >= baseline_acc - settings.accuracy_tolerance
@@ -240,9 +264,9 @@ def run_chaos(settings: Optional[ChaosSettings] = None) -> ChaosResult:
         chaos_accuracy=chaos_acc,
         converged=converged,
         kills_planned=settings.kills,
-        kills_recovered=int(stats.recoveries),
-        failed_client_events=int(stats.client_crashes),
-        fault_stats=stats.as_dict(),
+        kills_recovered=fault_stats.get("recoveries", 0),
+        failed_client_events=fault_stats.get("client_crashes", 0),
+        fault_stats=fault_stats,
         bitwise_identical=bool(bitwise),
         bitwise_algorithm="iiadmm",
         histories={
@@ -251,6 +275,7 @@ def run_chaos(settings: Optional[ChaosSettings] = None) -> ChaosResult:
             "bitwise_clean": clean_history,
             "bitwise_killed": killed_history,
         },
+        metrics=metrics,
     )
 
 
@@ -277,6 +302,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--smoke", action="store_true", help="smallest CI-friendly workload")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write the harness's span trace as JSONL")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write the churn run's metrics snapshot as JSON")
     args = parser.parse_args(argv)
     if args.smoke:
         settings = ChaosSettings(
@@ -291,8 +320,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     else:
         settings = ChaosSettings(seed=args.seed, num_rounds=args.rounds or ChaosSettings.num_rounds)
-    result = run_chaos(settings)
+    tracer = Tracer() if args.trace else None
+    result = run_chaos(settings, tracer=tracer)
     print(result.render())
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+        print(f"trace: {args.trace} ({len(tracer)} records)")
+    if args.metrics:
+        import json as _json
+        from pathlib import Path as _Path
+
+        _Path(args.metrics).write_text(_json.dumps(result.metrics, indent=2, sort_keys=True))
+        print(f"metrics: {args.metrics}")
     return 0 if result.ok else 1
 
 

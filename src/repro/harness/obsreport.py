@@ -1,0 +1,252 @@
+"""Run explorer: render a terminal report from an obs trace.
+
+``python -m repro.harness.obsreport trace.jsonl`` digests the JSONL export
+of a :class:`repro.obs.Tracer` into the questions one actually asks of a
+run — where did the time go per tier, which clients/edges were slowest,
+how much retry/backoff churn did the fault layer cause, and how many bytes
+crossed each hop — without loading the trace into Perfetto.  Pass
+``--metrics metrics.json`` (a :meth:`repro.obs.MetricsRegistry.snapshot`
+export) to append the registry's counters/gauges/histograms.
+
+All aggregation is over the plain record dicts documented in
+:mod:`repro.obs.trace`, so the report works on any trace regardless of
+which runners/tiers produced it; sections with no matching records are
+omitted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.runner import PHASES
+from .reporting import format_table
+
+__all__ = ["load_trace", "render_report", "render_metrics", "main"]
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read one tracer JSONL export back into its record dicts."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def _duration(rec: Dict[str, Any]) -> float:
+    return float(rec["t1"]) - float(rec["t0"])
+
+
+def _tier_of(lane: str) -> str:
+    """Map a trace lane onto the tier the phase report groups by."""
+    if lane.startswith("edge:"):
+        return "edge"
+    if lane.startswith("client:"):
+        return "client"
+    if lane in ("runner", "async"):
+        return "run"
+    return lane  # "root", "comm", "store", "faults", "checkpoint"
+
+
+def _hop_of(endpoint: str) -> str:
+    """Which hop a comm endpoint belongs to (by canonical endpoint prefix)."""
+    if endpoint.startswith("edge:"):
+        return "edge_root"
+    if endpoint.startswith("client:"):
+        return "client"
+    return endpoint
+
+
+def _phase_section(records: Sequence[Dict[str, Any]]) -> Optional[str]:
+    by_tier: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    for rec in records:
+        if rec.get("type") == "span" and rec.get("cat") == "phase":
+            by_tier[_tier_of(rec["lane"])][rec["name"]] += _duration(rec)
+    if not by_tier:
+        return None
+    tiers = sorted(by_tier)
+    phases = [p for p in PHASES if any(p in by_tier[t] for t in tiers)]
+    phases += sorted(
+        {p for t in tiers for p in by_tier[t]} - set(phases)
+    )  # non-canonical names last
+    rows = []
+    for phase in phases:
+        rows.append(
+            [phase]
+            + [
+                "-" if phase not in by_tier[t] else round(by_tier[t][phase], 4)
+                for t in tiers
+            ]
+        )
+    rows.append(["total"] + [round(sum(by_tier[t].values()), 4) for t in tiers])
+    return format_table(
+        ["phase"] + [f"{t} (s)" for t in tiers], rows, title="Phase breakdown per tier"
+    )
+
+
+def _topk_section(
+    records: Sequence[Dict[str, Any]], top: int
+) -> Optional[str]:
+    clients: Dict[Any, List[float]] = defaultdict(list)
+    edges: Dict[Any, List[float]] = defaultdict(list)
+    for rec in records:
+        if rec.get("type") != "span":
+            continue
+        if rec.get("name") == "local_update" and rec.get("cat") == "client":
+            clients[rec.get("client", rec["lane"])].append(_duration(rec))
+        elif rec.get("cat") == "phase" and str(rec.get("lane", "")).startswith("edge:"):
+            edges[rec.get("edge", rec["lane"])].append(_duration(rec))
+        elif rec.get("name") == "edge_round":
+            edges[rec.get("edge", rec["lane"])].append(_duration(rec))
+    sections = []
+    for label, series in (("clients", clients), ("edges", edges)):
+        if not series:
+            continue
+        ranked = sorted(
+            series.items(), key=lambda item: sum(item[1]), reverse=True
+        )[:top]
+        rows = [
+            [key, len(vals), round(sum(vals), 4), round(max(vals), 4)]
+            for key, vals in ranked
+        ]
+        sections.append(
+            format_table(
+                [label[:-1], "spans", "total (s)", "max (s)"],
+                rows,
+                title=f"Top-{top} slowest {label}",
+            )
+        )
+    return "\n\n".join(sections) if sections else None
+
+
+def _comm_section(records: Sequence[Dict[str, Any]]) -> Optional[str]:
+    by_hop: Dict[Any, Dict[str, float]] = defaultdict(
+        lambda: {"sends": 0, "bytes": 0, "sim_seconds": 0.0}
+    )
+    retries = 0
+    backoffs = 0
+    backoff_seconds = 0.0
+    dead_letters: Dict[str, int] = defaultdict(int)
+    faults: Dict[str, int] = defaultdict(int)
+    for rec in records:
+        name = rec.get("name")
+        if name == "comm_send":
+            key = (_hop_of(rec.get("endpoint", "?")), rec.get("codec") or "-")
+            agg = by_hop[key]
+            agg["sends"] += 1
+            agg["bytes"] += rec.get("nbytes", 0)
+            agg["sim_seconds"] += rec.get("sim_seconds", 0.0)
+            if rec.get("attempt", 0) > 0:
+                retries += rec["attempt"]
+        elif name == "comm_backoff":
+            backoffs += 1
+            backoff_seconds += rec.get("sim_seconds", 0.0)
+        elif name == "comm_dead_letter":
+            dead_letters[rec.get("reason", "?")] += 1
+        elif name == "fault_injected":
+            faults[rec.get("kind", "?")] += 1
+    if not by_hop and not backoffs and not dead_letters and not faults:
+        return None
+    sections = []
+    if by_hop:
+        rows = [
+            [hop, codec, agg["sends"], agg["bytes"], round(agg["sim_seconds"], 4)]
+            for (hop, codec), agg in sorted(by_hop.items())
+        ]
+        sections.append(
+            format_table(
+                ["hop", "codec", "sends", "bytes", "sim (s)"],
+                rows,
+                title="Bytes by hop and codec stage",
+            )
+        )
+    lines = [
+        f"retries (delivered after >=1 faulted attempt): {retries}",
+        f"backoffs: {backoffs} ({backoff_seconds:.4f} simulated s)",
+    ]
+    if dead_letters:
+        lines.append(
+            "dead letters: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(dead_letters.items()))
+        )
+    if faults:
+        lines.append(
+            "fault injections: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(faults.items()))
+        )
+    sections.append("Retry / fault totals\n" + "\n".join(f"  {l}" for l in lines))
+    return "\n\n".join(sections)
+
+
+def _lifecycle_section(records: Sequence[Dict[str, Any]]) -> Optional[str]:
+    rows = []
+    for name in ("materialize", "evict", "checkpoint_capture", "checkpoint_restore"):
+        spans = [r for r in records if r.get("type") == "span" and r.get("name") == name]
+        if spans:
+            rows.append(
+                [name, len(spans), round(sum(_duration(r) for r in spans), 4)]
+            )
+    if not rows:
+        return None
+    return format_table(
+        ["operation", "count", "total (s)"],
+        rows,
+        title="Store / checkpoint lifecycle",
+    )
+
+
+def render_report(records: Sequence[Dict[str, Any]], top: int = 5) -> str:
+    """The full terminal report over one trace's records."""
+    spans = sum(1 for r in records if r.get("type") == "span")
+    header = f"obs report: {len(records)} records ({spans} spans, {len(records) - spans} events)"
+    sections = [header]
+    for section in (
+        _phase_section(records),
+        _topk_section(records, top),
+        _comm_section(records),
+        _lifecycle_section(records),
+    ):
+        if section:
+            sections.append(section)
+    return "\n\n".join(sections)
+
+
+def render_metrics(snapshot: Dict[str, Any]) -> str:
+    """Flat listing of a :meth:`MetricsRegistry.snapshot` export."""
+    lines = ["metrics snapshot" + (f" {snapshot.get('labels')}" if snapshot.get("labels") else "")]
+    for kind in ("counters", "gauges"):
+        for key, value in snapshot.get(kind, {}).items():
+            lines.append(f"  {key} = {value}")
+    for key, summary in snapshot.get("histograms", {}).items():
+        parts = ", ".join(
+            f"{k}={v if v is None else round(v, 6)}" for k, v in summary.items()
+        )
+        lines.append(f"  {key} :: {parts}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="obsreport: terminal report over an obs trace JSONL"
+    )
+    parser.add_argument("trace", help="path to a Tracer.write_jsonl export")
+    parser.add_argument("--top", type=int, default=5, help="top-k slowest clients/edges")
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="also render a MetricsRegistry.write_snapshot JSON export",
+    )
+    args = parser.parse_args(argv)
+    print(render_report(load_trace(args.trace), top=args.top))
+    if args.metrics:
+        print()
+        print(render_metrics(json.loads(Path(args.metrics).read_text())))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ prints the same rows and series the paper plots.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from typing import Iterable, List, Mapping, Sequence
 
 __all__ = ["format_table", "format_series", "format_check", "format_history"]
@@ -40,11 +42,16 @@ def format_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_l
     return "\n".join(lines)
 
 
-def format_history(history, title: str = "") -> str:
-    """Per-round table of a :class:`repro.core.runner.TrainingHistory`.
+def format_history(history, title: str = "", fmt: str = "table") -> str:
+    """Per-round view of a :class:`repro.core.runner.TrainingHistory`.
 
-    Surfaces the simulated ``wall_clock_seconds`` (asyncfl virtual clock;
-    ``-`` for the real-time synchronous runner) and the number of
+    ``fmt="table"`` (default) renders the ASCII table below; ``fmt="json"``
+    emits one JSON object per round (one per line, every
+    :class:`~repro.core.runner.RoundResult` field included) for machine
+    consumption — jq/pandas-friendly, the same shape the obs exports use.
+
+    The table surfaces the simulated ``wall_clock_seconds`` (asyncfl virtual
+    clock; ``-`` for the real-time synchronous runner) and the number of
     participating clients alongside accuracy/loss and communication volume.
     Hierarchical runs additionally report the per-tier split of that volume
     (client→edge vs edge→root, see :mod:`repro.hier`) so the edge fan-in
@@ -53,6 +60,16 @@ def format_history(history, title: str = "") -> str:
     failed and how many edges were recovered each round; fault-free runs
     show ``-``.
     """
+    if fmt == "json":
+        names = [f.name for f in dataclasses.fields(type(history.rounds[0]))] if history.rounds else []
+        lines = []
+        for r in history.rounds:
+            lines.append(json.dumps(
+                {name: _jsonable(getattr(r, name)) for name in names}, sort_keys=True
+            ))
+        return "\n".join(lines)
+    if fmt != "table":
+        raise ValueError(f"fmt must be 'table' or 'json', got {fmt!r}")
     rows = []
     for r in history.rounds:
         tiers = r.comm_bytes_by_tier or {}
@@ -92,6 +109,17 @@ def format_check(description: str, expected: str, observed: str, ok: bool) -> st
     """One-line comparison between a paper claim and the reproduced value."""
     status = "OK " if ok else "DIFF"
     return f"[{status}] {description}: paper={expected} reproduced={observed}"
+
+
+def _jsonable(value):
+    """Round-trip-safe JSON form: tuples → lists, numpy scalars → python."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()  # numpy scalar
+    return value
 
 
 def _fmt(value) -> str:

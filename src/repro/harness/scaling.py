@@ -32,6 +32,7 @@ import numpy as np
 from ..comm import MPIChannelModel, state_dict_nbytes
 from ..core import build_model
 from ..data import load_dataset, partition_sizes
+from ..obs import MetricsRegistry, metric_key
 from ..simulator import (
     LocalUpdateCostModel,
     RoundEvent,
@@ -325,21 +326,30 @@ def run_population_sweep(settings: Optional[PopulationSweepSettings] = None) -> 
         elapsed = (time.perf_counter() - start) / settings.num_rounds
         store = runner._store
         store.flush()  # spill everyone so store_nbytes covers the population
-        stats = store.stats
-        ops = max(1, stats.materializations)
-        evs = max(1, stats.evictions)
+        # Store accounting is read back through the metrics registry — the
+        # same series every other harness and the obs report consume.
+        registry = MetricsRegistry(harness="population_sweep")
+        registry.absorb_store(store, tier="flat")
+        gauges = registry.snapshot()["gauges"]
+
+        def gauge(name: str) -> float:
+            return gauges[metric_key(name, {"tier": "flat"})]
+
+        store_nbytes = int(gauge("store_nbytes"))
+        ops = max(1, int(gauge("store_materializations")))
+        evs = max(1, int(gauge("store_evictions")))
         result.points.append(
             PopulationPoint(
                 num_clients=population,
                 live_cap=settings.live_cap,
                 round_seconds=elapsed,
-                peak_live=stats.peak_live,
-                materializations=stats.materializations,
-                evictions=stats.evictions,
-                store_nbytes=store.store_nbytes,
-                clients_per_gb=population / max(store.store_nbytes, 1) * 1e9,
-                materialize_us=stats.materialize_us / ops,
-                evict_us=stats.evict_us / evs,
+                peak_live=int(gauge("store_peak_live")),
+                materializations=int(gauge("store_materializations")),
+                evictions=int(gauge("store_evictions")),
+                store_nbytes=store_nbytes,
+                clients_per_gb=population / max(store_nbytes, 1) * 1e9,
+                materialize_us=gauge("store_materialize_us") / ops,
+                evict_us=gauge("store_evict_us") / evs,
                 peak_rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
             )
         )

@@ -53,8 +53,9 @@ from ..core.config import FLConfig
 from ..core.exchange import PacketExchange
 from ..core.metrics import Evaluator
 from ..core.partial import unpack_partial
-from ..core.runner import RoundResult, TrainingHistory
+from ..core.runner import PHASES, RoundResult, TrainingHistory
 from ..data import Dataset
+from ..obs import current_tracer
 from ..privacy import PrivacyAccountant
 from ..simulator.device import A100, DeviceSpec, LocalUpdateCostModel
 from .edge import EdgeAggregator
@@ -220,6 +221,7 @@ class _EdgeActor:
         persistent state — and the edge's server-side replica — stay exactly
         where they were."""
         runner = self.runner
+        tick = time.perf_counter()
         nbytes = packet.nbytes
         runner._client_bytes += nbytes
         download = self.client_link.transfer_time(nbytes)
@@ -227,13 +229,23 @@ class _EdgeActor:
         client = self.edge._acquire(cid)
         compute = runner.cost_model.local_update_time(self.devices[cid], client.num_samples)
         injector = runner.injector
+        lane = f"edge:{self.edge.edge_id}"
         if injector is not None and injector.client_crashed(cid, self._dispatched_version):
             self.loop.schedule_after(download + compute, _COMPUTE_DONE, cid=cid, crashed=True)
+            runner._charge("broadcast", tick, lane=lane, vt=self.loop.now, client=cid)
             return
         self.loop.schedule_after(download + compute, _COMPUTE_DONE, cid=cid, payload=payload)
+        runner._charge("broadcast", tick, lane=lane, vt=self.loop.now, client=cid)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event(
+                "dispatch", "async", lane=lane, vt=self.loop.now,
+                edge=self.edge.edge_id, client=cid, nbytes=nbytes,
+            )
 
     def start_cohort(self) -> None:
         """Dispatch the edge's current global to a fresh cohort."""
+        tick = time.perf_counter()
         if self._pending_global is not None:
             payload, version = self._pending_global
             self._pending_global = None
@@ -242,6 +254,9 @@ class _EdgeActor:
         self._waiting_for_global = False
         cohort = self.sample_cohort()
         packet = self.edge.exchange.encode_dispatch({GLOBAL_KEY: self.edge.current_global.copy()})
+        self.runner._charge(
+            "broadcast", tick, lane=f"edge:{self.edge.edge_id}", vt=self.loop.now
+        )
         limit = len(cohort) if self.max_in_flight is None else self.max_in_flight
         self._cohort_packet = packet
         self._queue = list(cohort[limit:])
@@ -272,10 +287,15 @@ class _EdgeActor:
             return
         client = self.edge._acquire(cid)
         payload = event.data["payload"]
+        lane = f"edge:{self.edge.edge_id}"
+        tick = time.perf_counter()
         upload = client.update(payload)
+        self.runner._charge("local_update", tick, lane=lane, vt=self.loop.now, client=cid)
         dispatched_global = payload[GLOBAL_KEY]
+        tick = time.perf_counter()
         packet = self.edge.exchange.encode_upload(upload, dispatched_global)
         self.edge.exchange.reconcile(client, upload, packet, dispatched_global)
+        self.runner._charge("gather", tick, lane=lane, vt=self.loop.now, client=cid)
         # Privacy is charged when the upload is *ingested* (see
         # _handle_arrival) — the epsilon rides the event since the client may
         # be spilled by then.
@@ -300,7 +320,19 @@ class _EdgeActor:
         eps = event.data.get("privacy_eps")
         if eps is not None:
             self.runner.accountant.record(event.data["cid"], eps)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event(
+                "arrival", "async", lane=f"edge:{self.edge.edge_id}", vt=self.loop.now,
+                edge=self.edge.edge_id, client=event.data["cid"],
+                nbytes=event.data["upload"].nbytes,
+            )
+        tick = time.perf_counter()
         self.edge.ingest_upload(event.data["cid"], event.data["upload"], event.data["dispatched_global"])
+        self.runner._charge(
+            "aggregate", tick, lane=f"edge:{self.edge.edge_id}", vt=self.loop.now,
+            client=event.data["cid"],
+        )
         self._complete_one()
 
     def _complete_one(self) -> None:
@@ -313,8 +345,12 @@ class _EdgeActor:
             self._flush()
 
     def _flush(self) -> None:
+        tick = time.perf_counter()
         summary, participants = self.edge.summarize()
         packet = self.runner.exchange.pipeline.encode_state(summary)
+        self.runner._charge(
+            "aggregate", tick, lane=f"edge:{self.edge.edge_id}", vt=self.loop.now
+        )
         self.runner._root_bytes += packet.nbytes
         uplink = self.root_link.transfer_time(packet.nbytes)
         self.runner.root_loop.schedule(
@@ -484,6 +520,10 @@ class HierAsyncRunner:
         self._client_bytes = 0
         self._root_bytes = 0
         self._bytes_last = (0, 0)
+        #: cumulative real wall-clock seconds per canonical phase (the same
+        #: FederatedRunner/AsyncRunner accounting surface)
+        self.phase_seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+        self._round_timings: Dict[str, float] = {phase: 0.0 for phase in PHASES}
         #: last-known decoded summary partial + participants per edge
         self._last_summary: Dict[int, Tuple[List[np.ndarray], Tuple[int, ...]]] = {}
         if hasattr(root, "duals"):
@@ -542,13 +582,32 @@ class HierAsyncRunner:
 
     def _kill_and_recover(self, actor: _EdgeActor) -> None:
         """Kill one edge and bring it back from its last rollback slice."""
+        tracer = current_tracer()
+        edge_id = actor.edge.edge_id
         tick = time.perf_counter()
         actor.kill()
         self.injector.stats.edge_kills += 1
+        if tracer is not None:
+            tracer.event("edge_kill", "fault", lane="faults", vt=actor.loop.now, edge=edge_id)
         actor.recover(actor.slice_blob)
         self.injector.stats.recoveries += 1
         self.recovery_seconds += time.perf_counter() - tick
-        self._recovered_since_round.append(actor.edge.edge_id)
+        self._recovered_since_round.append(edge_id)
+        if tracer is not None:
+            tracer.event("edge_recover", "fault", lane="faults", vt=actor.loop.now, edge=edge_id)
+
+    # ------------------------------------------------------- phase accounting
+    def _charge(self, phase: str, tick: float, lane: str = "root", vt: Optional[float] = None, **labels) -> None:
+        """Close the phase interval opened at ``tick``: accumulate it under
+        the canonical phase keys and, with a tracer armed, emit it as a span
+        on the given lane stamped with that clock's virtual time."""
+        now = time.perf_counter()
+        seconds = now - tick
+        self.phase_seconds[phase] += seconds
+        self._round_timings[phase] += seconds
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit_span(phase, "phase", tick, now, lane=lane, vt0=vt, **labels)
 
     # -------------------------------------------------------------- combine
     def _combine_last_known(self) -> Optional[Tuple[int, ...]]:
@@ -577,22 +636,44 @@ class HierAsyncRunner:
 
     def _handle_summary(self, event, callback) -> None:
         edge_id = event.data["edge_id"]
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event(
+                "summary_arrival", "async", lane="root", vt=self.root_loop.now,
+                edge=edge_id, nbytes=event.data["packet"].nbytes,
+                staleness=self.version - event.data["version"],
+            )
+        tick = time.perf_counter()
         partial = unpack_partial(self.exchange.pipeline.decode_state(event.data["packet"]))
         participants = tuple(event.data["participants"])
         staleness = self.version - event.data["version"]
         self.staleness_log.append(staleness)
         self._last_summary[edge_id] = (partial, participants)
         finished = self.strategy.on_summary(self, edge_id, partial, participants, staleness)
+        self._charge("aggregate", tick, lane="root", vt=self.root_loop.now, edge=edge_id)
         if finished is not None:
             self.version += 1
             self._record_round(finished, callback)
             self._broadcast_global()
+            if tracer is not None:
+                tracer.event(
+                    "global_broadcast", "async", lane="root", vt=self.root_loop.now,
+                    version=self.version,
+                )
 
     def _record_round(self, participants, callback) -> None:
         accuracy = loss = None
+        tick = time.perf_counter()
         if self.evaluator is not None:
             self.server.sync_model()
             accuracy, loss = self.evaluator(self.server.model)
+        self._charge("evaluate", tick, lane="root", vt=self.root_loop.now)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event(
+                "round_complete", "async", lane="root", vt=self.root_loop.now,
+                round=len(self.history), participants=len(participants),
+            )
         client_bytes = self._client_bytes - self._bytes_last[0]
         root_bytes = self._root_bytes - self._bytes_last[1]
         self._bytes_last = (self._client_bytes, self._root_bytes)
@@ -602,12 +683,14 @@ class HierAsyncRunner:
             test_loss=loss,
             comm_bytes=client_bytes + root_bytes,
             comm_seconds=0.0,
+            phase_seconds=dict(self._round_timings),
             wall_clock_seconds=self.root_loop.now,
             participating_clients=tuple(participants),
             comm_bytes_by_tier={CLIENT_EDGE: client_bytes, EDGE_ROOT: root_bytes},
             failed_clients=(
                 tuple(sorted(set(self._failed_since_round))) if self.injector is not None else None
             ),
+            retries=self.injector.stats.retries if self.injector is not None else None,
             recovered_edges=(
                 tuple(sorted(set(self._recovered_since_round)))
                 if self.injector is not None
@@ -616,6 +699,7 @@ class HierAsyncRunner:
         )
         self._failed_since_round = []
         self._recovered_since_round = []
+        self._round_timings = {phase: 0.0 for phase in PHASES}
         self.history.add(result)
         if callback is not None:
             callback(result)

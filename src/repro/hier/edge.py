@@ -42,6 +42,8 @@ from ..comm.records import DeadLetter
 from ..core.base import GLOBAL_KEY, BaseClient, BaseServer
 from ..core.exchange import PacketExchange
 from ..core.partial import ExactPartial, pack_partial
+from ..core.runner import PHASES
+from ..obs import current_tracer, timed_call
 from ..privacy import dispatch_fingerprint
 
 __all__ = ["EdgeAggregator"]
@@ -160,6 +162,12 @@ class EdgeAggregator:
         self._participants.append(int(cid))
         if not self._streaming:
             self._fold.add(self.server.partial_term(cid, decoded))
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event(
+                "edge_ingest", "edge", lane=f"edge:{self.edge_id}",
+                edge=self.edge_id, client=int(cid),
+            )
 
     def summarize(self) -> Tuple[Dict[str, np.ndarray], Tuple[int, ...]]:
         """Fold the collection window into one shard summary.
@@ -175,6 +183,12 @@ class EdgeAggregator:
         summary = pack_partial(partial)
         self.server.round += 1
         self.begin_collect()
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event(
+                "edge_summary", "edge", lane=f"edge:{self.edge_id}",
+                edge=self.edge_id, participants=len(participants),
+            )
         return summary, participants
 
     def initial_summary(self) -> Tuple[Dict[str, np.ndarray], Tuple[int, ...]]:
@@ -196,15 +210,41 @@ class EdgeAggregator:
             self._store.release(cid)
 
     def _update_clients(self, clients: Sequence[BaseClient], payloads) -> Dict[int, Dict]:
+        # With a tracer armed, updates are timed in place and the spans
+        # emitted afterwards from this thread in client order (see
+        # FederatedRunner._update_clients) — order and results are unchanged.
+        tracer = current_tracer()
         if self.max_workers > 1 and len(clients) > 1:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=min(self.max_workers, len(self.shard)),
                     thread_name_prefix=f"hier-edge{self.edge_id}",
                 )
-            results = list(self._executor.map(lambda c: c.update(payloads[c.client_id]), clients))
-            return {c.client_id: r for c, r in zip(clients, results)}
-        return {c.client_id: c.update(payloads[c.client_id]) for c in clients}
+            if tracer is None:
+                results = list(self._executor.map(lambda c: c.update(payloads[c.client_id]), clients))
+                return {c.client_id: r for c, r in zip(clients, results)}
+            timed = list(
+                self._executor.map(lambda c: timed_call(c.update, payloads[c.client_id]), clients)
+            )
+            for client, (_, t0, t1) in zip(clients, timed):
+                tracer.emit_span(
+                    "local_update", "client", t0, t1,
+                    lane=f"client:{client.client_id}",
+                    client=client.client_id, edge=self.edge_id,
+                )
+            return {c.client_id: r for c, (r, _, _) in zip(clients, timed)}
+        if tracer is None:
+            return {c.client_id: c.update(payloads[c.client_id]) for c in clients}
+        uploads: Dict[int, Dict] = {}
+        for client in clients:
+            upload, t0, t1 = timed_call(client.update, payloads[client.client_id])
+            tracer.emit_span(
+                "local_update", "client", t0, t1,
+                lane=f"client:{client.client_id}",
+                client=client.client_id, edge=self.edge_id,
+            )
+            uploads[client.client_id] = upload
+        return uploads
 
     def run_local_round(
         self,
@@ -220,12 +260,21 @@ class EdgeAggregator:
         accumulates the runner's phase keys.
         """
         timings = timings if timings is not None else {}
-        timings.setdefault("broadcast", 0.0)
-        timings.setdefault("local_update", 0.0)
-        timings.setdefault("gather", 0.0)
-        timings.setdefault("aggregate", 0.0)
+        for phase in PHASES[:4]:  # the shard loop has no evaluate phase
+            timings.setdefault(phase, 0.0)
         shard = list(self.shard)
         injector = self.communicator.injector if self.communicator is not None else None
+        tracer = current_tracer()
+        lane = f"edge:{self.edge_id}"
+
+        def end_phase(phase: str) -> None:
+            now = time.perf_counter()
+            timings[phase] += now - tick
+            if tracer is not None:
+                tracer.emit_span(
+                    phase, "phase", tick, now, lane=lane, edge=self.edge_id, round=round_idx
+                )
+
         tick = time.perf_counter()
         broadcast_payload = {GLOBAL_KEY: self._global.copy()}
         packet = self.exchange.encode_dispatch(broadcast_payload)
@@ -252,20 +301,20 @@ class EdgeAggregator:
                     self.communicator.log.add_dead_letter(
                         DeadLetter(round_idx, client_endpoint(cid), "send_local", 0, 0, "crash")
                     )
-        timings["broadcast"] += time.perf_counter() - tick
+        end_phase("broadcast")
 
         privacy_key = None
         wave = max(1, int(self._store.live_cap)) if self._store is not None else len(shard)
         for start in range(0, len(active_ids), wave):
             ids = active_ids[start : start + wave]
-            tick = time.perf_counter()
+            wave_start = tick = time.perf_counter()
             clients = [self._acquire(cid) for cid in ids]
             payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in ids}
-            timings["broadcast"] += time.perf_counter() - tick
+            end_phase("broadcast")
 
             tick = time.perf_counter()
             uploads = self._update_clients(clients, payloads)
-            timings["local_update"] += time.perf_counter() - tick
+            end_phase("local_update")
 
             tick = time.perf_counter()
             packets = {}
@@ -277,7 +326,7 @@ class EdgeAggregator:
                 gathered = self.communicator.collect(round_idx, packets)
             else:
                 gathered = packets
-            timings["gather"] += time.perf_counter() - tick
+            end_phase("gather")
 
             tick = time.perf_counter()
             # Privacy is charged per *accepted* ingest, keyed on the exact
@@ -292,13 +341,19 @@ class EdgeAggregator:
                     if privacy_key is None:
                         privacy_key = dispatch_fingerprint(round_idx, dispatched_global)
                     accountant.record(cid, client.config.privacy.epsilon, key=privacy_key)
-            timings["aggregate"] += time.perf_counter() - tick
+            end_phase("aggregate")
             for cid in ids:
                 self._release(cid)
+            if tracer is not None:
+                tracer.emit_span(
+                    "wave", "round", wave_start, time.perf_counter(),
+                    lane=lane, edge=self.edge_id, round=round_idx,
+                    wave=start // wave, clients=len(ids),
+                )
 
         tick = time.perf_counter()
         summary, participants = self.summarize()
-        timings["aggregate"] += time.perf_counter() - tick
+        end_phase("aggregate")
         return summary, participants
 
     # -------------------------------------------------------------- plumbing

@@ -38,8 +38,9 @@ from ..core.config import FLConfig
 from ..core.exchange import PacketExchange
 from ..core.metrics import Evaluator
 from ..core.registry import get_algorithm
-from ..core.runner import RoundResult, TrainingHistory
+from ..core.runner import PHASES, RoundResult, TrainingHistory
 from ..data import Dataset
+from ..obs import current_tracer, timed_call
 from ..privacy import PrivacyAccountant
 from .edge import EdgeAggregator
 from .topology import Topology, build_topology, majority_labels, parse_topology
@@ -127,13 +128,7 @@ class HierRunner:
         self.evaluator = evaluator
         self.accountant = accountant if accountant is not None else PrivacyAccountant()
         self.history = TrainingHistory()
-        self.phase_seconds: Dict[str, float] = {
-            "broadcast": 0.0,
-            "local_update": 0.0,
-            "gather": 0.0,
-            "aggregate": 0.0,
-            "evaluate": 0.0,
-        }
+        self.phase_seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
         #: fault layer (see :meth:`enable_faults`); ``None`` keeps every code
         #: path bit-identical to the fault-free runner
         self.injector = None
@@ -180,6 +175,16 @@ class HierRunner:
     def run_round(self, round_idx: int) -> RoundResult:
         """Execute one two-tier communication round and return its metrics."""
         timings: Dict[str, float] = {k: 0.0 for k in self.phase_seconds}
+        tracer = current_tracer()
+        round_start = time.perf_counter()
+
+        def end_phase(phase: str) -> None:
+            # Root-tier phase interval; edge-tier intervals are timed (and
+            # traced) inside EdgeAggregator.run_local_round on the edge lanes.
+            now = time.perf_counter()
+            timings[phase] += now - tick
+            if tracer is not None:
+                tracer.emit_span(phase, "phase", tick, now, lane="root", round=round_idx)
         client_bytes_before = self.client_communicator.total_bytes()
         root_bytes_before = self.root_communicator.total_bytes()
         seconds_before = (
@@ -214,7 +219,7 @@ class HierRunner:
         live_edges = [edge for edge in self.edges if edge.edge_id in received]
         for edge in live_edges:
             edge.receive_global(self.exchange.open_dispatch(received[edge.edge_id]))
-        timings["broadcast"] += time.perf_counter() - tick
+        end_phase("broadcast")
 
         # Edges: the shard client loops (client↔edge hop), folded to
         # summaries.  Edge order is fixed but irrelevant to the result —
@@ -228,18 +233,36 @@ class HierRunner:
         parts_by_edge: Dict[int, Tuple[int, ...]] = {}
         recovered: List[int] = []
         for edge in live_edges:
-            summary, part = edge.run_local_round(round_idx, accountant=self.accountant, timings=timings)
+            (summary, part), e0, e1 = timed_call(
+                edge.run_local_round, round_idx, accountant=self.accountant, timings=timings
+            )
+            if tracer is not None:
+                tracer.emit_span(
+                    "edge_round", "edge", e0, e1,
+                    lane=f"edge:{edge.edge_id}", edge=edge.edge_id, round=round_idx,
+                )
             if injector is not None and injector.edge_crashed(edge.edge_id, round_idx):
                 injector.stats.edge_kills += 1
+                if tracer is not None:
+                    tracer.event("edge_kill", "fault", lane="faults", edge=edge.edge_id, round=round_idx)
                 tick = time.perf_counter()
                 self._ckpt.restore_edge(edge)
                 edge.receive_global(self.exchange.open_dispatch(received[edge.edge_id]))
-                timings["broadcast"] += time.perf_counter() - tick
-                summary, part = edge.run_local_round(
-                    round_idx, accountant=self.accountant, timings=timings
+                end_phase("broadcast")
+                (summary, part), e0, e1 = timed_call(
+                    edge.run_local_round, round_idx, accountant=self.accountant, timings=timings
                 )
+                if tracer is not None:
+                    tracer.emit_span(
+                        "edge_round", "edge", e0, e1,
+                        lane=f"edge:{edge.edge_id}", edge=edge.edge_id, round=round_idx, replay=True,
+                    )
                 injector.stats.recoveries += 1
                 recovered.append(edge.edge_id)
+                if tracer is not None:
+                    tracer.event(
+                        "edge_recover", "fault", lane="faults", edge=edge.edge_id, round=round_idx
+                    )
             summaries[edge.edge_id] = summary
             parts_by_edge[edge.edge_id] = part
 
@@ -249,7 +272,7 @@ class HierRunner:
             eid: self.exchange.pipeline.encode_state(summary) for eid, summary in summaries.items()
         }
         gathered = self.root_communicator.collect(round_idx, packets)
-        timings["gather"] += time.perf_counter() - tick
+        end_phase("gather")
 
         # Root: decode each summary once and combine the exact partials.
         tick = time.perf_counter()
@@ -280,17 +303,22 @@ class HierRunner:
             if streaming or participants:
                 self.server.combine_partials(partials, participants)
             # else: the whole cohort was lost — keep the current global.
-        timings["aggregate"] += time.perf_counter() - tick
+        end_phase("aggregate")
 
         accuracy = loss = None
         tick = time.perf_counter()
         if self.evaluator is not None:
             self.server.sync_model()
             accuracy, loss = self.evaluator(self.server.model)
-        timings["evaluate"] += time.perf_counter() - tick
+        end_phase("evaluate")
 
         for phase, seconds in timings.items():
             self.phase_seconds[phase] += seconds
+        if tracer is not None:
+            tracer.emit_span(
+                "round", "round", round_start, time.perf_counter(),
+                lane="root", round=round_idx, edges=len(live_edges),
+            )
 
         client_bytes = self.client_communicator.total_bytes() - client_bytes_before
         root_bytes = self.root_communicator.total_bytes() - root_bytes_before

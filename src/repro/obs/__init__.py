@@ -1,0 +1,37 @@
+"""Unified observability: span tracing + metrics registry.
+
+``repro.obs`` is the one place a run's telemetry comes together:
+
+* :class:`Tracer` — structured spans and point events across every tier
+  (rounds, waves, phases, per-client updates, per-edge ingest/summary,
+  comm send/retry/backoff/dead-letter, fault injections, store
+  materialize/evict, checkpoint capture/restore), exportable as JSONL
+  and Chrome/Perfetto ``trace_event`` JSON.
+* :func:`current_tracer` / :func:`use_tracer` — the context-local handle
+  library code polls so no function ever takes a tracer parameter; when
+  no tracer is armed the cost is one ``ContextVar.get`` per site.
+* :class:`MetricsRegistry` — counters/gauges/histograms (streaming
+  p50/p95/p99) labelled by algorithm/codec/tier, absorbing the scattered
+  accounting (``phase_seconds``, ``CommLog``, ``FaultStats``, store
+  stats, per-tier ε) behind one :meth:`~MetricsRegistry.snapshot`.
+
+Tracing is strictly observational: an armed tracer never consumes run
+RNG and never reorders events, so traced runs are bitwise identical to
+untraced ones (regression-tested in ``tests/test_obs.py``).
+"""
+
+from .trace import Tracer, current_tracer, set_tracer, timed_call, use_tracer
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_key
+
+__all__ = [
+    "Tracer",
+    "current_tracer",
+    "set_tracer",
+    "use_tracer",
+    "timed_call",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+]

@@ -1,0 +1,283 @@
+"""Metrics registry: counters / gauges / histograms behind one ``snapshot()``.
+
+The registry absorbs the accounting that previously lived in separate
+corners of the codebase — ``phase_seconds`` dicts, :class:`CommLog` byte
+counts, :class:`FaultStats`, :class:`StoreStats`, and the per-client ε of
+the :class:`PrivacyAccountant` — into one labelled namespace with a
+single machine-readable export.
+
+Histograms estimate streaming p50/p95/p99 with fixed-size reservoirs.
+The reservoir uses a *private* ``random.Random`` instance so observing a
+value can never perturb any run RNG stream (the same bitwise-determinism
+contract the tracer keeps).
+
+All absorb helpers duck-type their argument, so one
+:meth:`MetricsRegistry.absorb_runner` call works for ``FederatedRunner``,
+``AsyncRunner``, ``HierRunner``, and ``HierAsyncRunner`` alike.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "metric_key"]
+
+_RESERVOIR_SIZE = 512
+_RESERVOIR_SEED = 0xC0FFEE
+
+
+def metric_key(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical flat key: ``name`` or ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming distribution: exact count/sum/min/max plus quantile
+    estimates from a fixed-size uniform reservoir."""
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_rng")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._rng = random.Random(_RESERVOIR_SEED)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < _RESERVOIR_SIZE:
+            self._samples.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < _RESERVOIR_SIZE:
+                self._samples[j] = value
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Estimate the ``p``-th percentile (0..100) from the reservoir."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Labelled metrics with one JSON-able :meth:`snapshot`.
+
+    Registry-level labels (typically ``algorithm=``/``codec=``) apply to
+    the whole snapshot; per-metric labels (``tier=``, ``phase=``, ...)
+    key individual series.
+    """
+
+    def __init__(self, **labels: Any) -> None:
+        self.labels = {k: v for k, v in labels.items() if v is not None}
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- accessors
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = metric_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = metric_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = metric_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram()
+        return metric
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict export of every metric, ready for ``json.dumps``."""
+        return {
+            "labels": dict(self.labels),
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.summary() for k, h in sorted(self._histograms.items())},
+        }
+
+    def write_snapshot(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True))
+        return path
+
+    # --------------------------------------------------------------- absorbs
+    def absorb_phase_seconds(self, phase_seconds: Dict[str, float], tier: str) -> None:
+        for phase, seconds in phase_seconds.items():
+            self.gauge("phase_seconds", phase=phase, tier=tier).set(float(seconds))
+
+    def absorb_comm_log(self, log, tier: str) -> None:
+        """Fold a :class:`repro.comm.records.CommLog` into per-tier series."""
+        bytes_c = self.counter("comm_bytes", tier=tier)
+        secs_c = self.counter("comm_sim_seconds", tier=tier)
+        retries = self.counter("comm_retries", tier=tier)
+        backoff = self.counter("comm_backoff_seconds", tier=tier)
+        faults = self.counter("comm_faulted_attempts", tier=tier)
+        hist = self.histogram("comm_transfer_seconds", tier=tier)
+        for rec in log.records:
+            if rec.op == "backoff":
+                backoff.inc(rec.seconds)
+                continue
+            bytes_c.inc(rec.nbytes)
+            secs_c.inc(rec.seconds)
+            hist.observe(rec.seconds)
+            if rec.fault is not None:
+                faults.inc()
+            if rec.attempt > 0 and rec.fault is None:
+                retries.inc(rec.attempt)
+        self.counter("comm_dead_letters", tier=tier).inc(len(log.dead_letters))
+
+    def absorb_fault_stats(self, stats) -> None:
+        """Fold a :class:`repro.faults.injector.FaultStats` into counters."""
+        for name, value in stats.as_dict().items():
+            self.counter(f"faults_{name}").inc(value)
+
+    def absorb_store(self, store, tier: str) -> None:
+        """Fold :class:`ClientStateStore` gauges (one store per tier/edge)."""
+        stats = store.stats
+        for name in ("materializations", "restores", "evictions", "hits"):
+            self.gauge(f"store_{name}", tier=tier).set(getattr(stats, name))
+        self.gauge("store_peak_live", tier=tier).set(stats.peak_live)
+        self.gauge("store_materialize_us", tier=tier).set(stats.materialize_us)
+        self.gauge("store_evict_us", tier=tier).set(stats.evict_us)
+        self.gauge("store_nbytes", tier=tier).set(store.store_nbytes)
+        self.gauge("store_live_count", tier=tier).set(store.live_count)
+
+    def absorb_accountant(self, accountant, tier: str = "client") -> None:
+        """Fold per-client ε from a :class:`PrivacyAccountant`."""
+        summary = accountant.summary()
+        hist = self.histogram("privacy_epsilon", tier=tier)
+        for entry in summary.values():
+            hist.observe(entry["epsilon"])
+        self.gauge("privacy_max_epsilon", tier=tier).set(accountant.max_epsilon_spent())
+        self.gauge("privacy_clients_charged", tier=tier).set(len(summary))
+
+    def absorb_history(self, history) -> None:
+        """Fold per-round :class:`RoundResult` aggregates."""
+        rounds = getattr(history, "rounds", [])
+        self.gauge("rounds_completed").set(len(rounds))
+        wall = self.histogram("round_wall_clock_seconds")
+        for result in rounds:
+            self.counter("history_comm_bytes").inc(result.comm_bytes)
+            if result.wall_clock_seconds is not None:
+                wall.observe(result.wall_clock_seconds)
+            if result.retries is not None:
+                self.counter("history_retries").inc(result.retries)
+            if result.failed_clients:
+                self.counter("history_failed_clients").inc(len(result.failed_clients))
+            if result.recovered_edges:
+                self.counter("history_recovered_edges").inc(len(result.recovered_edges))
+            if result.comm_bytes_by_tier:
+                for tier, nbytes in result.comm_bytes_by_tier.items():
+                    self.counter("history_comm_bytes", tier=tier).inc(nbytes)
+
+    def absorb_runner(self, runner) -> None:
+        """One-call absorb for any of the four runner types.
+
+        Duck-types the runner: whatever accounting surfaces exist
+        (``phase_seconds``, communicators with logs, a fault injector, a
+        client store — flat or per edge —, a privacy accountant, and the
+        training history) are folded in; missing surfaces are skipped.
+        """
+        phases = getattr(runner, "phase_seconds", None)
+        if phases:
+            self.absorb_phase_seconds(phases, tier="run")
+
+        comm = getattr(runner, "communicator", None)
+        if comm is not None and getattr(comm, "log", None) is not None:
+            self.absorb_comm_log(comm.log, tier="flat")
+        client_comm = getattr(runner, "client_communicator", None)
+        if client_comm is not None and getattr(client_comm, "log", None) is not None:
+            self.absorb_comm_log(client_comm.log, tier="client_edge")
+        root_comm = getattr(runner, "root_communicator", None)
+        if root_comm is not None and getattr(root_comm, "log", None) is not None:
+            self.absorb_comm_log(root_comm.log, tier="edge_root")
+
+        # Event-loop runners account bytes directly rather than via a log.
+        if comm is None and client_comm is None:
+            if hasattr(runner, "_comm_bytes"):
+                self.counter("comm_bytes", tier="flat").inc(runner._comm_bytes)
+            if hasattr(runner, "_client_bytes"):
+                self.counter("comm_bytes", tier="client_edge").inc(runner._client_bytes)
+            if hasattr(runner, "_root_bytes"):
+                self.counter("comm_bytes", tier="edge_root").inc(runner._root_bytes)
+
+        injector = getattr(runner, "injector", None)
+        if injector is not None:
+            self.absorb_fault_stats(injector.stats)
+
+        store = getattr(runner, "_store", None)
+        if store is not None:
+            self.absorb_store(store, tier="flat")
+        for edge in getattr(runner, "edges", ()):  # hier runners
+            edge_store = getattr(edge, "_store", None)
+            if edge_store is not None:
+                self.absorb_store(edge_store, tier=f"edge:{edge.edge_id}")
+
+        accountant = getattr(runner, "accountant", None)
+        if accountant is not None:
+            self.absorb_accountant(accountant)
+
+        history = getattr(runner, "history", None)
+        if history is not None:
+            self.absorb_history(history)

@@ -40,6 +40,7 @@ tree — the same machinery the store's eviction blobs use.
 
 from __future__ import annotations
 
+import time
 from dataclasses import fields
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -48,6 +49,7 @@ import numpy as np
 
 from ..comm.serialization import decode_state_blob, encode_state_blob
 from ..core.runner import FederatedRunner, RoundResult, TrainingHistory
+from ..obs import current_tracer
 
 __all__ = [
     "RunCheckpoint",
@@ -162,6 +164,7 @@ class RunCheckpoint:
         from ..core.runner import FederatedRunner as _SyncRunner
         from ..hier.runner import HierRunner
 
+        tick = time.perf_counter()
         config = runner.server.config
         if isinstance(runner, AsyncRunner):
             kind = "async"
@@ -209,7 +212,7 @@ class RunCheckpoint:
             payload["meta"]["num_edges"] = len(runner.edges)  # type: ignore[index]
             payload["edges"] = {edge.edge_id: edge_slice_state(edge) for edge in runner.edges}
             payload["clients"] = {"mode": "hier"}
-            return cls(encode_state_blob(payload))
+            return cls(cls._finish_capture(payload, kind, tick))
         if isinstance(runner, AsyncRunner):
             runner.quiesce()
             payload["async"] = {
@@ -242,7 +245,20 @@ class RunCheckpoint:
             }
         # Clients last: the async quiesce above may advance client state.
         payload["clients"] = _clients_state(runner)
-        return cls(encode_state_blob(payload))
+        return cls(cls._finish_capture(payload, kind, tick))
+
+    @staticmethod
+    def _finish_capture(payload: Dict[str, object], kind: str, tick: float) -> bytes:
+        """Serialize the capture payload and, with a tracer armed, emit the
+        ``checkpoint_capture`` span covering walk + encode."""
+        raw = encode_state_blob(payload)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit_span(
+                "checkpoint_capture", "checkpoint", tick, time.perf_counter(),
+                lane="checkpoint", kind=kind, nbytes=len(raw),
+            )
+        return raw
 
     # ----------------------------------------------------------------- restore
     def restore(self, runner):
@@ -256,6 +272,7 @@ class RunCheckpoint:
         from ..asyncfl.runner import AsyncRunner
         from ..hier.runner import HierRunner
 
+        tick = time.perf_counter()
         if isinstance(runner, AsyncRunner):
             kind = "async"
         elif isinstance(runner, HierRunner):
@@ -309,6 +326,12 @@ class RunCheckpoint:
             runner._round_timings = {k: float(v) for k, v in state["round_timings"].items()}
             runner._dispatch_cache = None
             runner._active = {}
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit_span(
+                "checkpoint_restore", "checkpoint", tick, time.perf_counter(),
+                lane="checkpoint", kind=kind, nbytes=len(self._raw),
+            )
         return runner
 
     def restore_edge(self, edge) -> None:

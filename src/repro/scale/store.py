@@ -49,6 +49,7 @@ import numpy as np
 from ..comm.codecs import UpdatePacket, resolve_codec
 from ..comm.serialization import decode_state_blob, encode_state_blob
 from ..core.base import BaseClient
+from ..obs import current_tracer
 
 __all__ = ["StoreStats", "ClientStateStore"]
 
@@ -159,8 +160,15 @@ class ClientStateStore:
         tick = time.perf_counter()
         client = self._live.pop(cid)
         self._blobs[cid] = self._encode_state(client.client_state())
+        now = time.perf_counter()
         self.stats.evictions += 1
-        self.stats.evict_us += (time.perf_counter() - tick) * 1e6
+        self.stats.evict_us += (now - tick) * 1e6
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit_span(
+                "evict", "store", tick, now, lane="store",
+                client=cid, nbytes=len(self._blobs[cid]),
+            )
 
     def _evict_one(self) -> None:
         """Spill the least-recently-used *unpinned* live client."""
@@ -199,7 +207,14 @@ class ClientStateStore:
             client.load_client_state(self._decode_state(blob))
             self.stats.restores += 1
         self.stats.materializations += 1
-        self.stats.materialize_us += (time.perf_counter() - tick) * 1e6
+        now = time.perf_counter()
+        self.stats.materialize_us += (now - tick) * 1e6
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit_span(
+                "materialize", "store", tick, now, lane="store",
+                client=cid, restored=blob is not None,
+            )
         self._live[cid] = client
         self._pins[cid] = self._pins.get(cid, 0) + 1
         self.stats.peak_live = max(self.stats.peak_live, len(self._live))
