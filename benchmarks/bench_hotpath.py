@@ -338,6 +338,88 @@ def test_scale_virtualization(hotpath_store):
     hotpath_store.check_and_update_scale(record)
 
 
+def test_batched_throughput(hotpath_store):
+    """Batched multi-client execution: client-steps/sec vs cohort size B.
+
+    The local-update hot path of the scale/ workload is thousands of tiny
+    per-client optimizer steps — per-client execution is bound by Python/BLAS
+    call overhead, not arithmetic.  ``FLConfig.client_batch`` stacks B
+    clients' flat parameter vectors into one ``(B, dim)`` block and runs
+    forward/backward/SGD as batched GEMMs (see ``repro.core.batched``),
+    bitwise identical to the per-client loop at float64.  This bench runs one
+    round of the tiny-MLP virtual-population workload at B in {1, 32, 256}
+    (``live_cap=1024`` so B=256 cohorts form whole) and records client
+    optimizer steps per wall-clock second of the ``local_update`` phase,
+    asserting the acceptance bar: >=10x at B=256 over B=1.  Lands in
+    ``BENCH_hotpath.json``'s "batched" section behind the conftest gate.
+    """
+    from dataclasses import replace
+
+    from repro.harness.scaling import PopulationSweepSettings, make_population
+    from repro.scale import build_virtual_federation
+
+    population = 2_000 if SMOKE else 10_000
+    settings = PopulationSweepSettings(populations=(population,))
+    datasets, model_fn = make_population(settings, population)
+    base_config = FLConfig(
+        algorithm=settings.algorithm,
+        num_rounds=1,
+        local_steps=settings.local_steps,
+        batch_size=settings.samples_per_client,
+        seed=settings.seed,
+    )
+
+    arms = {}
+    for client_batch in (1, 32, 256):
+        best = None
+        for _ in range(max(1, REPEATS)):
+            runner = build_virtual_federation(
+                replace(base_config, client_batch=client_batch),
+                model_fn,
+                datasets,
+                live_cap=1024,
+            )
+            runner.run(1)
+            local_seconds = runner.phase_seconds["local_update"]
+            sps = runner.client_steps / local_seconds
+            if best is None or sps > best["client_steps_per_sec"]:
+                best = {
+                    "client_batch": client_batch,
+                    "client_steps": runner.client_steps,
+                    "local_update_seconds": round(local_seconds, 4),
+                    "client_steps_per_sec": round(sps, 1),
+                }
+        arms[str(client_batch)] = best
+
+    # Every arm executes the same optimizer steps; only the wall clock moves.
+    assert arms["1"]["client_steps"] == arms["32"]["client_steps"] == arms["256"]["client_steps"]
+    speedup_32 = arms["32"]["client_steps_per_sec"] / arms["1"]["client_steps_per_sec"]
+    speedup_256 = arms["256"]["client_steps_per_sec"] / arms["1"]["client_steps_per_sec"]
+
+    record = {
+        "workload": {
+            "population": population,
+            "live_cap": 1024,
+            "algorithm": settings.algorithm,
+            "samples_per_client": settings.samples_per_client,
+            "input_dim": settings.input_dim,
+            "hidden": settings.hidden,
+            "local_steps": settings.local_steps,
+            "smoke": SMOKE,
+        },
+        "client_steps_per_sec_by_batch": arms,
+        "speedup_b32": round(speedup_32, 2),
+        "speedup_b256": round(speedup_256, 2),
+    }
+    print("\nbatched: " + json.dumps(record, indent=2))
+
+    assert speedup_256 >= 10.0, (
+        f"expected >=10x client-steps/sec at client_batch=256 over per-client "
+        f"execution, got {speedup_256:.2f}x"
+    )
+    hotpath_store.check_and_update_batched(record)
+
+
 def test_hier_root_fanin(hotpath_store):
     """Hierarchical fan-in bench: root-ingest packets/sec + fan-in reduction.
 

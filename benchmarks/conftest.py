@@ -62,9 +62,12 @@ def hotpath_store():
     events/sec, a ``"codec"`` section with the wire-codec measurements
     (encode/decode MB/s and bytes-per-round/wire-reduction on the Fig. 2
     workload), a ``"scale"`` section with the client-virtualization
-    gauges (clients/GB of spilled state, materialise/evict µs), and a
-    ``"hier"`` section with the hierarchical fan-in measurements (root
-    packets per round, fan-in reduction, root-ingest packets/sec).  Every gate
+    gauges (clients/GB of spilled state, materialise/evict µs), a
+    ``"batched"`` section with the batched-execution throughput
+    (client-steps/sec at cohort sizes B in {1, 32, 256} and the B=256/B=1
+    speedup), and a ``"hier"`` section with the hierarchical fan-in
+    measurements (root packets per round, fan-in reduction, root-ingest
+    packets/sec).  Every gate
     tolerates a missing file *or* section — a first run records a fresh
     baseline instead of KeyError-ing.  ``check_and_update(record)`` gates the sync record against
     the previously recorded run — failing on a ``REGRESSION_TOLERANCE`` drop
@@ -271,6 +274,42 @@ def hotpath_store():
             )
         _merge_write({"scale": record})
 
+    def check_and_update_batched(record):
+        previous = (load() or {}).get("batched") or None
+        if previous and previous.get("workload") != record.get("workload"):
+            previous = None
+        accept = os.environ.get("REPRO_BENCH_ACCEPT", "0") == "1"
+        failure = None
+        old_speedup = (previous or {}).get("speedup_b256")
+        old_sps = ((previous or {}).get("client_steps_per_sec_by_batch") or {}).get(
+            "256", {}
+        ).get("client_steps_per_sec")
+        new_sps = record["client_steps_per_sec_by_batch"]["256"]["client_steps_per_sec"]
+        if (
+            old_speedup
+            and not accept
+            and record["speedup_b256"] < (1.0 - REGRESSION_TOLERANCE) * old_speedup
+        ):
+            # Both sides of the B=256/B=1 ratio are measured in the same
+            # session, so a drop here is a genuine batched-kernel regression,
+            # not machine load.
+            failure = (
+                f"batched speedup regressed {old_speedup:.2f}x -> "
+                f"{record['speedup_b256']:.2f}x (>{REGRESSION_TOLERANCE:.0%})"
+            )
+        elif old_sps and not accept and new_sps < (1.0 - ABSOLUTE_TOLERANCE) * old_sps:
+            failure = (
+                f"client-steps/sec collapsed {old_sps:.1f} -> {new_sps:.1f} "
+                f"(>{ABSOLUTE_TOLERANCE:.0%} even allowing for machine load)"
+            )
+        if failure is not None:
+            pytest.fail(
+                "batched-execution regression: " + failure +
+                " — BENCH_hotpath.json keeps the previous baseline; "
+                "set REPRO_BENCH_ACCEPT=1 to accept the new numbers"
+            )
+        _merge_write({"batched": record})
+
     def check_and_update_obs(record):
         previous = (load() or {}).get("obs") or None
         if previous and previous.get("workload") != record.get("workload"):
@@ -298,6 +337,7 @@ def hotpath_store():
         check_and_update_async=check_and_update_async,
         check_and_update_codec=check_and_update_codec,
         check_and_update_scale=check_and_update_scale,
+        check_and_update_batched=check_and_update_batched,
         check_and_update_hier=check_and_update_hier,
         check_and_update_faults=check_and_update_faults,
         check_and_update_obs=check_and_update_obs,

@@ -93,6 +93,17 @@ class FLConfig:
     engine: str = "flat"
     parallel_clients: int = 1
 
+    # client_batch: cohort size for batched multi-client execution (see
+    #   repro.core.batched).  1 (default) runs every client through its own
+    #   update() — bit-for-bit the pre-batching behaviour.  Larger values
+    #   stack up to that many same-shaped clients' flat parameter vectors
+    #   into a (B, dim) matrix and run their local updates as single batched
+    #   GEMM/ufunc calls per step; clients without a batched kernel (CNN
+    #   models, privacy enabled, lossy codecs, custom algorithms) fall back
+    #   to the per-client path.  Batched results are bitwise identical to
+    #   per-client execution at float64 on the linear/MLP path.
+    client_batch: int = 1
+
     # Wire codec stack for every model exchange (see repro.comm.codecs): a
     # "|"-separated spec applied left-to-right at encode time, e.g.
     # "identity" (default: bit-for-bit the uncompressed behaviour), "fp16",
@@ -150,6 +161,8 @@ class FLConfig:
             raise ValueError("the legacy 'copy' engine only supports float64")
         if self.parallel_clients < 0:
             raise ValueError("parallel_clients must be >= 0 (0 = one thread per core)")
+        if self.client_batch < 1:
+            raise ValueError("client_batch must be >= 1 (1 = per-client execution)")
         # Validate the codec spec eagerly so a typo fails at config time, not
         # mid-run (lazy import keeps repro.core importable standalone).
         from ..comm.codecs import parse_codec

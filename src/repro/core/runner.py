@@ -60,6 +60,7 @@ from ..data import Dataset
 from ..obs import current_tracer, timed_call
 from ..privacy import PrivacyAccountant, dispatch_fingerprint
 from .base import GLOBAL_KEY, BaseClient, BaseServer
+from .batched import count_client_steps, run_batched_updates
 from .config import FLConfig
 from .exchange import PacketExchange
 from .metrics import Evaluator
@@ -110,6 +111,11 @@ class RoundResult:
     #: ids of edges killed and recovered during this round (hier runs);
     #: ``None`` when fault injection is not active.
     recovered_edges: Optional[Tuple[int, ...]] = None
+    #: client optimizer steps executed this round (the unit of the
+    #: ``client_steps_per_sec`` throughput metric; see
+    #: :func:`repro.core.batched.count_client_steps`); ``None`` for
+    #: externally built results and pre-existing checkpoints.
+    client_steps: Optional[int] = None
 
 
 @dataclass
@@ -211,8 +217,43 @@ class FederatedRunner:
         self._executor: Optional[ThreadPoolExecutor] = None
         #: cumulative wall-clock seconds spent in each phase across all rounds
         self.phase_seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+        #: cumulative client optimizer steps across all rounds (both execution
+        #: paths); with phase_seconds["local_update"] this yields the
+        #: client_steps_per_sec throughput metric.
+        self.client_steps: int = 0
 
     def _update_clients(
+        self, clients: Sequence[BaseClient], received: Dict[int, Dict[str, np.ndarray]]
+    ) -> Dict[int, Dict[str, np.ndarray]]:
+        """Run the given clients' updates, as stacked cohorts when eligible.
+
+        With ``FLConfig.client_batch > 1``, a lossless wire, and at least one
+        group of two-or-more same-shaped batchable clients, the cohort engine
+        (:mod:`repro.core.batched`) executes them as stacked kernel calls —
+        bitwise identical to the per-client path at float64 — and everyone
+        else falls back to :meth:`_update_clients_eager`.  ``client_batch=1``
+        (the default) takes the eager path unconditionally.
+        """
+        cfg = self.server.config
+        client_batch = int(getattr(cfg, "client_batch", 1) or 1)
+        if client_batch > 1 and len(clients) > 1 and not self.exchange.lossy:
+            batched = run_batched_updates(
+                clients, received, client_batch, tracer=current_tracer()
+            )
+            if batched is not None:
+                uploads, leftover, steps = batched
+                self.client_steps += steps
+                if leftover:
+                    uploads.update(self._update_clients_eager(leftover, received))
+                    self.client_steps += sum(count_client_steps(c) for c in leftover)
+                # Preserve client order: aggregation consumers iterate this
+                # dict and must see the same order as the eager path.
+                return {c.client_id: uploads[c.client_id] for c in clients}
+        uploads = self._update_clients_eager(clients, received)
+        self.client_steps += sum(count_client_steps(c) for c in clients)
+        return uploads
+
+    def _update_clients_eager(
         self, clients: Sequence[BaseClient], received: Dict[int, Dict[str, np.ndarray]]
     ) -> Dict[int, Dict[str, np.ndarray]]:
         """Run the given clients' updates (thread pool when ``max_workers > 1``).
@@ -275,6 +316,7 @@ class FederatedRunner:
         bytes_before = self.communicator.total_bytes()
         seconds_before = self.communicator.log.total_seconds()
         faulted_before = self.communicator.log.failed_attempts() if injector is not None else 0
+        steps_before = self.client_steps
         timings: Dict[str, float] = {k: 0.0 for k in self.phase_seconds}
         tracer = current_tracer()
         round_start = tick = time.perf_counter()
@@ -405,6 +447,7 @@ class FederatedRunner:
             participating_clients=tuple(participants),
             failed_clients=tuple(sorted(set(client_ids) - set(participants))) if faulty else None,
             retries=(self.communicator.log.failed_attempts() - faulted_before) if faulty else None,
+            client_steps=self.client_steps - steps_before,
         )
         self.history.add(result)
         return result
@@ -418,6 +461,7 @@ class FederatedRunner:
         bytes_before = self.communicator.total_bytes()
         seconds_before = self.communicator.log.total_seconds()
         faulted_before = self.communicator.log.failed_attempts() if injector is not None else 0
+        steps_before = self.client_steps
         timings: Dict[str, float] = {}
         tracer = current_tracer()
         round_start = tick = time.perf_counter()
@@ -535,6 +579,7 @@ class FederatedRunner:
             participating_clients=tuple(sorted(gathered)),
             failed_clients=tuple(sorted(set(client_ids) - set(gathered))) if faulty else None,
             retries=(self.communicator.log.failed_attempts() - faulted_before) if faulty else None,
+            client_steps=self.client_steps - steps_before,
         )
         self.history.add(result)
         return result

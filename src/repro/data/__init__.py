@@ -1,6 +1,6 @@
 """Datasets, data loaders, client partitioners, and synthetic dataset generators."""
 
-from .dataloader import DataLoader
+from .dataloader import CohortLoader, DataLoader
 from .dataset import ConcatDataset, Dataset, Subset, TensorDataset, stack_dataset
 from .partition import (
     by_writer_partition,
@@ -28,6 +28,7 @@ __all__ = [
     "ConcatDataset",
     "stack_dataset",
     "DataLoader",
+    "CohortLoader",
     "iid_partition",
     "shard_partition",
     "dirichlet_partition",

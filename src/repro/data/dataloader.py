@@ -6,13 +6,13 @@ Batches are dense numpy arrays so the model forward pass is fully vectorised.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .dataset import Dataset, TensorDataset, stack_dataset
 
-__all__ = ["DataLoader"]
+__all__ = ["DataLoader", "CohortLoader"]
 
 
 class DataLoader:
@@ -104,3 +104,129 @@ class DataLoader:
         """Return the entire dataset as one batch (used by ICEADMM, which
         computes the gradient on all local data points)."""
         return self._inputs, self._labels
+
+
+class CohortLoader:
+    """Stacked mini-batch fetch across ``B`` same-shaped :class:`DataLoader`\\ s.
+
+    The batched client-execution engine (:mod:`repro.core.batched`) runs a
+    cohort of clients' local updates as single stacked kernel calls; this is
+    the matching data movement.  Lane ``b``'s rows come from loader ``b``'s
+    materialised arrays (stacked once per cohort into a ``(B, n, ...)``
+    block), and each mini-batch step then materialises one ``(B, batch, ...)``
+    block in a *single* ``take`` over the flattened row stack — instead of
+    ``B`` per-client fancy-indexing gathers — reusing one flat index buffer
+    and one block buffer per batch geometry across the whole wave.
+
+    RNG fidelity: :meth:`epoch` drives each underlying loader's *own* index
+    buffer and generator exactly as ``DataLoader.__iter__`` would, so a
+    client executed through a cohort consumes the same random state as one
+    iterated per client — checkpoints and store spills stay bit-identical,
+    and every lane of a yielded block holds exactly the rows (in exactly the
+    order) the per-client iteration would have produced.
+
+    All loaders must hold equally many samples of equal shape/dtype and share
+    one batch size; the cohort builder groups clients so this holds.  Pass a
+    buffer pool with ``acquire(key, shape, dtype)`` / ``release(key, buf)``
+    (e.g. :data:`repro.nn.functional._pool`) to recycle the stacked arrays
+    across cohorts; call :meth:`close` when done to return them.
+    """
+
+    def __init__(self, loaders: "Sequence[DataLoader]", pool=None):
+        loaders = list(loaders)
+        if not loaders:
+            raise ValueError("CohortLoader needs at least one DataLoader")
+        first = loaders[0]
+        n = len(first.dataset)
+        for ld in loaders:
+            if ld._inputs.shape != first._inputs.shape or ld._labels.shape != first._labels.shape:
+                raise ValueError("cohort loaders must hold same-shaped datasets")
+            if ld._inputs.dtype != first._inputs.dtype or ld._labels.dtype != first._labels.dtype:
+                raise ValueError("cohort loaders must share input/label dtypes")
+            if ld.batch_size != first.batch_size:
+                raise ValueError("cohort loaders must share one batch size")
+        self._loaders = loaders
+        B = len(loaders)
+        self.B = B
+        self.batch_size = first.batch_size
+        self._n = n
+        self._pool = pool
+        self._held = []
+        x0, y0 = first._inputs, first._labels
+        self._inputs = self._acquire(
+            ("cohort_x", B) + x0.shape + (x0.dtype.str,), (B,) + x0.shape, x0.dtype
+        )
+        self._labels = self._acquire(
+            ("cohort_y", B) + y0.shape + (y0.dtype.str,), (B,) + y0.shape, y0.dtype
+        )
+        for b, ld in enumerate(loaders):
+            np.copyto(self._inputs[b], ld._inputs)
+            np.copyto(self._labels[b], ld._labels)
+        self._orders = self._acquire(("cohort_order", B, n), (B, n), np.intp)
+        self._flat = self._acquire(("cohort_flat", B, self.batch_size), (B, self.batch_size), np.intp)
+        self._lane_base = np.arange(B)[:, None] * n
+        # Flattened row views served by the one-take gather.
+        self._x_rows = self._inputs.reshape((B * n,) + x0.shape[1:])
+        self._y_rows = self._labels.reshape(B * n)
+        self._xblocks = {}
+        self._yblocks = {}
+
+    def _acquire(self, key, shape, dtype) -> np.ndarray:
+        if self._pool is None:
+            return np.empty(shape, dtype=dtype)
+        buf = self._pool.acquire(key, shape, dtype)
+        self._held.append((key, buf))
+        return buf
+
+    def __len__(self) -> int:
+        """Batches per epoch (mirrors the underlying loaders)."""
+        return (self._n + self.batch_size - 1) // self.batch_size
+
+    def epoch(self) -> None:
+        """Start a new shuffled pass, via each lane's own RNG and index buffer."""
+        for b, ld in enumerate(self._loaders):
+            np.copyto(ld._order, ld._arange)
+            ld._rng.shuffle(ld._order)
+            np.copyto(self._orders[b], ld._order)
+
+    def batches(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``((B, k, ...), (B, k))`` blocks for the current epoch order.
+
+        Yielded blocks are reused buffers — consume each before the next step.
+        """
+        n, bs, B = self._n, self.batch_size, self.B
+        tail = self._inputs.shape[2:]
+        for start in range(0, n, bs):
+            idx = self._orders[:, start : start + bs]
+            k = idx.shape[1]
+            flat = self._flat[:, :k]
+            np.add(idx, self._lane_base, out=flat)
+            rows = flat.reshape(-1)
+            xb = self._xblocks.get(k)
+            if xb is None:
+                xb = self._acquire(
+                    ("cohort_xb", B, k) + tail + (self._inputs.dtype.str,),
+                    (B * k,) + tail,
+                    self._inputs.dtype,
+                )
+                self._xblocks[k] = xb
+            yb = self._yblocks.get(k)
+            if yb is None:
+                yb = self._acquire(
+                    ("cohort_yb", B, k, self._labels.dtype.str), (B * k,), self._labels.dtype
+                )
+                self._yblocks[k] = yb
+            np.take(self._x_rows, rows, axis=0, out=xb)
+            np.take(self._y_rows, rows, axis=0, out=yb)
+            yield xb.reshape((B, k) + tail), yb.reshape(B, k)
+
+    def full_stack(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The whole stacked dataset (ICEADMM's full-gradient path)."""
+        return self._inputs, self._labels
+
+    def close(self) -> None:
+        """Return pooled buffers to the pool (no-op without a pool)."""
+        if self._pool is not None:
+            for key, buf in self._held:
+                self._pool.release(key, buf)
+            self._held = []

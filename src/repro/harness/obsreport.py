@@ -84,9 +84,27 @@ def _phase_section(records: Sequence[Dict[str, Any]]) -> Optional[str]:
             ]
         )
     rows.append(["total"] + [round(sum(by_tier[t].values()), 4) for t in tiers])
-    return format_table(
+    table = format_table(
         ["phase"] + [f"{t} (s)" for t in tiers], rows, title="Phase breakdown per tier"
     )
+    # Batched-execution throughput: cohort_step spans carry the cohort's
+    # optimizer-step count, so steps / span-seconds is the realised
+    # client_steps_per_sec of the batched local-update hot path.
+    cohort_steps = 0
+    cohort_seconds = 0.0
+    cohort_spans = 0
+    for rec in records:
+        if rec.get("type") == "span" and rec.get("name") == "cohort_step":
+            cohort_steps += int(rec.get("steps", 0))
+            cohort_seconds += _duration(rec)
+            cohort_spans += 1
+    if cohort_spans and cohort_seconds > 0:
+        table += (
+            f"\nbatched cohorts: {cohort_spans} cohort_step spans, "
+            f"{cohort_steps} client steps, "
+            f"client_steps_per_sec = {cohort_steps / cohort_seconds:.1f}"
+        )
+    return table
 
 
 def _topk_section(

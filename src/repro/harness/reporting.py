@@ -58,7 +58,11 @@ def format_history(history, title: str = "", fmt: str = "table") -> str:
     savings are visible in every run summary; flat runs show ``-``.  Runs
     with fault injection armed (:mod:`repro.faults`) report how many clients
     failed and how many edges were recovered each round; fault-free runs
-    show ``-``.
+    show ``-``.  ``steps/s`` is the round's client optimizer steps per
+    wall-clock second of local update (see
+    :func:`repro.core.batched.count_client_steps`) — the direct view of the
+    batched-execution win under ``FLConfig.client_batch``; rounds without
+    step accounting (externally built results, old checkpoints) show ``-``.
     """
     if fmt == "json":
         names = [f.name for f in dataclasses.fields(type(history.rounds[0]))] if history.rounds else []
@@ -73,6 +77,8 @@ def format_history(history, title: str = "", fmt: str = "table") -> str:
     rows = []
     for r in history.rounds:
         tiers = r.comm_bytes_by_tier or {}
+        steps = getattr(r, "client_steps", None)
+        local_s = (r.phase_seconds or {}).get("local_update", 0.0)
         rows.append(
             [
                 r.round,
@@ -83,6 +89,7 @@ def format_history(history, title: str = "", fmt: str = "table") -> str:
                 "-" if "edge_root" not in tiers else round(tiers["edge_root"] / 1e6, 3),
                 "-" if r.wall_clock_seconds is None else round(r.wall_clock_seconds, 3),
                 "-" if r.participating_clients is None else len(r.participating_clients),
+                "-" if not steps or local_s <= 0 else round(steps / local_s, 1),
                 "-" if r.failed_clients is None else len(r.failed_clients),
                 "-" if r.recovered_edges is None else len(r.recovered_edges),
             ]
@@ -97,6 +104,7 @@ def format_history(history, title: str = "", fmt: str = "table") -> str:
             "e2r_MB",
             "sim_clock_s",
             "clients",
+            "steps/s",
             "failed",
             "recovered",
         ],

@@ -40,6 +40,7 @@ import numpy as np
 from ..comm import Communicator, client_endpoint
 from ..comm.records import DeadLetter
 from ..core.base import GLOBAL_KEY, BaseClient, BaseServer
+from ..core.batched import count_client_steps, run_batched_updates
 from ..core.exchange import PacketExchange
 from ..core.partial import ExactPartial, pack_partial
 from ..core.runner import PHASES
@@ -130,6 +131,9 @@ class EdgeAggregator:
         self._streaming = hasattr(server, "aggregate_global")
         self._fold: Optional[ExactPartial] = None
         self._participants: List[int] = []
+        #: cumulative client optimizer steps this edge executed (see
+        #: FederatedRunner.client_steps; the hier runner sums edges per round).
+        self.client_steps: int = 0
         self.begin_collect()
 
     # ------------------------------------------------------------ global hop
@@ -210,6 +214,28 @@ class EdgeAggregator:
             self._store.release(cid)
 
     def _update_clients(self, clients: Sequence[BaseClient], payloads) -> Dict[int, Dict]:
+        # Same cohort gate as FederatedRunner._update_clients: with
+        # client_batch > 1 and a lossless client-hop, eligible shard members
+        # run as stacked cohorts (bitwise identical at float64) and the rest
+        # fall back to the per-client path below.
+        cfg = self.server.config
+        client_batch = int(getattr(cfg, "client_batch", 1) or 1)
+        if client_batch > 1 and len(clients) > 1 and not self.exchange.lossy:
+            batched = run_batched_updates(
+                clients, payloads, client_batch, tracer=current_tracer()
+            )
+            if batched is not None:
+                uploads, leftover, steps = batched
+                self.client_steps += steps
+                if leftover:
+                    uploads.update(self._update_clients_eager(leftover, payloads))
+                    self.client_steps += sum(count_client_steps(c) for c in leftover)
+                return {c.client_id: uploads[c.client_id] for c in clients}
+        uploads = self._update_clients_eager(clients, payloads)
+        self.client_steps += sum(count_client_steps(c) for c in clients)
+        return uploads
+
+    def _update_clients_eager(self, clients: Sequence[BaseClient], payloads) -> Dict[int, Dict]:
         # With a tracer armed, updates are timed in place and the spans
         # emitted afterwards from this thread in client order (see
         # FederatedRunner._update_clients) — order and results are unchanged.

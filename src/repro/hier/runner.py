@@ -129,6 +129,9 @@ class HierRunner:
         self.accountant = accountant if accountant is not None else PrivacyAccountant()
         self.history = TrainingHistory()
         self.phase_seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+        #: cumulative client optimizer steps across all edges and rounds (the
+        #: numerator of the client_steps_per_sec throughput metric)
+        self.client_steps: int = 0
         #: fault layer (see :meth:`enable_faults`); ``None`` keeps every code
         #: path bit-identical to the fault-free runner
         self.injector = None
@@ -192,6 +195,7 @@ class HierRunner:
             + self.root_communicator.log.total_seconds()
         )
         edge_ids = [edge.edge_id for edge in self.edges]
+        steps_before = sum(edge.client_steps for edge in self.edges)
         injector = self.injector
         faulted_before = (
             self.client_communicator.log.failed_attempts()
@@ -314,6 +318,8 @@ class HierRunner:
 
         for phase, seconds in timings.items():
             self.phase_seconds[phase] += seconds
+        round_steps = sum(edge.client_steps for edge in self.edges) - steps_before
+        self.client_steps += round_steps
         if tracer is not None:
             tracer.emit_span(
                 "round", "round", round_start, time.perf_counter(),
@@ -348,6 +354,7 @@ class HierRunner:
                 else None
             ),
             recovered_edges=tuple(sorted(recovered)) if injector is not None else None,
+            client_steps=round_steps,
         )
         self.history.add(result)
         return result

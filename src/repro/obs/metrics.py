@@ -243,6 +243,14 @@ class MetricsRegistry:
         if phases:
             self.absorb_phase_seconds(phases, tier="run")
 
+        # Local-update throughput: client optimizer steps per wall-clock
+        # second of the local_update phase (both runner execution paths count
+        # steps; see repro.core.batched.count_client_steps).
+        steps = getattr(runner, "client_steps", 0)
+        local_seconds = (phases or {}).get("local_update", 0.0)
+        if steps and local_seconds > 0:
+            self.gauge("client_steps_per_sec", tier="run").set(steps / local_seconds)
+
         comm = getattr(runner, "communicator", None)
         if comm is not None and getattr(comm, "log", None) is not None:
             self.absorb_comm_log(comm.log, tier="flat")

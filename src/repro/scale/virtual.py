@@ -13,6 +13,15 @@ With the default bit-exact store settings (``state_codec="identity"``) and
 the default :class:`~repro.comm.serial.SerialCommunicator`, a virtual run's
 :class:`~repro.core.runner.TrainingHistory` is bit-for-bit the eager run's
 (regression-tested in ``tests/test_scale.py``); only the peak memory differs.
+
+Batched cohort execution: with ``FLConfig.client_batch > 1``, each
+store-backed wave of checked-out clients is executed as stacked cohorts by
+the runner's shared gate (:meth:`~repro.core.runner.FederatedRunner.
+_update_clients` → :mod:`repro.core.batched`) — so the cohort size is
+effectively ``min(client_batch, live_cap)``.  Size ``live_cap`` accordingly
+when benchmarking large cohorts (the ``scale/`` throughput benchmarks use
+``live_cap >= 1024`` so ``B = 256`` cohorts form whole).  Batched waves stay
+bit-identical to per-client waves at float64.
 """
 
 from __future__ import annotations
