@@ -65,9 +65,11 @@ def hotpath_store():
     gauges (clients/GB of spilled state, materialise/evict µs), a
     ``"batched"`` section with the batched-execution throughput
     (client-steps/sec at cohort sizes B in {1, 32, 256} and the B=256/B=1
-    speedup), and a ``"hier"`` section with the hierarchical fan-in
+    speedup), a ``"hier"`` section with the hierarchical fan-in
     measurements (root packets per round, fan-in reduction, root-ingest
-    packets/sec).  Every gate
+    packets/sec), and a ``"multicore"`` section with the process-backend
+    rounds/sec sweep over worker counts {1, 2, 4} on the Fig. 2 and scale/
+    workloads.  Every gate
     tolerates a missing file *or* section — a first run records a fresh
     baseline instead of KeyError-ing.  ``check_and_update(record)`` gates the sync record against
     the previously recorded run — failing on a ``REGRESSION_TOLERANCE`` drop
@@ -310,6 +312,40 @@ def hotpath_store():
             )
         _merge_write({"batched": record})
 
+    def check_and_update_multicore(record):
+        previous = (load() or {}).get("multicore") or None
+        if previous and previous.get("workload") != record.get("workload"):
+            # Different sizing or a different host core count: the worker
+            # sweep is not comparable; record a fresh baseline.
+            previous = None
+        accept = os.environ.get("REPRO_BENCH_ACCEPT", "0") == "1"
+        failure = None
+        old_serial = ((previous or {}).get("fig2") or {}).get("serial", {}).get("rounds_per_sec")
+        new_serial = record["fig2"]["serial"]["rounds_per_sec"]
+        old_speedup = ((previous or {}).get("fig2") or {}).get("4", {}).get("speedup_vs_serial")
+        cores = (record.get("workload") or {}).get("cpu_count", 1)
+        if old_serial and not accept and new_serial < (1.0 - ABSOLUTE_TOLERANCE) * old_serial:
+            failure = (
+                f"serial rounds/sec collapsed {old_serial:.4f} -> {new_serial:.4f} "
+                f"(>{ABSOLUTE_TOLERANCE:.0%} even allowing for machine load)"
+            )
+        elif old_speedup and not accept and cores >= 4:
+            # The speedup ratio is load-invariant (both sides measured in the
+            # same session) but only meaningful with cores to spread over.
+            new_speedup = record["fig2"]["4"]["speedup_vs_serial"]
+            if new_speedup < (1.0 - REGRESSION_TOLERANCE) * old_speedup:
+                failure = (
+                    f"4-worker speedup regressed {old_speedup:.2f}x -> "
+                    f"{new_speedup:.2f}x (>{REGRESSION_TOLERANCE:.0%})"
+                )
+        if failure is not None:
+            pytest.fail(
+                "multicore-backend regression: " + failure +
+                " — BENCH_hotpath.json keeps the previous baseline; "
+                "set REPRO_BENCH_ACCEPT=1 to accept the new numbers"
+            )
+        _merge_write({"multicore": record})
+
     def check_and_update_obs(record):
         previous = (load() or {}).get("obs") or None
         if previous and previous.get("workload") != record.get("workload"):
@@ -341,4 +377,5 @@ def hotpath_store():
         check_and_update_hier=check_and_update_hier,
         check_and_update_faults=check_and_update_faults,
         check_and_update_obs=check_and_update_obs,
+        check_and_update_multicore=check_and_update_multicore,
     )

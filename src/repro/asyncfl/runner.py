@@ -58,7 +58,6 @@ and resume it bit-identically.
 from __future__ import annotations
 
 import math
-import os
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -71,6 +70,7 @@ from ..core.exchange import PacketExchange
 from ..core.metrics import Evaluator
 from ..core.runner import PHASES, RoundResult, TrainingHistory, build_endpoints
 from ..data import Dataset
+from ..mp import resolve_workers
 from ..obs import current_tracer
 from ..privacy import PrivacyAccountant
 from ..simulator.device import A100, DeviceSpec, LocalUpdateCostModel
@@ -177,10 +177,14 @@ class AsyncRunner:
 
         if max_workers is None:
             max_workers = config.parallel_clients
-        if max_workers == 0:  # 0 = one worker per core, as in FederatedRunner
-            max_workers = os.cpu_count() or 1
-        self.max_workers = max(1, int(max_workers))
+        self.max_workers = resolve_workers(max_workers)
+        # The event-driven runner has no synchronous local-update phase for a
+        # process pool to shard, so execution_backend="process" runs its
+        # (at most `concurrency`) in-flight updates on the thread pool too;
+        # "serial" still forces in-line execution.
+        self.backend = str(getattr(config, "execution_backend", "thread"))
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_width = 0
 
         self.async_server = AsyncServer(server, self.strategy)
         # Every dispatch/upload flows through the same codec-aware exchange
@@ -293,13 +297,20 @@ class AsyncRunner:
         until its upload is encoded, so the instance stays valid while the
         pool runs it.
         """
-        if self.max_workers > 1 and self.num_clients > 1:
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=min(self.max_workers, self.num_clients),
-                    thread_name_prefix="asyncfl-client",
-                )
-            return self._executor.submit(client.update, payload)
+        if self.backend != "serial" and self.max_workers > 1 and self.num_clients > 1:
+            # At most `concurrency` updates are ever in flight — sizing by the
+            # population over-provisioned threads under partial participation.
+            needed = min(self.max_workers, self.concurrency)
+            if needed > 1:
+                if self._executor is None or self._executor_width < needed:
+                    if self._executor is not None:
+                        self._executor.shutdown(wait=True)
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=needed,
+                        thread_name_prefix="asyncfl-client",
+                    )
+                    self._executor_width = needed
+                return self._executor.submit(client.update, payload)
         return None
 
     def _dispatch(self, cid: int) -> None:
@@ -586,6 +597,7 @@ class AsyncRunner:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+            self._executor_width = 0
 
     def __enter__(self) -> "AsyncRunner":
         return self

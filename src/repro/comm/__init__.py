@@ -31,6 +31,7 @@ from .latency import (
 from .mpi_sim import MPISimCommunicator
 from .records import CommLog, CommRecord, DeadLetter
 from .serial import SerialCommunicator
+from .shm_transport import SharedMemoryTransport
 from .serialization import (
     decode_packet,
     decode_state_dict,
@@ -55,6 +56,7 @@ __all__ = [
     "decode_packet_state",
     "Communicator",
     "SerialCommunicator",
+    "SharedMemoryTransport",
     "MPISimCommunicator",
     "GRPCSimCommunicator",
     "client_endpoint",

@@ -93,6 +93,18 @@ class FLConfig:
     engine: str = "flat"
     parallel_clients: int = 1
 
+    # execution_backend: how client-local updates are executed when
+    #   parallel_clients allows more than one worker (see repro.mp).
+    #   "thread" (default) runs updates on a GIL-bound thread pool — the
+    #   heavy numpy kernels release the GIL, and results are bit-identical to
+    #   serial.  "process" shards the population across spawn-context worker
+    #   processes exchanging packets through multiprocessing.shared_memory —
+    #   true multi-core scaling, still bitwise identical to serial (lossless
+    #   codecs only; everything the workers hold must pickle).  "serial"
+    #   forces in-line execution regardless of parallel_clients (useful as an
+    #   equivalence baseline where only this knob flips).
+    execution_backend: str = "thread"
+
     # client_batch: cohort size for batched multi-client execution (see
     #   repro.core.batched).  1 (default) runs every client through its own
     #   update() — bit-for-bit the pre-batching behaviour.  Larger values
@@ -161,6 +173,10 @@ class FLConfig:
             raise ValueError("the legacy 'copy' engine only supports float64")
         if self.parallel_clients < 0:
             raise ValueError("parallel_clients must be >= 0 (0 = one thread per core)")
+        if self.execution_backend not in ("serial", "thread", "process"):
+            raise ValueError(
+                "execution_backend must be 'serial', 'thread', or 'process'"
+            )
         if self.client_batch < 1:
             raise ValueError("client_batch must be >= 1 (1 = per-client execution)")
         # Validate the codec spec eagerly so a typo fails at config time, not

@@ -17,7 +17,7 @@ import numpy as np
 
 from .. import nn
 
-__all__ = ["PaperCNN", "MLP", "LogisticRegression", "build_model"]
+__all__ = ["PaperCNN", "MLP", "LogisticRegression", "build_model", "SeededModelFn"]
 
 
 class PaperCNN(nn.Module):
@@ -115,3 +115,45 @@ def build_model(
     if kind in ("logistic", "linear"):
         return LogisticRegression(c * h * w, num_classes, rng=rng)
     raise ValueError(f"unknown model kind {kind!r}")
+
+
+class SeededModelFn:
+    """A picklable, deterministic-per-call ``model_fn``.
+
+    Equivalent to ``lambda: build_model(kind, shape, classes,
+    rng=np.random.default_rng(seed))`` — every call draws the initial weights
+    from a *fresh* generator at ``seed``, so repeated calls yield bit-identical
+    models (the contract :class:`repro.scale.ClientStateStore` factories
+    need).  Unlike the lambda, instances pickle, which
+    ``FLConfig(execution_backend="process")`` requires: worker processes
+    rebuild store-backed clients from the shipped factory.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        image_shape: Tuple[int, int, int],
+        num_classes: int,
+        seed: int = 0,
+        **kwargs,
+    ):
+        self.kind = kind
+        self.image_shape = tuple(image_shape)
+        self.num_classes = int(num_classes)
+        self.seed = int(seed)
+        self.kwargs = dict(kwargs)
+
+    def __call__(self) -> nn.Module:
+        return build_model(
+            self.kind,
+            self.image_shape,
+            self.num_classes,
+            rng=np.random.default_rng(self.seed),
+            **self.kwargs,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SeededModelFn({self.kind!r}, {self.image_shape}, "
+            f"{self.num_classes}, seed={self.seed})"
+        )

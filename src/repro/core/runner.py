@@ -45,7 +45,6 @@ the pre-codec behaviour, including the reported communication volume.
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -57,6 +56,7 @@ from .. import nn
 from ..comm import Communicator, SerialCommunicator, client_endpoint
 from ..comm.records import DeadLetter
 from ..data import Dataset
+from ..mp import resolve_workers
 from ..obs import current_tracer, timed_call
 from ..privacy import PrivacyAccountant, dispatch_fingerprint
 from .base import GLOBAL_KEY, BaseClient, BaseServer
@@ -211,10 +211,23 @@ class FederatedRunner:
         self.history = TrainingHistory()
         if max_workers is None:
             max_workers = server.config.parallel_clients
-        if max_workers == 0:  # 0 = one worker per core
-            max_workers = os.cpu_count() or 1
-        self.max_workers = max(1, int(max_workers))
+        self.max_workers = resolve_workers(max_workers)
+        #: execution backend for local updates: "serial" runs in-line even
+        #: with max_workers > 1, "thread" (default) uses the GIL-bound pool,
+        #: "process" runs shards in spawn-context workers over shared memory.
+        self.backend = str(getattr(server.config, "execution_backend", "thread"))
+        if self.backend == "process" and self.exchange.lossy:
+            raise ValueError(
+                f"execution_backend='process' requires a lossless codec stack; "
+                f"{self.exchange.spec!r} is lossy and its reconcile step needs "
+                f"parent-side client state"
+            )
+        self._pool = None  # ProcessWorkerPool, created lazily
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_width = 0
+        #: steps computed by the most recent _update_clients call, per client;
+        #: callers fold in survivors only (after the uplink gather).
+        self._pending_steps: Dict[int, int] = {}
         #: cumulative wall-clock seconds spent in each phase across all rounds
         self.phase_seconds: Dict[str, float] = {phase: 0.0 for phase in PHASES}
         #: cumulative client optimizer steps across all rounds (both execution
@@ -236,22 +249,91 @@ class FederatedRunner:
         """
         cfg = self.server.config
         client_batch = int(getattr(cfg, "client_batch", 1) or 1)
+        self._pending_steps = {}
+        if self.backend == "process" and self._store is None and len(clients) > 1:
+            uploads = self._update_clients_process(clients, received)
+            if uploads is not None:
+                return uploads
         if client_batch > 1 and len(clients) > 1 and not self.exchange.lossy:
             batched = run_batched_updates(
                 clients, received, client_batch, tracer=current_tracer()
             )
             if batched is not None:
-                uploads, leftover, steps = batched
-                self.client_steps += steps
+                uploads, leftover, _steps = batched
                 if leftover:
                     uploads.update(self._update_clients_eager(leftover, received))
-                    self.client_steps += sum(count_client_steps(c) for c in leftover)
+                # Every cohort member took count_client_steps(c) optimizer
+                # steps (members share config and loader geometry), so the
+                # per-client accounting is exact on both paths.
+                self._pending_steps = {c.client_id: count_client_steps(c) for c in clients}
                 # Preserve client order: aggregation consumers iterate this
                 # dict and must see the same order as the eager path.
                 return {c.client_id: uploads[c.client_id] for c in clients}
         uploads = self._update_clients_eager(clients, received)
-        self.client_steps += sum(count_client_steps(c) for c in clients)
+        self._pending_steps = {c.client_id: count_client_steps(c) for c in clients}
         return uploads
+
+    def _settle_steps(self, gathered) -> None:
+        """Fold the pending step counts of the *surviving* clients — the ones
+        whose upload was actually gathered — into the cumulative counter.
+        Clients whose upload dead-lettered on the uplink did compute, but the
+        throughput metric counts aggregated work only (over-counting degraded
+        rounds was a long-standing bug)."""
+        self.client_steps += sum(self._pending_steps.get(cid, 0) for cid in gathered)
+        self._pending_steps = {}
+
+    def _ensure_pool(self):
+        """The lazily-built process pool for this runner's population."""
+        if self._pool is None:
+            from ..mp.pool import ProcessWorkerPool
+
+            client_batch = int(getattr(self.server.config, "client_batch", 1) or 1)
+            if self._store is not None:
+                self._pool = ProcessWorkerPool.from_store(
+                    self._store, self.max_workers, client_batch=client_batch
+                )
+            else:
+                self._pool = ProcessWorkerPool.from_eager_clients(
+                    self.clients, self.max_workers, client_batch=client_batch
+                )
+        return self._pool
+
+    def _emit_worker_spans(self, ids, timings) -> None:
+        """Emit ``local_update`` spans from worker-side timestamps, in client
+        order (cohort members carry no per-client timing; as on the threaded
+        path they were covered by one batched call)."""
+        tracer = current_tracer()
+        if tracer is None:
+            return
+        for cid in ids:
+            t = timings.get(cid)
+            if t is not None:
+                tracer.emit_span(
+                    "local_update", "client", t[0], t[1],
+                    lane=f"client:{cid}", client=cid, backend="process",
+                )
+
+    def _update_clients_process(self, clients, received):
+        """Run the given (eager) clients' updates on the process pool.
+
+        Returns ``None`` when the round's payloads are not one shared
+        broadcast template (the pool transports one copy through shared
+        memory) — the caller then falls back to the in-process paths.
+        """
+        from ..mp.pool import payload_template
+
+        ids = [c.client_id for c in clients]
+        template = payload_template(received, ids)
+        if template is None:
+            if self._pool is not None:
+                # The workers hold the authoritative state; re-home it before
+                # running these clients in-process.
+                self._pool.sync_parent()
+            return None
+        uploads, steps, timings = self._ensure_pool().run_round(ids, template)
+        self._pending_steps = steps
+        self._emit_worker_spans(ids, timings)
+        return {cid: uploads[cid] for cid in ids}
 
     def _update_clients_eager(
         self, clients: Sequence[BaseClient], received: Dict[int, Dict[str, np.ndarray]]
@@ -263,12 +345,21 @@ class FederatedRunner:
         in client order — tracing never changes execution order or results.
         """
         tracer = current_tracer()
-        if self.max_workers > 1 and len(clients) > 1:
-            if self._executor is None:
+        if self.backend != "serial" and self.max_workers > 1 and len(clients) > 1:
+            # Size by the clients actually running this call (participants of
+            # this round/wave), not the full population — under
+            # client_fraction sampling or degraded rounds the population
+            # over-provisions.  The pool only grows; a smaller cohort reuses
+            # the existing (idle) threads.
+            needed = min(self.max_workers, len(clients))
+            if self._executor is None or self._executor_width < needed:
+                if self._executor is not None:
+                    self._executor.shutdown(wait=True)
                 self._executor = ThreadPoolExecutor(
-                    max_workers=min(self.max_workers, self.num_clients),
+                    max_workers=needed,
                     thread_name_prefix="fl-client",
                 )
+                self._executor_width = needed
             if tracer is None:
                 results = list(
                     self._executor.map(lambda c: c.update(received[c.client_id]), clients)
@@ -298,6 +389,76 @@ class FederatedRunner:
     def _run_clients(self, received: Dict[int, Dict[str, np.ndarray]]) -> Dict[int, Dict[str, np.ndarray]]:
         """Run all (eager) client updates."""
         return self._update_clients(self.clients, received)
+
+    def _virtual_round_process(
+        self, round_idx, active_ids, received, dispatched_global, legacy,
+        streaming, legacy_gathered, decoded_payloads, participants, timings,
+        tracer,
+    ) -> bool:
+        """One store-backed round's client phases on the process pool.
+
+        The workers own the population state (their per-shard stores), so no
+        parent-side checkout happens; phase accounting, ingest order, and
+        privacy charging replay the wave loop exactly, just ungrouped.
+        Returns ``False`` when the dispatch payloads are not one shared
+        template — the caller then waves through the store in-process, after
+        the workers' authoritative state has been pulled home.
+        """
+        from ..mp.pool import payload_template
+
+        store = self._store
+
+        def end_phase(phase: str, t0: float) -> float:
+            now = time.perf_counter()
+            timings[phase] += now - t0
+            if tracer is not None:
+                tracer.emit_span(phase, "phase", t0, now, lane="runner", round=round_idx)
+            return now
+
+        tick = time.perf_counter()
+        payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in active_ids}
+        template = payload_template(payloads, active_ids)
+        if template is None:
+            if self._pool is not None:
+                self._pool.sync_parent()
+            end_phase("broadcast", tick)
+            return False
+        tick = end_phase("broadcast", tick)
+
+        uploads, steps, wtimings = self._ensure_pool().run_round(active_ids, template)
+        self._emit_worker_spans(active_ids, wtimings)
+        tick = end_phase("local_update", tick)
+
+        # Lossless wire is enforced for this backend, so reconcile (a lossy-
+        # stack echo into client state) has nothing to do here.
+        packets = {
+            cid: self.exchange.encode_upload(uploads[cid], payloads[cid][GLOBAL_KEY])
+            for cid in active_ids
+        }
+        gathered = self.communicator.collect(round_idx, packets)
+        self.client_steps += sum(steps.get(cid, 0) for cid in gathered)
+        tick = end_phase("gather", tick)
+
+        privacy = (store.config if store.config is not None else self.server.config).privacy
+        privacy_key = None
+        if legacy:
+            legacy_gathered.update(gathered)
+        else:
+            for cid in active_ids:
+                if cid not in gathered:
+                    continue
+                decoded = self.server.ingest(cid, gathered[cid], dispatched_global)
+                if not streaming:
+                    decoded_payloads[cid] = decoded
+        for cid in active_ids:
+            if cid in gathered:
+                participants.append(cid)
+                if privacy.enabled:
+                    if privacy_key is None:
+                        privacy_key = dispatch_fingerprint(round_idx, dispatched_global)
+                    self.accountant.record(cid, privacy.epsilon, key=privacy_key)
+        end_phase("aggregate", tick)
+        return True
 
     def _run_round_virtual(self, round_idx: int) -> RoundResult:
         """One round over store-backed clients, in waves of ``live_cap``.
@@ -361,9 +522,20 @@ class FederatedRunner:
         decoded_payloads: Dict[int, Dict[str, np.ndarray]] = {}
         privacy_key = None
         participants: List[int] = []
+        # Process backend: the whole active cohort runs through the worker
+        # pool in one call — each worker waves through its own shard at its
+        # live_cap share, so no client ever materialises parent-side.
+        pooled = self.backend == "process" and len(active_ids) > 1
+        if pooled:
+            pooled = self._virtual_round_process(
+                round_idx, active_ids, received, dispatched_global, legacy,
+                streaming, legacy_gathered, decoded_payloads, participants,
+                timings, tracer,
+            )
         wave = max(1, int(store.live_cap))
-        for start in range(0, len(active_ids), wave):
-            ids = active_ids[start : start + wave]
+        wave_ids = [] if pooled else active_ids
+        for start in range(0, len(wave_ids), wave):
+            ids = wave_ids[start : start + wave]
             wave_start = tick = time.perf_counter()
             clients = [store.checkout(cid) for cid in ids]
             payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in ids}
@@ -380,6 +552,7 @@ class FederatedRunner:
                 packets[cid] = self.exchange.encode_upload(uploads[cid], payloads[cid][GLOBAL_KEY])
                 self.exchange.reconcile(client, uploads[cid], packets[cid], payloads[cid][GLOBAL_KEY])
             gathered = self.communicator.collect(round_idx, packets)
+            self._settle_steps(gathered)
             end_phase("gather")
 
             # Privacy is charged per accepted ingest, deduped on (client,
@@ -521,6 +694,7 @@ class FederatedRunner:
             packets[cid] = self.exchange.encode_upload(uploads[cid], payloads[cid][GLOBAL_KEY])
             self.exchange.reconcile(client, uploads[cid], packets[cid], payloads[cid][GLOBAL_KEY])
         gathered = self.communicator.collect(round_idx, packets)
+        self._settle_steps(gathered)
         end_phase("gather")
 
         # Server: decode each upload exactly once (ingest) and finalize with
@@ -585,10 +759,22 @@ class FederatedRunner:
         return result
 
     def close(self) -> None:
-        """Release the client worker pool (recreated lazily if needed again)."""
+        """Release the worker pools (recreated lazily if needed again).
+
+        The process pool's client state is pulled home first, so a later
+        ``run`` call (which re-ships it into a fresh pool) continues bitwise
+        where this one stopped — exactly like the thread path.
+        """
+        if self._pool is not None:
+            try:
+                self._pool.sync_parent()
+            finally:
+                self._pool.close()
+                self._pool = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+            self._executor_width = 0
 
     def __enter__(self) -> "FederatedRunner":
         return self

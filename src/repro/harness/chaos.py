@@ -17,7 +17,16 @@ harness turns both into assertions:
   Anything short of an exact state capture/restore (a missed RNG stream, an
   aliased array, a double-replayed dual) breaks this equality.
 
-``main()`` runs both checks and renders them; ``--smoke`` keeps the workload
+A fourth check exercises the **synchronous** hier runner's mid-round edge
+crash path (round-start checkpoint slice → restore → replay) under the
+configured ``execution_backend`` — with ``--backend process`` the replayed
+shard rounds run in worker processes, so the check additionally proves the
+pool's state sync (``sync_parent``/``push_from_parent``) is bit-exact.
+(The three asynchronous checks never engage the process pool: the
+event-driven runners run local updates on their thread executor regardless
+of backend, a documented no-op.)
+
+``main()`` runs all checks and renders them; ``--smoke`` keeps the workload
 in CI-friendly seconds (the chaos smoke job in ``.github/workflows/ci.yml``).
 """
 
@@ -33,7 +42,7 @@ from ..core.config import FLConfig
 from ..core.models import MLP
 from ..data import TensorDataset
 from ..faults import FaultPlan
-from ..hier import RootFedBuff, build_hier_async_federation
+from ..hier import RootFedBuff, build_hier_async_federation, build_hier_federation
 from ..obs import MetricsRegistry, Tracer, use_tracer
 from .reporting import format_check, format_history
 
@@ -65,6 +74,10 @@ class ChaosSettings:
     client_crash_prob: float = 0.04
     accuracy_tolerance: float = 0.05
     boundary_kills: Optional[Mapping] = None
+    #: execution backend for every federation the harness builds ("serial" /
+    #: "thread" / "process").  Only the synchronous edge-crash check actually
+    #: changes execution under "process"; the async runs treat it as "thread".
+    execution_backend: str = "thread"
 
     def boundary_schedule(self) -> Dict[int, Tuple[int, ...]]:
         """Which edges die at which flush boundaries in the bitwise check
@@ -89,6 +102,10 @@ class ChaosResult:
     fault_stats: Dict[str, int]
     bitwise_identical: bool
     bitwise_algorithm: str
+    #: synchronous-runner edge-crash check: crash+recover bitwise vs
+    #: crash-free, run under this execution backend
+    sync_bitwise_identical: bool = True
+    sync_backend: str = "thread"
     histories: Dict[str, object] = field(default_factory=dict)
     #: full :meth:`repro.obs.MetricsRegistry.snapshot` of the churn run —
     #: the single source the fault/comm numbers above are derived from
@@ -96,8 +113,11 @@ class ChaosResult:
 
     @property
     def ok(self) -> bool:
-        return self.converged and self.bitwise_identical and (
-            self.kills_recovered == self.kills_planned
+        return (
+            self.converged
+            and self.bitwise_identical
+            and self.sync_bitwise_identical
+            and self.kills_recovered == self.kills_planned
         )
 
     def render(self) -> str:
@@ -119,6 +139,13 @@ class ChaosResult:
                 "identical",
                 "identical" if self.bitwise_identical else "DIVERGED",
                 self.bitwise_identical,
+            ),
+            format_check(
+                f"sync edge-crash bitwise ({self.bitwise_algorithm}, "
+                f"backend={self.sync_backend})",
+                "identical",
+                "identical" if self.sync_bitwise_identical else "DIVERGED",
+                self.sync_bitwise_identical,
             ),
             f"fault stats: {self.fault_stats}",
         ]
@@ -152,8 +179,8 @@ def _model_fn(settings: ChaosSettings):
     )
 
 
-def _build(settings: ChaosSettings, algorithm: str, num_rounds: int, datasets, test_dataset):
-    config = FLConfig(
+def _config(settings: ChaosSettings, algorithm: str, num_rounds: int) -> FLConfig:
+    return FLConfig(
         algorithm=algorithm,
         num_rounds=num_rounds,
         local_steps=settings.local_steps,
@@ -161,13 +188,28 @@ def _build(settings: ChaosSettings, algorithm: str, num_rounds: int, datasets, t
         lr=settings.lr,
         seed=settings.seed,
         topology=f"edges:{settings.num_edges}",
+        execution_backend=settings.execution_backend,
     )
+
+
+def _build(settings: ChaosSettings, algorithm: str, num_rounds: int, datasets, test_dataset):
     return build_hier_async_federation(
-        config,
+        _config(settings, algorithm, num_rounds),
         _model_fn(settings),
         datasets,
         test_dataset=test_dataset,
         strategy=RootFedBuff(settings.num_edges),
+    )
+
+
+def _build_sync(settings: ChaosSettings, algorithm: str, num_rounds: int, datasets, test_dataset):
+    """The synchronous hier federation for the edge-crash check — same data,
+    model, topology, and backend as the async builds."""
+    return build_hier_federation(
+        _config(settings, algorithm, num_rounds),
+        _model_fn(settings),
+        datasets,
+        test_dataset=test_dataset,
     )
 
 
@@ -259,6 +301,31 @@ def _run_chaos(settings: ChaosSettings) -> ChaosResult:
         len(w) for w in settings.boundary_schedule().values()
     ), "not every boundary kill was recovered"
 
+    # ---- 4. sync edge-crash is bitwise under the configured backend ------
+    # The synchronous runner's recovery path (round-start checkpoint slice →
+    # restore_edge → replay) must be invisible; under "process" the replayed
+    # shard rounds run in worker pools, so this also pins the pool's
+    # sync_parent/push_from_parent round-trip.
+    sync_clean = _build_sync(settings, "iiadmm", settings.bitwise_rounds, datasets, test_dataset)
+    sync_clean_history = sync_clean.run(settings.bitwise_rounds)
+    sync_killed = _build_sync(settings, "iiadmm", settings.bitwise_rounds, datasets, test_dataset)
+    crash_round = max(0, settings.bitwise_rounds - 1)
+    sync_killed.enable_faults(FaultPlan(seed=settings.seed, edge_crash_rounds={crash_round: (0,)}))
+    sync_killed_history = sync_killed.run(settings.bitwise_rounds)
+    sync_bitwise = histories_bitwise_equal(sync_clean_history, sync_killed_history)
+    sync_bitwise = sync_bitwise and np.array_equal(
+        sync_clean.server.global_params, sync_killed.server.global_params
+    )
+    for edge_clean, edge_killed in zip(sync_clean.edges, sync_killed.edges):
+        sync_bitwise = sync_bitwise and np.array_equal(
+            edge_clean.server.global_params, edge_killed.server.global_params
+        )
+        for cid in edge_clean.shard:
+            sync_bitwise = sync_bitwise and np.array_equal(
+                edge_clean.server.duals[cid], edge_killed.server.duals[cid]
+            )
+    assert sync_killed.injector.stats.recoveries == 1, "the sync edge crash was not recovered"
+
     return ChaosResult(
         baseline_accuracy=baseline_acc,
         chaos_accuracy=chaos_acc,
@@ -269,11 +336,15 @@ def _run_chaos(settings: ChaosSettings) -> ChaosResult:
         fault_stats=fault_stats,
         bitwise_identical=bool(bitwise),
         bitwise_algorithm="iiadmm",
+        sync_bitwise_identical=bool(sync_bitwise),
+        sync_backend=settings.execution_backend,
         histories={
             "baseline": baseline_history,
             "chaos": chaos_history,
             "bitwise_clean": clean_history,
             "bitwise_killed": killed_history,
+            "sync_bitwise_clean": sync_clean_history,
+            "sync_bitwise_killed": sync_killed_history,
         },
         metrics=metrics,
     )
@@ -301,6 +372,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="chaos: convergence-under-churn checks")
     parser.add_argument("--smoke", action="store_true", help="smallest CI-friendly workload")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default="thread",
+        help="execution backend for every federation the harness builds; "
+        "'process' exercises the worker-pool state sync in the sync "
+        "edge-crash check (the async checks run it as 'thread')",
+    )
     parser.add_argument("--rounds", type=int, default=None)
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write the harness's span trace as JSONL")
@@ -317,9 +394,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             samples_per_client=8,
             test_size=32,
             seed=args.seed,
+            execution_backend=args.backend,
         )
     else:
-        settings = ChaosSettings(seed=args.seed, num_rounds=args.rounds or ChaosSettings.num_rounds)
+        settings = ChaosSettings(
+            seed=args.seed,
+            num_rounds=args.rounds or ChaosSettings.num_rounds,
+            execution_backend=args.backend,
+        )
     tracer = Tracer() if args.trace else None
     result = run_chaos(settings, tracer=tracer)
     print(result.render())

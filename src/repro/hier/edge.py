@@ -30,7 +30,6 @@ point for its clients' uploads.
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -44,6 +43,7 @@ from ..core.batched import count_client_steps, run_batched_updates
 from ..core.exchange import PacketExchange
 from ..core.partial import ExactPartial, pack_partial
 from ..core.runner import PHASES
+from ..mp import resolve_workers
 from ..obs import current_tracer, timed_call
 from ..privacy import dispatch_fingerprint
 
@@ -119,10 +119,18 @@ class EdgeAggregator:
         self.communicator = communicator
         if max_workers is None:
             max_workers = server.config.parallel_clients
-        if max_workers == 0:
-            max_workers = os.cpu_count() or 1
-        self.max_workers = max(1, int(max_workers))
+        self.max_workers = resolve_workers(max_workers)
+        self.backend = str(getattr(server.config, "execution_backend", "thread"))
+        if self.backend == "process" and self.exchange.lossy:
+            raise ValueError(
+                f"execution_backend='process' requires a lossless client-hop "
+                f"codec; {self.exchange.spec!r} is lossy and its reconcile "
+                f"step needs parent-side client state"
+            )
+        self._pool = None  # ProcessWorkerPool over this edge's shard
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_width = 0
+        self._pending_steps: Dict[int, int] = {}
         #: the latest global model received from the root (decoded)
         self._global: np.ndarray = server.global_params.copy()
         #: ADMM-family servers absorb uploads in ingest(); FedAvg-style ones
@@ -220,32 +228,94 @@ class EdgeAggregator:
         # fall back to the per-client path below.
         cfg = self.server.config
         client_batch = int(getattr(cfg, "client_batch", 1) or 1)
+        self._pending_steps = {}
+        if self.backend == "process" and self._store is None and len(clients) > 1:
+            uploads = self._update_clients_process(clients, payloads)
+            if uploads is not None:
+                return uploads
         if client_batch > 1 and len(clients) > 1 and not self.exchange.lossy:
             batched = run_batched_updates(
                 clients, payloads, client_batch, tracer=current_tracer()
             )
             if batched is not None:
-                uploads, leftover, steps = batched
-                self.client_steps += steps
+                uploads, leftover, _steps = batched
                 if leftover:
                     uploads.update(self._update_clients_eager(leftover, payloads))
-                    self.client_steps += sum(count_client_steps(c) for c in leftover)
+                self._pending_steps = {c.client_id: count_client_steps(c) for c in clients}
                 return {c.client_id: uploads[c.client_id] for c in clients}
         uploads = self._update_clients_eager(clients, payloads)
-        self.client_steps += sum(count_client_steps(c) for c in clients)
+        self._pending_steps = {c.client_id: count_client_steps(c) for c in clients}
         return uploads
+
+    def _settle_steps(self, gathered) -> None:
+        """Fold pending step counts of surviving clients only (see
+        FederatedRunner._settle_steps — uplink dead letters must not count)."""
+        self.client_steps += sum(self._pending_steps.get(cid, 0) for cid in gathered)
+        self._pending_steps = {}
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from ..mp.pool import ProcessWorkerPool
+
+            client_batch = int(getattr(self.server.config, "client_batch", 1) or 1)
+            workers = min(self.max_workers, len(self.shard))
+            if self._store is not None:
+                self._pool = ProcessWorkerPool.from_store(
+                    self._store, workers, client_batch=client_batch,
+                    ids=self.shard,
+                )
+            else:
+                self._pool = ProcessWorkerPool.from_eager_clients(
+                    self.clients, workers, client_batch=client_batch
+                )
+        return self._pool
+
+    def _emit_worker_spans(self, ids, timings) -> None:
+        tracer = current_tracer()
+        if tracer is None:
+            return
+        for cid in ids:
+            t = timings.get(cid)
+            if t is not None:
+                tracer.emit_span(
+                    "local_update", "client", t[0], t[1],
+                    lane=f"client:{cid}", client=cid, edge=self.edge_id,
+                    backend="process",
+                )
+
+    def _update_clients_process(self, clients, payloads):
+        """Run this (eager) shard's updates on the edge's process pool; see
+        FederatedRunner._update_clients_process."""
+        from ..mp.pool import payload_template
+
+        ids = [c.client_id for c in clients]
+        template = payload_template(payloads, ids)
+        if template is None:
+            if self._pool is not None:
+                self._pool.sync_parent()
+            return None
+        uploads, steps, timings = self._ensure_pool().run_round(ids, template)
+        self._pending_steps = steps
+        self._emit_worker_spans(ids, timings)
+        return {cid: uploads[cid] for cid in ids}
 
     def _update_clients_eager(self, clients: Sequence[BaseClient], payloads) -> Dict[int, Dict]:
         # With a tracer armed, updates are timed in place and the spans
         # emitted afterwards from this thread in client order (see
         # FederatedRunner._update_clients) — order and results are unchanged.
         tracer = current_tracer()
-        if self.max_workers > 1 and len(clients) > 1:
-            if self._executor is None:
+        if self.backend != "serial" and self.max_workers > 1 and len(clients) > 1:
+            # Size by this call's participants, not the whole shard — degraded
+            # rounds would over-provision.  Grow-only, like the flat runner.
+            needed = min(self.max_workers, len(clients))
+            if self._executor is None or self._executor_width < needed:
+                if self._executor is not None:
+                    self._executor.shutdown(wait=True)
                 self._executor = ThreadPoolExecutor(
-                    max_workers=min(self.max_workers, len(self.shard)),
+                    max_workers=needed,
                     thread_name_prefix=f"hier-edge{self.edge_id}",
                 )
+                self._executor_width = needed
             if tracer is None:
                 results = list(self._executor.map(lambda c: c.update(payloads[c.client_id]), clients))
                 return {c.client_id: r for c, r in zip(clients, results)}
@@ -271,6 +341,63 @@ class EdgeAggregator:
             )
             uploads[client.client_id] = upload
         return uploads
+
+    def _local_round_process(
+        self, round_idx, active_ids, received, dispatched_global, accountant,
+        timings, tracer, lane,
+    ) -> bool:
+        """This shard's client phases on the edge's process pool (see
+        FederatedRunner._virtual_round_process — same structure, with the
+        edge's ingest/summary fold instead of a server finalize)."""
+        from ..mp.pool import payload_template
+
+        def end_phase(phase: str, t0: float) -> float:
+            now = time.perf_counter()
+            timings[phase] += now - t0
+            if tracer is not None:
+                tracer.emit_span(
+                    phase, "phase", t0, now, lane=lane, edge=self.edge_id, round=round_idx
+                )
+            return now
+
+        tick = time.perf_counter()
+        payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in active_ids}
+        template = payload_template(payloads, active_ids)
+        if template is None:
+            if self._pool is not None:
+                self._pool.sync_parent()
+            end_phase("broadcast", tick)
+            return False
+        tick = end_phase("broadcast", tick)
+
+        uploads, steps, wtimings = self._ensure_pool().run_round(active_ids, template)
+        self._emit_worker_spans(active_ids, wtimings)
+        tick = end_phase("local_update", tick)
+
+        # Lossless client hop is enforced for this backend — no reconcile.
+        packets = {
+            cid: self.exchange.encode_upload(uploads[cid], payloads[cid][GLOBAL_KEY])
+            for cid in active_ids
+        }
+        if self.communicator is not None:
+            gathered = self.communicator.collect(round_idx, packets)
+        else:
+            gathered = packets
+        self.client_steps += sum(steps.get(cid, 0) for cid in gathered)
+        tick = end_phase("gather", tick)
+
+        cfg = self._store.config if self._store.config is not None else self.server.config
+        privacy_key = None
+        for cid in active_ids:
+            if cid not in gathered:
+                continue
+            self.ingest_upload(cid, gathered[cid], dispatched_global)
+            if accountant is not None and cfg.privacy.enabled:
+                if privacy_key is None:
+                    privacy_key = dispatch_fingerprint(round_idx, dispatched_global)
+                accountant.record(cid, cfg.privacy.epsilon, key=privacy_key)
+        end_phase("aggregate", tick)
+        return True
 
     def run_local_round(
         self,
@@ -330,9 +457,21 @@ class EdgeAggregator:
         end_phase("broadcast")
 
         privacy_key = None
+        # Store-backed shard on the process backend: one pool call, each
+        # worker waving through its sub-shard (eager shards route through
+        # _update_clients' gate inside the wave loop instead).
+        pooled = (
+            self.backend == "process" and self._store is not None and len(active_ids) > 1
+        )
+        if pooled:
+            pooled = self._local_round_process(
+                round_idx, active_ids, received, dispatched_global, accountant,
+                timings, tracer, lane,
+            )
         wave = max(1, int(self._store.live_cap)) if self._store is not None else len(shard)
-        for start in range(0, len(active_ids), wave):
-            ids = active_ids[start : start + wave]
+        wave_ids = [] if pooled else active_ids
+        for start in range(0, len(wave_ids), wave):
+            ids = wave_ids[start : start + wave]
             wave_start = tick = time.perf_counter()
             clients = [self._acquire(cid) for cid in ids]
             payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in ids}
@@ -352,6 +491,7 @@ class EdgeAggregator:
                 gathered = self.communicator.collect(round_idx, packets)
             else:
                 gathered = packets
+            self._settle_steps(gathered)
             end_phase("gather")
 
             tick = time.perf_counter()
@@ -384,6 +524,13 @@ class EdgeAggregator:
 
     # -------------------------------------------------------------- plumbing
     def close(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.sync_parent()
+            finally:
+                self._pool.close()
+                self._pool = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+            self._executor_width = 0

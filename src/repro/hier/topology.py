@@ -38,6 +38,7 @@ __all__ = [
     "Topology",
     "parse_topology",
     "build_topology",
+    "contiguous_shards",
     "majority_labels",
 ]
 
@@ -152,6 +153,20 @@ class Topology:
     def edge_of(self, cid: int) -> int:
         """The edge owning client ``cid``."""
         return self._edge_of[int(cid)]
+
+
+def contiguous_shards(ids: Sequence[int], num_shards: int) -> Tuple[Tuple[int, ...], ...]:
+    """Split ``ids`` (order preserved) into at most ``num_shards`` contiguous
+    near-equal blocks, dropping empty blocks when ``num_shards > len(ids)``.
+
+    The same ``np.array_split`` cut as seeded edge sharding, minus the
+    permutation — used by :class:`~repro.mp.pool.ProcessWorkerPool` to give
+    each process worker a contiguous slice of the caller's client order.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    blocks = np.array_split(np.asarray(list(ids), dtype=np.int64), num_shards)
+    return tuple(tuple(int(c) for c in block) for block in blocks if len(block))
 
 
 def majority_labels(client_datasets: Sequence) -> np.ndarray:

@@ -1,0 +1,317 @@
+"""Parent side of the process execution backend: :class:`ProcessWorkerPool`.
+
+The pool owns ``num_workers`` spawn-context child processes, each holding one
+contiguous shard of the population (cut by
+:func:`repro.hier.topology.contiguous_shards` — the same ``np.array_split``
+blocking as edge sharding).  Per round, the parent packs the broadcast
+payload **once** into a shared-memory arena, every worker maps it read-only,
+runs its shard's local updates (per-client or as stacked cohorts, mirroring
+the runners' ``client_batch`` gate), and writes upload arrays into its own
+arena slot; the parent maps them back as zero-copy read-only views.
+
+Because each client's ``update()`` is a deterministic function of its own
+state and the (bitwise-shared) broadcast vector, and because the caller
+folds uploads through :class:`~repro.core.partial.ExactPartial`, the
+grouping into processes is invisible: a process run is bitwise identical to
+the serial run.  The pool guarantees the state side of that contract:
+workers hold the authoritative client state between rounds, and
+:meth:`sync_parent` / :meth:`push_from_parent` move it across the boundary
+bit-exactly (``client_state()``/``load_client_state`` for eager clients,
+blob snapshots for store-backed populations) for checkpoints, inspection,
+and shutdown.
+
+Everything shipped at init must pickle: eager clients travel as
+``(type, model, dataset, config, cid, client_state())`` tuples (the flat
+engine re-homes parameters on reconstruction, so view aliasing survives the
+trip), store populations as ``(factory, blobs)``.  Closure factories and
+lambda ``model_fn``s don't pickle — :class:`repro.scale.virtual.ClientFactory`
+and :class:`repro.core.models.SeededModelFn` are the picklable equivalents.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hier.topology import contiguous_shards
+from .shm import ShmArena, ShmAttachment
+
+__all__ = ["ProcessWorkerPool", "payload_template"]
+
+#: Monotone pool counter — keeps arena names unique when one process builds
+#: several pools (runner + edges, or sequential runs).
+_POOL_SEQ = 0
+
+
+def payload_template(
+    payloads: Mapping[int, Mapping[str, object]], ids: Sequence[int]
+) -> Optional[Mapping[str, object]]:
+    """The shared broadcast template behind per-client payload dicts.
+
+    The runners dispatch one global snapshot per round, so every client's
+    decoded payload is bitwise the same tree; the pool then broadcasts one
+    copy through shared memory instead of ``len(ids)``.  Returns ``None``
+    when the payloads differ (custom communicators could in principle
+    per-client them) — the caller falls back to in-process execution.
+    """
+    template = payloads[ids[0]]
+    for cid in ids[1:]:
+        other = payloads[cid]
+        if other.keys() != template.keys():
+            return None
+        for key, value in template.items():
+            ov = other[key]
+            if isinstance(value, np.ndarray) or isinstance(ov, np.ndarray):
+                if not (
+                    isinstance(value, np.ndarray)
+                    and isinstance(ov, np.ndarray)
+                    and value.dtype == ov.dtype
+                    and value.shape == ov.shape
+                    and np.array_equal(value, ov)
+                ):
+                    return None
+            elif value != ov:
+                return None
+    return template
+
+
+class ProcessWorkerPool:
+    """A pool of spawn-context worker processes owning client shards.
+
+    Build via :meth:`from_eager_clients` or :meth:`from_store`; drive with
+    :meth:`run_round`; keep the parent authoritative with :meth:`sync_parent`
+    (workers → parent) and :meth:`push_from_parent` (parent → workers);
+    :meth:`close` tears everything down (arenas unlinked, children joined).
+    """
+
+    def __init__(self, mode: str, specs: List[Dict], shards, clients=None, store=None):
+        global _POOL_SEQ
+        _POOL_SEQ += 1
+        self.mode = mode
+        self.shards: Tuple[Tuple[int, ...], ...] = tuple(shards)
+        self.num_workers = len(self.shards)
+        self._clients = clients  # eager: {cid: parent-side BaseClient}
+        self._store = store  # store: the parent-side ClientStateStore
+        self._prefix = f"rpmp{os.getpid()}x{_POOL_SEQ}"
+        self._bcast = ShmArena(f"{self._prefix}b")
+        self._attachment = ShmAttachment()
+        self._ctx = mp.get_context("spawn")
+        self._procs = []
+        self._conns = []
+        try:
+            from .worker import worker_main
+
+            for w, spec in enumerate(specs):
+                spec["prefix"] = f"{self._prefix}w{w}"
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                proc = self._ctx.Process(
+                    target=worker_main, args=(child_conn, w), daemon=True,
+                    name=f"repro-mp-{w}",
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+            for w, spec in enumerate(specs):
+                try:
+                    self._conns[w].send(("init", spec))
+                except Exception as exc:
+                    raise RuntimeError(
+                        "could not ship worker init state to a spawned process — "
+                        "everything the process backend ships must pickle "
+                        "(use repro.scale.virtual.ClientFactory / "
+                        "repro.core.models.SeededModelFn instead of closures "
+                        f"or lambdas): {exc}"
+                    ) from exc
+            for w in range(len(specs)):
+                self._expect(w, "ready")
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_eager_clients(cls, clients: Sequence, num_workers: int, client_batch: int = 1):
+        """Shard materialised clients across ``num_workers`` processes."""
+        by_id = {c.client_id: c for c in clients}
+        shards = contiguous_shards([c.client_id for c in clients], num_workers)
+        specs = [
+            {
+                "mode": "eager",
+                "client_batch": int(client_batch),
+                "clients": [
+                    (
+                        type(by_id[cid]),
+                        by_id[cid].model,
+                        by_id[cid].dataset,
+                        by_id[cid].config,
+                        cid,
+                        by_id[cid].client_state(),
+                    )
+                    for cid in shard
+                ],
+            }
+            for shard in shards
+        ]
+        return cls("eager", specs, shards, clients=by_id)
+
+    @classmethod
+    def from_store(cls, store, num_workers: int, client_batch: int = 1, ids=None):
+        """Shard a virtual population: each worker builds its own
+        :class:`~repro.scale.store.ClientStateStore` over the shared factory
+        and waves through its shard at a ``live_cap`` share.  ``ids`` narrows
+        the sharded population (an edge's store addresses global client ids
+        but owns only its shard)."""
+        try:
+            pickle.dumps(store.factory)
+        except Exception as exc:
+            raise RuntimeError(
+                "execution_backend='process' needs a picklable client factory; "
+                "build the store with repro.scale.virtual builders (module-level "
+                "ClientFactory + a picklable model_fn such as "
+                f"repro.core.models.SeededModelFn), not a closure: {exc}"
+            ) from exc
+        if ids is None:
+            ids = range(store.num_clients)
+        shards = contiguous_shards(ids, num_workers)
+        blobs = store.snapshot()["blobs"]
+        live_share = max(1, store.live_cap // max(1, len(shards)))
+        specs = [
+            {
+                "mode": "store",
+                "client_batch": int(client_batch),
+                "factory": store.factory,
+                "num_clients": store.num_clients,
+                "live_cap": live_share,
+                "state_codec": getattr(store.pipeline, "spec", "identity"),
+                "compress": store.compress,
+                "config": store.config,
+                "blobs": {cid: b for cid, b in blobs.items() if cid in set(shard)},
+            }
+            for shard in shards
+        ]
+        return cls("store", specs, shards, store=store)
+
+    # --------------------------------------------------------------- messaging
+    def _expect(self, w: int, op: str):
+        try:
+            reply = self._conns[w].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"process worker {w} died (pipe closed); check stderr for the "
+                f"child traceback"
+            ) from None
+        if reply[0] == "err":
+            raise RuntimeError(f"process worker {w} failed:\n{reply[1]}")
+        if reply[0] != op:
+            raise RuntimeError(f"process worker {w}: expected {op!r}, got {reply[0]!r}")
+        return reply[1:]
+
+    # ---------------------------------------------------------------- rounds
+    def run_round(self, ids: Sequence[int], template: Mapping[str, object]):
+        """Run one round's local updates for ``ids`` across the workers.
+
+        ``template`` is the shared broadcast payload (see
+        :func:`payload_template`); each worker hands every client its own
+        fresh copy.  Returns ``(uploads, steps, timings)`` keyed by client
+        id — upload arrays are read-only shared-memory views valid until the
+        next ``run_round``/``close``; ``timings`` holds worker-side
+        ``(t0, t1)`` perf-counter pairs for per-client-path updates (cohort
+        members have no per-client span, as on the threaded path they share
+        one ``cohort_step``).
+        """
+        arrays = [(k, v) for k, v in template.items() if isinstance(v, np.ndarray)]
+        scalars = {k: v for k, v in template.items() if not isinstance(v, np.ndarray)}
+        name, manifest = self._bcast.pack(arrays)
+
+        members = [set(shard) for shard in self.shards]
+        sent: List[int] = []
+        for w in range(self.num_workers):
+            worker_ids = [cid for cid in ids if cid in members[w]]
+            if worker_ids:
+                self._conns[w].send(("round", worker_ids, name, manifest, scalars))
+                sent.append(w)
+        uploads: Dict[int, Dict[str, object]] = {}
+        steps: Dict[int, int] = {}
+        timings: Dict[int, Tuple[float, float]] = {}
+        for w in sent:
+            up_name, up_manifest, up_scalars, w_steps, w_timings = self._expect(w, "done")
+            views = self._attachment.view(up_name, up_manifest, copy=False)
+            for flat_key, arr in views.items():
+                cid_str, key = flat_key.split("|", 1)
+                uploads.setdefault(int(cid_str), {})[key] = arr
+            for cid, extra in up_scalars.items():
+                uploads.setdefault(cid, {}).update(extra)
+            steps.update(w_steps)
+            timings.update(w_timings)
+        missing = [cid for cid in ids if cid not in uploads]
+        if missing:
+            raise RuntimeError(f"process workers returned no upload for clients {missing}")
+        return uploads, steps, timings
+
+    # ----------------------------------------------------------- state traffic
+    def sync_parent(self) -> None:
+        """Pull authoritative state out of the workers into the parent-side
+        clients/store (checkpoint capture, shutdown, inspection)."""
+        for conn in self._conns:
+            conn.send(("pull",))
+        if self.mode == "eager":
+            for w in range(self.num_workers):
+                (states,) = self._expect(w, "states")
+                for cid, (state, flat) in states.items():
+                    client = self._clients[cid]
+                    client.load_client_state(state)
+                    if flat is not None:
+                        target = getattr(client.vectorizer, "flat_params", None)
+                        if target is not None:
+                            np.copyto(target, flat)
+        else:
+            merged = self._store.snapshot()["blobs"]
+            for w in range(self.num_workers):
+                (blobs,) = self._expect(w, "snapshot")
+                merged.update(blobs)
+            self._store.restore({"blobs": merged})
+
+    def push_from_parent(self) -> None:
+        """Push parent-side state down into the workers (checkpoint restore)."""
+        if self.mode == "eager":
+            for w, shard in enumerate(self.shards):
+                self._conns[w].send(
+                    ("push", {cid: self._clients[cid].client_state() for cid in shard})
+                )
+        else:
+            blobs = self._store.snapshot()["blobs"]
+            for w, shard in enumerate(self.shards):
+                shard_set = set(shard)
+                self._conns[w].send(
+                    ("push", {cid: b for cid, b in blobs.items() if cid in shard_set})
+                )
+        for w in range(self.num_workers):
+            self._expect(w, "ok")
+
+    # ----------------------------------------------------------------- teardown
+    def close(self) -> None:
+        """Stop the workers, join them, and release every shared segment."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._attachment.close()
+        self._bcast.close()
+        self._procs = []
+        self._conns = []

@@ -1,0 +1,153 @@
+"""Shared-memory arenas for zero-copy packet exchange between processes.
+
+The process backend moves two kinds of payloads across the parent/worker
+boundary every round:
+
+* the **broadcast**: one read-only global parameter vector, written once by
+  the parent and mapped by every worker;
+* the **uploads**: each worker packs its shard's ``UpdatePacket`` arrays into
+  its own arena slot, and the parent maps them back as read-only views.
+
+Both directions use :class:`ShmArena` (the owning side — allocates, packs,
+unlinks) and :class:`ShmAttachment` (the reading side — attaches by name,
+returns numpy views).  Arrays are described by a *manifest*: a list of
+``(key, dtype_str, shape, offset)`` tuples small enough to travel over the
+control pipe, so the shared segment itself carries nothing but raw bytes.
+
+Arenas are sized to the first round's payload and grow by recreation: when a
+pack doesn't fit, the owner unlinks the old segment and creates a fresh one
+under a generation-suffixed name (readers attach by the name in each round's
+message, so stale attachments age out naturally).
+
+CPython 3.11's ``multiprocessing.resource_tracker`` registers *attached*
+segments for unlink-at-exit just like owned ones, which would destroy a
+live arena when the first reader exits.  :func:`attach_shm` works around
+this by suppressing the registration during the attach (the owner alone
+registers and unlinks; a late ``unregister`` would instead race other
+readers at the shared tracker and spam KeyError tracebacks).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ShmArena", "ShmAttachment", "attach_shm"]
+
+# (key, dtype string, shape, byte offset) — one entry per packed array.
+Manifest = List[Tuple[str, str, Tuple[int, ...], int]]
+
+
+def attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting unlink responsibility."""
+    # CPython 3.11: attaching registers the segment with the (shared) resource
+    # tracker for unlink-at-exit.  Unregistering afterwards is not enough —
+    # with several readers the duplicate UNREGISTER messages race at the
+    # tracker.  Suppress the registration for the duration of the attach.
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+class ShmArena:
+    """Owner side of a shared segment: pack arrays in, unlink on close."""
+
+    def __init__(self, prefix: str):
+        self._prefix = prefix
+        self._generation = 0
+        self._shm: shared_memory.SharedMemory | None = None
+
+    @property
+    def name(self) -> str:
+        if self._shm is None:
+            raise RuntimeError("arena has no live segment; call pack() first")
+        return self._shm.name
+
+    def _ensure(self, nbytes: int) -> shared_memory.SharedMemory:
+        if self._shm is not None and self._shm.size >= nbytes:
+            return self._shm
+        if self._shm is not None:
+            self._shm.close()
+            self._shm.unlink()
+        self._generation += 1
+        self._shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(1, nbytes),
+            name=f"{self._prefix}_g{self._generation}",
+        )
+        return self._shm
+
+    def pack(self, arrays: Sequence[Tuple[str, np.ndarray]]) -> Tuple[str, Manifest]:
+        """Copy ``arrays`` into the segment; return ``(segment_name, manifest)``."""
+        manifest: Manifest = []
+        offset = 0
+        prepared = []
+        for key, arr in arrays:
+            arr = np.ascontiguousarray(arr)
+            manifest.append((key, str(arr.dtype), tuple(arr.shape), offset))
+            prepared.append((offset, arr))
+            offset += arr.nbytes
+        shm = self._ensure(offset)
+        for off, arr in prepared:
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
+            dst[...] = arr
+        return shm.name, manifest
+
+    def close(self) -> None:
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._shm = None
+
+
+class ShmAttachment:
+    """Reader side: attach by name (cached), return views or copies."""
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+
+    def view(self, name: str, manifest: Manifest, copy: bool = False) -> Dict[str, np.ndarray]:
+        """Map a packed arena back to ``{key: array}``.
+
+        With ``copy=False`` the arrays are read-only views into the shared
+        segment — valid only until the owner repacks or unlinks it.  With
+        ``copy=True`` each array is materialised fresh.
+        """
+        shm = self._segments.get(name)
+        if shm is None:
+            # Another generation superseded old names; drop dead attachments.
+            # (If old views are still referenced somewhere, close() raises
+            # BufferError — dropping our handle is enough, the owner unlinks.)
+            for stale in list(self._segments):
+                if stale.rsplit("_g", 1)[0] == name.rsplit("_g", 1)[0]:
+                    try:
+                        self._segments.pop(stale).close()
+                    except BufferError:
+                        pass
+            shm = attach_shm(name)
+            self._segments[name] = shm
+        out: Dict[str, np.ndarray] = {}
+        for key, dtype, shape, offset in manifest:
+            arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+            if copy:
+                out[key] = np.array(arr, copy=True)
+            else:
+                arr.flags.writeable = False
+                out[key] = arr
+        return out
+
+    def close(self) -> None:
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._segments.clear()

@@ -1,0 +1,205 @@
+"""Child-process entry point for :class:`~repro.mp.pool.ProcessWorkerPool`.
+
+Each worker owns one contiguous client shard and speaks a small message
+protocol over a duplex pipe:
+
+========================  =====================================================
+parent → worker           worker → parent
+========================  =====================================================
+``("init", spec)``        ``("ready",)``
+``("round", ids, name,    ``("done", arena_name, manifest, scalars, steps,
+mainfest)``               timings)``
+``("pull",)``             ``("states", {cid: state})`` / ``("snapshot", blobs)``
+``("push", payload)``     ``("ok",)``
+``("stop",)``             *(exits)*
+========================  =====================================================
+
+Any handler failure replies ``("err", traceback_str)`` and keeps the loop
+alive so the parent can decide what to do.
+
+The worker mirrors the runners' execution gate exactly: with
+``client_batch > 1`` eligible clients run as stacked cohorts through
+:func:`repro.core.batched.run_batched_updates` (untraced — cohort spans are
+a documented loss of the process backend), and everything else runs the
+per-client path under :func:`repro.obs.timed_call` so the parent can emit
+``local_update`` spans with honest worker-side timestamps.
+
+Broadcast payloads arrive as read-only views of the parent's shared segment;
+each client receives its own fresh copy, matching the per-client isolation
+:meth:`~repro.comm.exchange.PacketExchange.open_dispatch` provides on the
+serial path.  Uploads go back through the worker-owned arena — arrays are
+packed under ``"{cid}|{key}"`` keys (no packet key contains ``"|"``), and
+non-array payload entries travel over the pipe in ``scalars``.
+"""
+
+from __future__ import annotations
+
+import copy
+import traceback
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.batched import count_client_steps, run_batched_updates
+from ..obs import timed_call
+from .shm import ShmArena, ShmAttachment
+
+__all__ = ["worker_main"]
+
+
+class _WorkerState:
+    """Everything one worker holds between messages."""
+
+    def __init__(self, spec: Dict[str, object]):
+        self.mode = spec["mode"]
+        self.client_batch = int(spec.get("client_batch", 1))
+        self.arena = ShmArena(str(spec["prefix"]))
+        self.attachment = ShmAttachment()
+        if self.mode == "eager":
+            self.clients = {}
+            for cls, model, dataset, config, cid, state in spec["clients"]:
+                client = cls(cid, model, dataset, config)
+                client.load_client_state(state)
+                self.clients[cid] = client
+        elif self.mode == "store":
+            from ..scale.store import ClientStateStore
+
+            self.store = ClientStateStore(
+                spec["factory"],
+                num_clients=int(spec["num_clients"]),
+                live_cap=int(spec["live_cap"]),
+                state_codec=str(spec["state_codec"]),
+                compress=spec["compress"],
+                config=spec["config"],
+            )
+            blobs = spec.get("blobs") or {}
+            if blobs:
+                self.store.restore({"blobs": blobs})
+        else:  # pragma: no cover - guarded parent-side
+            raise ValueError(f"unknown worker mode {self.mode!r}")
+
+    # ------------------------------------------------------------- execution
+    def _run_clients(self, clients, received, uploads, steps, timings):
+        """The runners' shared gate, replayed worker-side."""
+        remaining = list(clients)
+        if self.client_batch > 1 and len(remaining) > 1:
+            batched = run_batched_updates(
+                remaining, received, self.client_batch, tracer=None
+            )
+            if batched is not None:
+                cohort_uploads, leftover, _total = batched
+                uploads.update(cohort_uploads)
+                remaining = leftover
+        for client in remaining:
+            upload, t0, t1 = timed_call(client.update, received[client.client_id])
+            uploads[client.client_id] = upload
+            timings[client.client_id] = (t0, t1)
+        for client in clients:
+            steps[client.client_id] = count_client_steps(client)
+
+    def run_round(self, ids, bcast_name, bcast_manifest, bcast_scalars):
+        template = self.attachment.view(bcast_name, bcast_manifest, copy=False)
+        # Fresh per-client copies, matching open_dispatch's per-client
+        # isolation on the serial path.
+        received = {
+            cid: {
+                **{k: np.array(v, copy=True) for k, v in template.items()},
+                **copy.deepcopy(bcast_scalars),
+            }
+            for cid in ids
+        }
+        uploads: Dict[int, Dict[str, object]] = {}
+        steps: Dict[int, int] = {}
+        timings: Dict[int, Tuple[float, float]] = {}
+        if self.mode == "eager":
+            self._run_clients([self.clients[cid] for cid in ids], received,
+                              uploads, steps, timings)
+        else:
+            # Wave through the shard at this worker's live_cap share, exactly
+            # as the parent's virtual round would through the population.
+            cap = self.store.live_cap
+            for start in range(0, len(ids), cap):
+                wave = list(ids[start : start + cap])
+                clients = [self.store.checkout(cid) for cid in wave]
+                try:
+                    self._run_clients(clients, received, uploads, steps, timings)
+                finally:
+                    for cid in wave:
+                        self.store.release(cid)
+
+        arrays: List[Tuple[str, np.ndarray]] = []
+        scalars: Dict[int, Dict[str, object]] = {}
+        for cid in ids:
+            for key, value in uploads[cid].items():
+                if isinstance(value, np.ndarray):
+                    arrays.append((f"{cid}|{key}", value))
+                else:
+                    scalars.setdefault(cid, {})[key] = value
+        name, manifest = self.arena.pack(arrays)
+        return name, manifest, scalars, steps, timings
+
+    # ------------------------------------------------------- state transfer
+    def pull(self):
+        if self.mode == "eager":
+            # client_state() deliberately excludes model parameters (dispatch
+            # overwrites them each round) — ship the post-round flat vector
+            # alongside so the parent-side clients mirror a serial run exactly.
+            states = {}
+            for cid, c in self.clients.items():
+                flat = getattr(c.vectorizer, "flat_params", None)
+                states[cid] = (
+                    c.client_state(),
+                    None if flat is None else np.array(flat, copy=True),
+                )
+            return "states", states
+        return "snapshot", self.store.snapshot()["blobs"]
+
+    def push(self, payload) -> None:
+        if self.mode == "eager":
+            for cid, state in payload.items():
+                self.clients[cid].load_client_state(state)
+        else:
+            self.store.restore({"blobs": payload})
+
+    def close(self) -> None:
+        self.attachment.close()
+        self.arena.close()
+
+
+def worker_main(conn, worker_id: int) -> None:
+    """Blocking message loop; runs until ``("stop",)`` or EOF."""
+    state: _WorkerState | None = None
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            op = msg[0]
+            try:
+                if op == "init":
+                    state = _WorkerState(msg[1])
+                    conn.send(("ready",))
+                elif op == "round":
+                    assert state is not None
+                    conn.send(
+                        ("done",) + state.run_round(msg[1], msg[2], msg[3], msg[4])
+                    )
+                elif op == "pull":
+                    assert state is not None
+                    conn.send(state.pull())
+                elif op == "push":
+                    assert state is not None
+                    state.push(msg[1])
+                    conn.send(("ok",))
+                elif op == "stop":
+                    conn.send(("ok",))
+                    break
+                else:
+                    conn.send(("err", f"unknown op {op!r}"))
+            except Exception:
+                conn.send(("err", traceback.format_exc()))
+    finally:
+        if state is not None:
+            state.close()
+        conn.close()

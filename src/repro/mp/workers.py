@@ -1,0 +1,34 @@
+"""Worker-count resolution shared by every runner.
+
+``FLConfig.parallel_clients`` (and each runner's ``max_workers`` override)
+uses one convention everywhere: ``1`` is serial, ``N > 1`` caps the worker
+pool at ``N``, and ``0`` means one worker per CPU core.  The resolution used
+to be copy-pasted across :class:`~repro.core.runner.FederatedRunner`,
+:class:`~repro.asyncfl.runner.AsyncRunner`, and
+:class:`~repro.hier.edge.EdgeAggregator` — and silently clamped negative
+values to 1, hiding caller bugs.  :func:`resolve_workers` is the single
+implementation; negative requests now raise.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["resolve_workers"]
+
+
+def resolve_workers(requested: int) -> int:
+    """Resolve a ``parallel_clients``-style worker request to a pool width.
+
+    ``0`` resolves to ``os.cpu_count()`` (one worker per core); positive
+    values pass through.  Negative values raise ``ValueError`` — they were a
+    caller bug that the old per-runner copies clamped to 1 silently.
+    """
+    requested = int(requested)
+    if requested < 0:
+        raise ValueError(
+            f"worker count must be >= 0 (0 = one worker per core), got {requested}"
+        )
+    if requested == 0:
+        requested = os.cpu_count() or 1
+    return max(1, requested)

@@ -81,6 +81,12 @@ def _load_history(state) -> TrainingHistory:
 def _clients_state(runner) -> Dict[str, object]:
     """Client-population state of a runner *or* a hier EdgeAggregator (both
     expose ``clients`` / ``_store``)."""
+    # Under execution_backend="process" the worker processes hold the
+    # authoritative client state between rounds — pull it home first so the
+    # snapshot covers what actually ran.
+    pool = getattr(runner, "_pool", None)
+    if pool is not None:
+        pool.sync_parent()
     store = getattr(runner, "_store", None)
     if store is not None:
         return {"mode": "store", "snapshot": store.snapshot()}
@@ -96,12 +102,17 @@ def _restore_clients(runner, state) -> None:
         if store is None:
             raise ValueError("checkpoint holds a client store but the runner is eager")
         store.restore(state["snapshot"])
-        return
-    if store is not None:
-        raise ValueError("checkpoint holds eager clients but the runner is store-backed")
-    by_id = {c.client_id: c for c in runner.clients}
-    for cid, client_state in state["states"].items():
-        by_id[int(cid)].load_client_state(client_state)
+    else:
+        if store is not None:
+            raise ValueError("checkpoint holds eager clients but the runner is store-backed")
+        by_id = {c.client_id: c for c in runner.clients}
+        for cid, client_state in state["states"].items():
+            by_id[int(cid)].load_client_state(client_state)
+    # Mirror the restored state back into any live process workers, so the
+    # next pooled round resumes from the checkpoint bitwise.
+    pool = getattr(runner, "_pool", None)
+    if pool is not None:
+        pool.push_from_parent()
 
 
 def edge_slice_state(edge) -> Dict[str, object]:

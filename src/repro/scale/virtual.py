@@ -40,7 +40,52 @@ from ..core.runner import FederatedRunner
 from ..data import Dataset
 from .store import ClientStateStore
 
-__all__ = ["make_client_factory", "build_virtual_federation", "build_virtual_async_federation"]
+__all__ = [
+    "ClientFactory",
+    "make_client_factory",
+    "build_virtual_federation",
+    "build_virtual_async_federation",
+]
+
+
+class ClientFactory:
+    """``factory(cid)`` building client ``cid`` exactly as ``build_endpoints``
+    would have: a fresh ``model_fn()`` synchronised to ``initial_state`` and
+    the canonical ``seed + 1000 + cid`` RNG stream.  ``model_fn`` must be
+    deterministic per call (the repo's builders seed internally), since the
+    store invokes it lazily in checkout order rather than id order.
+
+    A module-level class rather than a closure so instances pickle — the
+    process execution backend ships the factory to its worker processes
+    (``model_fn`` must pickle too; see
+    :class:`repro.core.models.SeededModelFn`).
+    """
+
+    def __init__(
+        self,
+        config: FLConfig,
+        model_fn: Callable[[], nn.Module],
+        client_datasets: Sequence[Dataset],
+        initial_state,
+        seed: Optional[int] = None,
+    ):
+        self.config = config
+        self.model_fn = model_fn
+        self.client_datasets = list(client_datasets)
+        self.initial_state = initial_state
+        self.seed = config.seed if seed is None else seed
+
+    def __call__(self, cid: int) -> BaseClient:
+        _, client_cls = get_algorithm(self.config.algorithm)
+        model = self.model_fn()
+        model.load_state_dict(self.initial_state)
+        return client_cls(
+            cid,
+            model,
+            self.client_datasets[cid],
+            self.config,
+            rng=np.random.default_rng(self.seed + 1000 + cid),
+        )
 
 
 def make_client_factory(
@@ -50,26 +95,8 @@ def make_client_factory(
     initial_state,
     seed: Optional[int] = None,
 ) -> Callable[[int], BaseClient]:
-    """``factory(cid)`` building client ``cid`` exactly as ``build_endpoints``
-    would have: a fresh ``model_fn()`` synchronised to ``initial_state`` and
-    the canonical ``seed + 1000 + cid`` RNG stream.  ``model_fn`` must be
-    deterministic per call (the repo's builders seed internally), since the
-    store invokes it lazily in checkout order rather than id order."""
-    seed = config.seed if seed is None else seed
-    _, client_cls = get_algorithm(config.algorithm)
-
-    def factory(cid: int) -> BaseClient:
-        model = model_fn()
-        model.load_state_dict(initial_state)
-        return client_cls(
-            cid,
-            model,
-            client_datasets[cid],
-            config,
-            rng=np.random.default_rng(seed + 1000 + cid),
-        )
-
-    return factory
+    """Build a :class:`ClientFactory` (kept as a function for API stability)."""
+    return ClientFactory(config, model_fn, client_datasets, initial_state, seed=seed)
 
 
 def _build_server_and_store(
