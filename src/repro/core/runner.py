@@ -298,6 +298,25 @@ class FederatedRunner:
                 )
         return self._pool
 
+    def _retire_pool(self) -> None:
+        """Pull the workers' authoritative state home and discard the pool.
+
+        Used when a round cannot run on the process backend (the payloads are
+        not one shared template): that round then runs in-process against
+        parent state, which leaves the workers stale — a later pooled round
+        would silently diverge from serial, and a second consecutive
+        fallback's ``sync_parent`` would drag the stale worker state back
+        over the parent's progress.  Discarding the pool makes the next
+        eligible round rebuild it from parent state, keeping the bitwise
+        contract.
+        """
+        if self._pool is not None:
+            try:
+                self._pool.sync_parent()
+            finally:
+                self._pool.close()
+                self._pool = None
+
     def _emit_worker_spans(self, ids, timings) -> None:
         """Emit ``local_update`` spans from worker-side timestamps, in client
         order (cohort members carry no per-client timing; as on the threaded
@@ -325,10 +344,9 @@ class FederatedRunner:
         ids = [c.client_id for c in clients]
         template = payload_template(received, ids)
         if template is None:
-            if self._pool is not None:
-                # The workers hold the authoritative state; re-home it before
-                # running these clients in-process.
-                self._pool.sync_parent()
+            # The workers hold the authoritative state; re-home it and drop
+            # the now-stale pool before running these clients in-process.
+            self._retire_pool()
             return None
         uploads, steps, timings = self._ensure_pool().run_round(ids, template)
         self._pending_steps = steps
@@ -419,8 +437,7 @@ class FederatedRunner:
         payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in active_ids}
         template = payload_template(payloads, active_ids)
         if template is None:
-            if self._pool is not None:
-                self._pool.sync_parent()
+            self._retire_pool()
             end_phase("broadcast", tick)
             return False
         tick = end_phase("broadcast", tick)
@@ -765,12 +782,7 @@ class FederatedRunner:
         ``run`` call (which re-ships it into a fresh pool) continues bitwise
         where this one stopped — exactly like the thread path.
         """
-        if self._pool is not None:
-            try:
-                self._pool.sync_parent()
-            finally:
-                self._pool.close()
-                self._pool = None
+        self._retire_pool()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None

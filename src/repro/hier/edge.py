@@ -270,6 +270,18 @@ class EdgeAggregator:
                 )
         return self._pool
 
+    def _retire_pool(self) -> None:
+        """Pull worker state home and discard the pool (see
+        FederatedRunner._retire_pool) — an in-process fallback round would
+        otherwise leave the workers stale and a later pooled round (or a
+        second fallback's ``sync_parent``) would silently diverge."""
+        if self._pool is not None:
+            try:
+                self._pool.sync_parent()
+            finally:
+                self._pool.close()
+                self._pool = None
+
     def _emit_worker_spans(self, ids, timings) -> None:
         tracer = current_tracer()
         if tracer is None:
@@ -291,8 +303,9 @@ class EdgeAggregator:
         ids = [c.client_id for c in clients]
         template = payload_template(payloads, ids)
         if template is None:
-            if self._pool is not None:
-                self._pool.sync_parent()
+            # Re-home the workers' authoritative state and drop the now-stale
+            # pool before running this shard in-process.
+            self._retire_pool()
             return None
         uploads, steps, timings = self._ensure_pool().run_round(ids, template)
         self._pending_steps = steps
@@ -364,8 +377,7 @@ class EdgeAggregator:
         payloads = {cid: self.exchange.open_dispatch(received[cid]) for cid in active_ids}
         template = payload_template(payloads, active_ids)
         if template is None:
-            if self._pool is not None:
-                self._pool.sync_parent()
+            self._retire_pool()
             end_phase("broadcast", tick)
             return False
         tick = end_phase("broadcast", tick)
@@ -524,12 +536,7 @@ class EdgeAggregator:
 
     # -------------------------------------------------------------- plumbing
     def close(self) -> None:
-        if self._pool is not None:
-            try:
-                self._pool.sync_parent()
-            finally:
-                self._pool.close()
-                self._pool = None
+        self._retire_pool()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None

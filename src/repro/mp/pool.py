@@ -74,8 +74,16 @@ def payload_template(
                     and np.array_equal(value, ov)
                 ):
                     return None
-            elif value != ov:
-                return None
+            else:
+                try:
+                    differs = bool(value != ov)
+                except (TypeError, ValueError):
+                    # Containers holding arrays (a custom communicator could
+                    # nest them) have no unambiguous equality — treat the
+                    # payloads as non-template and let the caller fall back.
+                    return None
+                if differs:
+                    return None
     return template
 
 

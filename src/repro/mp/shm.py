@@ -29,6 +29,8 @@ readers at the shared tracker and spam KeyError tracebacks).
 
 from __future__ import annotations
 
+import inspect
+import threading
 from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, List, Sequence, Tuple
 
@@ -39,19 +41,33 @@ __all__ = ["ShmArena", "ShmAttachment", "attach_shm"]
 # (key, dtype string, shape, byte offset) — one entry per packed array.
 Manifest = List[Tuple[str, str, Tuple[int, ...], int]]
 
+# Python 3.13+ exposes track=False, which skips the tracker registration at
+# the source instead of needing the monkeypatch below.
+_HAS_TRACK = "track" in inspect.signature(shared_memory.SharedMemory).parameters
+
+# The monkeypatch swaps a process-global attribute; serialize attaches so two
+# concurrent ones can't restore each other's no-op out of order.
+_ATTACH_LOCK = threading.Lock()
+
 
 def attach_shm(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without adopting unlink responsibility."""
+    if _HAS_TRACK:
+        return shared_memory.SharedMemory(name=name, track=False)
     # CPython 3.11: attaching registers the segment with the (shared) resource
     # tracker for unlink-at-exit.  Unregistering afterwards is not enough —
     # with several readers the duplicate UNREGISTER messages race at the
     # tracker.  Suppress the registration for the duration of the attach.
-    original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
-    try:
-        return shared_memory.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original  # type: ignore[assignment]
+    # (Any other thread creating a SharedMemory inside this window would lose
+    # its leak tracking, hence the lock; attaches are rare — once per arena
+    # generation — so contention is negligible.)
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original  # type: ignore[assignment]
 
 
 class ShmArena:
@@ -113,6 +129,22 @@ class ShmAttachment:
 
     def __init__(self) -> None:
         self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        # Stale segments whose close() raised BufferError (a view was still
+        # referenced).  Dropping the handle outright would leak the mmap and
+        # fd for the rest of the run; instead we keep it here and retry on
+        # every subsequent view()/close() until the views have died.
+        self._deferred: List[shared_memory.SharedMemory] = []
+
+    def _drain_deferred(self) -> None:
+        still_pinned: List[shared_memory.SharedMemory] = []
+        for shm in self._deferred:
+            try:
+                shm.close()
+            except BufferError:
+                still_pinned.append(shm)
+            except Exception:
+                pass
+        self._deferred = still_pinned
 
     def view(self, name: str, manifest: Manifest, copy: bool = False) -> Dict[str, np.ndarray]:
         """Map a packed arena back to ``{key: array}``.
@@ -121,17 +153,20 @@ class ShmAttachment:
         segment — valid only until the owner repacks or unlinks it.  With
         ``copy=True`` each array is materialised fresh.
         """
+        self._drain_deferred()
         shm = self._segments.get(name)
         if shm is None:
             # Another generation superseded old names; drop dead attachments.
             # (If old views are still referenced somewhere, close() raises
-            # BufferError — dropping our handle is enough, the owner unlinks.)
+            # BufferError — park the handle for a later retry, the owner
+            # unlinks the segment itself.)
             for stale in list(self._segments):
                 if stale.rsplit("_g", 1)[0] == name.rsplit("_g", 1)[0]:
+                    old = self._segments.pop(stale)
                     try:
-                        self._segments.pop(stale).close()
+                        old.close()
                     except BufferError:
-                        pass
+                        self._deferred.append(old)
             shm = attach_shm(name)
             self._segments[name] = shm
         out: Dict[str, np.ndarray] = {}
@@ -148,6 +183,9 @@ class ShmAttachment:
         for shm in self._segments.values():
             try:
                 shm.close()
+            except BufferError:
+                self._deferred.append(shm)
             except Exception:
                 pass
         self._segments.clear()
+        self._drain_deferred()

@@ -297,6 +297,44 @@ class TestPoolPlumbing:
         scalar_diverged = {0: base, 1: {"g": np.arange(4.0), "round": 2}}
         assert payload_template(scalar_diverged, [0, 1]) is None
 
+    def test_payload_template_uncomparable_entries_fall_back(self):
+        """A payload entry that is a container of arrays (a custom
+        communicator could nest them) has no unambiguous equality — the
+        template check must return None (in-process fallback), not raise
+        ValueError and kill the round."""
+        payloads = {
+            0: {"g": np.arange(4.0), "extras": [np.arange(3.0)]},
+            1: {"g": np.arange(4.0), "extras": [np.arange(3.0)]},
+        }
+        assert payload_template(payloads, [0, 1]) is None
+
+    def test_attachment_defers_pinned_segments(self):
+        """A superseded segment whose views are still referenced cannot be
+        closed yet — the attachment must park the handle and retry later, not
+        drop it (which would leak the mmap and fd for the rest of the run)."""
+        from repro.mp.shm import ShmArena, ShmAttachment
+
+        arena = ShmArena(f"rpmpdefer{os.getpid()}")
+        attachment = ShmAttachment()
+        try:
+            name1, man1 = arena.pack([("a", np.arange(4.0))])
+            attachment.view(name1, man1, copy=False)
+            # Pin generation 1 the way an outstanding consumer would: a live
+            # buffer export makes close() raise BufferError.  (numpy views
+            # release their export at construction, so pin via memoryview.)
+            pinned = memoryview(attachment._segments[name1].buf)
+            # Bigger payload → the arena grows by recreation under a new name.
+            name2, man2 = arena.pack([("a", np.arange(4096.0))])
+            assert name2 != name1
+            attachment.view(name2, man2, copy=True)
+            assert len(attachment._deferred) == 1  # parked, not leaked
+            pinned.release()
+            attachment.view(name2, man2, copy=True)  # retries the close
+            assert attachment._deferred == []
+        finally:
+            attachment.close()
+            arena.close()
+
     def test_store_factory_must_pickle(self):
         runner = build_virtual_federation(
             _config("fedavg", "process"), _model_fn(), _datasets(4), live_cap=4
@@ -308,6 +346,87 @@ class TestPoolPlumbing:
         cfg = _config("iiadmm", "process", codec="delta|int8")
         with pytest.raises(ValueError, match="lossless"):
             build_federation(cfg, _model_fn(), _datasets(4))
+
+
+# ------------------------------------------------- fallback state consistency
+class TestFallbackStateSync:
+    """Rounds that cannot run on the process pool (non-template payloads)
+    fall back in-process — the pool must be retired so the workers' stale
+    state can neither serve a later pooled round nor be synced back over the
+    parent's progress."""
+
+    @staticmethod
+    def _template_gate(monkeypatch, fallback_active):
+        """Patch the template probe to report 'not a shared template' (the
+        fallback trigger, without needing a custom per-client communicator)
+        while ``fallback_active``; restore the real probe otherwise."""
+        import repro.mp.pool as mp_pool
+
+        real = mp_pool.payload_template.__wrapped__ if hasattr(
+            mp_pool.payload_template, "__wrapped__"
+        ) else mp_pool.payload_template
+        if fallback_active:
+            patched = lambda *a, **k: None  # noqa: E731
+            patched.__wrapped__ = real
+            monkeypatch.setattr(mp_pool, "payload_template", patched)
+        else:
+            monkeypatch.setattr(mp_pool, "payload_template", real)
+
+    def test_flat_fallback_rounds_stay_bitwise(self, monkeypatch):
+        """Pooled round, two consecutive in-process fallback rounds, pooled
+        round again — bitwise the serial run throughout.  Without retiring
+        the pool, round 3 would run on workers still holding round-0 state,
+        and the second fallback's sync would revert round 1's progress."""
+
+        def run(backend, fallback_rounds=()):
+            runner = build_federation(_config("iiadmm", backend), _model_fn(), _datasets(5))
+            for rnd in range(4):
+                if backend == "process":
+                    self._template_gate(monkeypatch, rnd in fallback_rounds)
+                runner.run_round(rnd)
+                if backend == "process" and rnd in fallback_rounds:
+                    assert runner._pool is None, "fallback must retire the stale pool"
+            self._template_gate(monkeypatch, False)
+            runner.close()
+            return (
+                runner.server.global_params.tobytes(),
+                [_client_key(c) for c in runner.clients],
+                runner.client_steps,
+            )
+
+        serial = run("serial")
+        assert run("process", fallback_rounds=(1, 2)) == serial
+
+    def test_hier_fallback_rounds_stay_bitwise(self, monkeypatch):
+        """Same contract for per-edge pools: an edge whose round falls back
+        in-process retires its pool and the run stays bitwise serial."""
+
+        def run(backend, fallback_rounds=()):
+            cfg = _config("iiadmm", backend, topology="edges:2")
+            runner = build_hier_federation(cfg, _seeded_model_fn(), _datasets(6))
+            for rnd in range(3):
+                if backend == "process":
+                    self._template_gate(monkeypatch, rnd in fallback_rounds)
+                runner.run_round(rnd)
+                if backend == "process" and rnd in fallback_rounds:
+                    assert all(e._pool is None for e in runner.edges)
+            self._template_gate(monkeypatch, False)
+            runner.close()
+            duals = []
+            if hasattr(runner.edges[0].server, "duals"):
+                duals = [
+                    (edge.edge_id, cid, edge.server.duals[cid].tobytes())
+                    for edge in runner.edges
+                    for cid in edge.shard
+                ]
+            return (
+                runner.server.global_params.tobytes(),
+                [(e.edge_id, e.server.global_params.tobytes()) for e in runner.edges],
+                duals,
+            )
+
+        serial = run("serial")
+        assert run("process", fallback_rounds=(1,)) == serial
 
 
 # ---------------------------------------------------- bugfix regression sweep
