@@ -592,19 +592,21 @@ def test_fault_tolerance_overhead(hotpath_store):
     hotpath_store.check_and_update_faults(record)
 
 
-def test_obs_overhead(hotpath_store):
-    """Enabled-tracer overhead on the Fig. 2 hot-path workload.
+def test_obs_overhead(hotpath_store, tmp_path):
+    """Full-observability overhead on the Fig. 2 hot-path workload.
 
-    The obs contract: disabled tracing is free, and an *armed* tracer costs
-    <5% rounds/sec on the optimized configuration.  Both sides are measured
-    best-of-REPEATS in the same session, so machine load largely cancels.
+    The obs contract: disabled observability is free, and the *armed* stack
+    — tracer + RunMonitor with the default watchdog set and a JSONL metrics
+    stream — costs <5% rounds/sec on the optimized configuration.  Both
+    sides are measured best-of-REPEATS in the same session, so machine load
+    largely cancels.
     """
-    from repro.obs import Tracer, use_tracer
+    from repro.obs import RunMonitor, Tracer, default_monitors, use_monitor, use_tracer
 
-    def run_once(tracer):
+    def run_once(tracer, monitor):
         runner = _build_runner("flat", "float32", 0)
         start = time.perf_counter()
-        with use_tracer(tracer):
+        with use_tracer(tracer), use_monitor(monitor):
             history = runner.run()
         return ROUNDS / (time.perf_counter() - start), history
 
@@ -612,17 +614,26 @@ def test_obs_overhead(hotpath_store):
     untraced = 0.0
     untraced_history = None
     for _ in range(repeats):
-        rps, history = run_once(None)
+        rps, history = run_once(None, None)
         if rps > untraced:
             untraced, untraced_history = rps, history
     traced = 0.0
     spans = 0
+    samples = 0
+    alerts = -1
     traced_history = None
-    for _ in range(repeats):
+    for i in range(repeats):
         tracer = Tracer()
-        rps, history = run_once(tracer)
+        monitor = RunMonitor(
+            monitors=default_monitors(),
+            stream=str(tmp_path / f"bench_stream_{i}.jsonl"),
+        )
+        rps, history = run_once(tracer, monitor)
+        monitor.close()
         if rps > traced:
             traced, spans, traced_history = rps, len(tracer), history
+            samples = monitor.report.samples
+            alerts = len(monitor.report.alerts)
     overhead_pct = 100.0 * (untraced - traced) / untraced
 
     record = {
@@ -631,15 +642,19 @@ def test_obs_overhead(hotpath_store):
         "traced_rounds_per_sec": round(traced, 4),
         "overhead_pct": round(overhead_pct, 2),
         "trace_records": spans,
+        "monitor_samples": samples,
+        "monitor_alerts": alerts,
     }
     print("\nobs: " + json.dumps(record, indent=2))
 
-    # The tracer is observational only: the traced run trains identically.
+    # The monitoring stack is observational only: the run trains identically.
     assert traced_history.final_accuracy == untraced_history.final_accuracy
     assert spans > 0, "armed tracer recorded nothing on a traced run"
+    assert samples == ROUNDS, "the monitor missed round boundaries"
+    assert alerts == 0, "watchdogs false-positived on a healthy bench run"
     assert overhead_pct < 5.0, (
-        f"enabled-tracer overhead {overhead_pct:.2f}% exceeds the 5% budget "
-        f"({untraced:.4f} -> {traced:.4f} rounds/sec)"
+        f"full-observability overhead {overhead_pct:.2f}% exceeds the 5% "
+        f"budget ({untraced:.4f} -> {traced:.4f} rounds/sec)"
     )
     hotpath_store.check_and_update_obs(record)
 

@@ -1,29 +1,51 @@
-"""Quickstart: unified telemetry over a federated run.
+"""Quickstart: unified telemetry and live monitoring over a federated run.
 
-Arms a :class:`repro.obs.Tracer` and a :class:`repro.obs.MetricsRegistry`
-around a small Figure-2-style workload (FedAvg on synthetic MNIST, 3
-rounds), then:
+Arms the full observability stack around a small Figure-2-style workload
+(FedAvg on synthetic MNIST, 3 rounds):
+
+* a :class:`repro.obs.Tracer` collecting spans/events,
+* a :class:`repro.obs.RunMonitor` with the default watchdog set
+  (convergence stall/divergence, straggler skew, retry/dead-letter rates,
+  memory watermarks), streaming per-round metrics snapshots to JSONL and
+  serving a live ``/metrics`` + ``/healthz`` endpoint that is scraped
+  once mid-example,
+* a :class:`repro.obs.PhaseProfiler` capturing a collapsed-stack
+  (flamegraph-ready) profile of the local-update phase,
+
+then:
 
 * dumps the span trace as JSONL and Chrome/Perfetto ``trace_event`` JSON,
-* dumps the metrics snapshot as JSON,
-* renders the terminal run report (the same one
-  ``python -m repro.harness.obsreport trace.jsonl`` produces).
+* dumps the metrics snapshot as JSON and as Prometheus text exposition,
+* renders the terminal run report plus the health report.
 
-The tracer is purely observational — the traced run is bitwise identical
-to an untraced one (regression-tested in ``tests/test_obs.py``).
+Everything is purely observational — the monitored run is bitwise
+identical to an unmonitored one (regression-tested in
+``tests/test_obs.py`` / ``tests/test_obs_live.py``).
 
 Run:  python examples/obs_quickstart.py
 """
 
 import tempfile
+import urllib.request
 from pathlib import Path
 
 import numpy as np
 
 from repro.core import FLConfig, MLP, build_federation
 from repro.data import load_dataset
-from repro.harness.obsreport import render_metrics, render_report
-from repro.obs import MetricsRegistry, Tracer, use_tracer
+from repro.harness.obsreport import render_metrics, render_report, render_series
+from repro.obs import (
+    MetricsRegistry,
+    PhaseProfiler,
+    RunMonitor,
+    Tracer,
+    default_monitors,
+    lint_exposition,
+    load_series,
+    render_prometheus,
+    use_profiler,
+    use_tracer,
+)
 
 
 def main() -> None:
@@ -40,35 +62,66 @@ def main() -> None:
     )
     runner = build_federation(config, model_fn, clients, test_data)
 
-    # 2. Arm the tracer for the run; library code picks it up via the
-    #    context-local handle (no tracer parameters anywhere).
+    out = Path(tempfile.mkdtemp(prefix="repro_obs_"))
+
+    # 2. Arm the whole stack for the run; library code picks each handle up
+    #    via its context-local (no observability parameters anywhere).
     tracer = Tracer()
-    with use_tracer(tracer):
+    monitor = RunMonitor(
+        monitors=default_monitors(),
+        stream=out / "metrics_series.jsonl",
+        serve=True,  # live /metrics + /healthz on a free localhost port
+        algorithm=config.algorithm,
+    )
+    profiler = PhaseProfiler(phases=("local_update",))
+    with use_tracer(tracer), monitor, use_profiler(profiler):
         history = runner.run()
+        # Scrape the live endpoint the way Prometheus would, mid-session.
+        exposition = (
+            urllib.request.urlopen(monitor.server.url + "/metrics", timeout=5)
+            .read()
+            .decode()
+        )
+    runner.close()
     print(f"final accuracy={history.final_accuracy:.3f}  ({len(tracer)} trace records)\n")
 
-    # 3. Absorb the run's scattered accounting into one metrics snapshot.
+    # 3. Absorb the run's scattered accounting into one metrics snapshot
+    #    (includes any process-backend worker telemetry).
     registry = MetricsRegistry(algorithm=config.algorithm, codec=runner.exchange.spec)
     registry.absorb_runner(runner)
 
     # 4. Export everything.
-    out = Path(tempfile.mkdtemp(prefix="repro_obs_"))
     trace_jsonl = tracer.write_jsonl(out / "trace.jsonl")
     trace_perfetto = tracer.write_perfetto(out / "trace_perfetto.json")
     metrics_json = registry.write_snapshot(out / "metrics.json")
+    prometheus_txt = out / "metrics.prom"
+    prometheus_txt.write_text(render_prometheus(registry.snapshot()))
+    profile_folded = profiler.write_collapsed(out / "local_update.folded")
 
     # 5. The terminal run explorer over the records just collected.
     print(render_report(tracer.records, top=3))
     print()
     print(render_metrics(registry.snapshot()))
     print()
-    print(f"trace (JSONL):    {trace_jsonl}")
-    print(f"trace (Perfetto): {trace_perfetto}")
-    print(f"metrics snapshot: {metrics_json}")
+    print(render_series(load_series(out / "metrics_series.jsonl")))
+    print()
+    print(monitor.report.render())
+    lint = lint_exposition(exposition)
+    print(f"live /metrics scrape: {len(exposition.splitlines())} lines, "
+          f"lint {'clean' if not lint else lint}")
+    print()
+    print(f"trace (JSONL):       {trace_jsonl}")
+    print(f"trace (Perfetto):    {trace_perfetto}")
+    print(f"metrics snapshot:    {metrics_json}")
+    print(f"metrics exposition:  {prometheus_txt}")
+    print(f"metrics time series: {out / 'metrics_series.jsonl'}")
+    print(f"collapsed profile:   {profile_folded}")
     print(
         "\nOpen the Perfetto JSON at https://ui.perfetto.dev (or chrome://tracing):"
         "\none track per lane — runner rounds/waves/phases, per-client local"
-        "\nupdates, comm sends, store and checkpoint activity."
+        "\nupdates, comm sends, store and checkpoint activity.  Feed the"
+        "\n.folded file to any flamegraph renderer (e.g. flamegraph.pl or"
+        "\nspeedscope) for the local-update profile."
     )
 
 

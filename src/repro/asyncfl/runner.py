@@ -71,7 +71,7 @@ from ..core.metrics import Evaluator
 from ..core.runner import PHASES, RoundResult, TrainingHistory, build_endpoints
 from ..data import Dataset
 from ..mp import resolve_workers
-from ..obs import current_tracer
+from ..obs import current_monitor, current_tracer
 from ..privacy import PrivacyAccountant
 from ..simulator.device import A100, DeviceSpec, LocalUpdateCostModel
 from .events import EventLoop
@@ -270,6 +270,10 @@ class AsyncRunner:
         tracer = current_tracer()
         if tracer is not None:
             tracer.emit_span(phase, "phase", tick, now, lane="async", vt0=self._clock.now, **labels)
+        if phase == "local_update" and "client" in labels:
+            monitor = current_monitor()
+            if monitor is not None:
+                monitor.observe_local_update(seconds, client=labels["client"])
 
     def _acquire(self, cid: int) -> BaseClient:
         """The live client for ``cid`` — checked out (and pinned) from the
@@ -476,6 +480,9 @@ class AsyncRunner:
         self._sim_comm_seconds_last = self._sim_comm_seconds
         self._round_timings = {k: 0.0 for k in self.phase_seconds}
         self.history.add(result)
+        monitor = current_monitor()
+        if monitor is not None:
+            monitor.on_round(self, result)
         if callback is not None:
             callback(result)
 

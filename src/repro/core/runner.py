@@ -57,7 +57,7 @@ from ..comm import Communicator, SerialCommunicator, client_endpoint
 from ..comm.records import DeadLetter
 from ..data import Dataset
 from ..mp import resolve_workers
-from ..obs import current_tracer, timed_call
+from ..obs import current_monitor, current_profiler, current_tracer, timed_call
 from ..privacy import PrivacyAccountant, dispatch_fingerprint
 from .base import GLOBAL_KEY, BaseClient, BaseServer
 from .batched import count_client_steps, run_batched_updates
@@ -223,6 +223,10 @@ class FederatedRunner:
                 f"parent-side client state"
             )
         self._pool = None  # ProcessWorkerPool, created lazily
+        #: worker-shipped metrics banked from retired process pools (the
+        #: live pool's registry is read via ``_pool.telemetry``); ``None``
+        #: until a pool retires.  See MetricsRegistry.absorb_worker_telemetry.
+        self.worker_telemetry = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_width = 0
         #: steps computed by the most recent _update_clients call, per client;
@@ -314,23 +318,40 @@ class FederatedRunner:
             try:
                 self._pool.sync_parent()
             finally:
+                self._bank_pool_telemetry()
                 self._pool.close()
                 self._pool = None
+
+    def _bank_pool_telemetry(self) -> None:
+        """Preserve a closing pool's worker-shipped metrics on the runner."""
+        telemetry = getattr(self._pool, "telemetry", None)
+        if telemetry is None or not telemetry.snapshot()["counters"]:
+            return
+        if self.worker_telemetry is None:
+            from ..obs import MetricsRegistry
+
+            self.worker_telemetry = MetricsRegistry()
+        self.worker_telemetry.merge(telemetry)
 
     def _emit_worker_spans(self, ids, timings) -> None:
         """Emit ``local_update`` spans from worker-side timestamps, in client
         order (cohort members carry no per-client timing; as on the threaded
-        path they were covered by one batched call)."""
+        path they were covered by one batched call).  An armed monitor's
+        straggler histogram is fed from the same timestamps."""
         tracer = current_tracer()
-        if tracer is None:
+        monitor = current_monitor()
+        if tracer is None and monitor is None:
             return
         for cid in ids:
             t = timings.get(cid)
             if t is not None:
-                tracer.emit_span(
-                    "local_update", "client", t[0], t[1],
-                    lane=f"client:{cid}", client=cid, backend="process",
-                )
+                if tracer is not None:
+                    tracer.emit_span(
+                        "local_update", "client", t[0], t[1],
+                        lane=f"client:{cid}", client=cid, backend="process",
+                    )
+                if monitor is not None:
+                    monitor.observe_local_update(t[1] - t[0], client=cid)
 
     def _update_clients_process(self, clients, received):
         """Run the given (eager) clients' updates on the process pool.
@@ -361,8 +382,11 @@ class FederatedRunner:
         With a tracer armed, each update is timed in place (inside the worker
         for the pooled path) and its span emitted afterwards from this thread
         in client order — tracing never changes execution order or results.
+        An armed monitor rides the same timings (straggler detection) under
+        the same contract.
         """
         tracer = current_tracer()
+        monitor = current_monitor()
         if self.backend != "serial" and self.max_workers > 1 and len(clients) > 1:
             # Size by the clients actually running this call (participants of
             # this round/wave), not the full population — under
@@ -378,7 +402,7 @@ class FederatedRunner:
                     thread_name_prefix="fl-client",
                 )
                 self._executor_width = needed
-            if tracer is None:
+            if tracer is None and monitor is None:
                 results = list(
                     self._executor.map(lambda c: c.update(received[c.client_id]), clients)
                 )
@@ -387,20 +411,26 @@ class FederatedRunner:
                 self._executor.map(lambda c: timed_call(c.update, received[c.client_id]), clients)
             )
             for client, (_, t0, t1) in zip(clients, timed):
-                tracer.emit_span(
-                    "local_update", "client", t0, t1,
-                    lane=f"client:{client.client_id}", client=client.client_id,
-                )
+                if tracer is not None:
+                    tracer.emit_span(
+                        "local_update", "client", t0, t1,
+                        lane=f"client:{client.client_id}", client=client.client_id,
+                    )
+                if monitor is not None:
+                    monitor.observe_local_update(t1 - t0, client=client.client_id)
             return {c.client_id: r for c, (r, _, _) in zip(clients, timed)}
-        if tracer is None:
+        if tracer is None and monitor is None:
             return {c.client_id: c.update(received[c.client_id]) for c in clients}
         uploads: Dict[int, Dict[str, np.ndarray]] = {}
         for client in clients:
             upload, t0, t1 = timed_call(client.update, received[client.client_id])
-            tracer.emit_span(
-                "local_update", "client", t0, t1,
-                lane=f"client:{client.client_id}", client=client.client_id,
-            )
+            if tracer is not None:
+                tracer.emit_span(
+                    "local_update", "client", t0, t1,
+                    lane=f"client:{client.client_id}", client=client.client_id,
+                )
+            if monitor is not None:
+                monitor.observe_local_update(t1 - t0, client=client.client_id)
             uploads[client.client_id] = upload
         return uploads
 
@@ -497,6 +527,7 @@ class FederatedRunner:
         steps_before = self.client_steps
         timings: Dict[str, float] = {k: 0.0 for k in self.phase_seconds}
         tracer = current_tracer()
+        monitor = current_monitor()
         round_start = tick = time.perf_counter()
 
         def end_phase(phase: str) -> None:
@@ -601,6 +632,8 @@ class FederatedRunner:
                     "wave", "round", wave_start, time.perf_counter(),
                     lane="runner", round=round_idx, wave=start // wave, clients=len(ids),
                 )
+            if monitor is not None:
+                monitor.on_wave(self, round_idx, start // wave)
 
         tick = time.perf_counter()
         if legacy:
@@ -640,6 +673,8 @@ class FederatedRunner:
             client_steps=self.client_steps - steps_before,
         )
         self.history.add(result)
+        if monitor is not None:
+            monitor.on_round(self, result)
         return result
 
     def run_round(self, round_idx: int) -> RoundResult:
@@ -654,13 +689,23 @@ class FederatedRunner:
         steps_before = self.client_steps
         timings: Dict[str, float] = {}
         tracer = current_tracer()
+        monitor = current_monitor()
+        profiler = current_profiler()
         round_start = tick = time.perf_counter()
 
         def end_phase(phase: str) -> None:
+            if profiler is not None:
+                profiler.end(phase)
             now = time.perf_counter()
             timings[phase] = timings.get(phase, 0.0) + (now - tick)
             if tracer is not None:
                 tracer.emit_span(phase, "phase", tick, now, lane="runner", round=round_idx)
+
+        def begin_phase(phase: str) -> None:
+            if profiler is not None:
+                profiler.begin(phase)
+
+        begin_phase("broadcast")
 
         # Server -> clients: encode the global model into one UpdatePacket,
         # transport it (the communicator charges packet.nbytes), and decode a
@@ -698,6 +743,7 @@ class FederatedRunner:
         # clipping/noising happens inside client.update — before the codec
         # encode below — so the guarantee survives quantization.
         tick = time.perf_counter()
+        begin_phase("local_update")
         uploads = self._update_clients(active, payloads)
         end_phase("local_update")
 
@@ -705,6 +751,7 @@ class FederatedRunner:
         # global, reconcile lossy-codec client state with the decoded echo,
         # and transport the packets.
         tick = time.perf_counter()
+        begin_phase("gather")
         packets = {}
         for client in active:
             cid = client.client_id
@@ -723,6 +770,7 @@ class FederatedRunner:
         # update() is driven directly (it decodes via ingest internally), so
         # the override is never bypassed.
         tick = time.perf_counter()
+        begin_phase("aggregate")
         streaming = not self.server.uses_legacy_update and hasattr(self.server, "aggregate_global")
         if self.server.uses_legacy_update:
             if gathered or injector is None:
@@ -746,6 +794,7 @@ class FederatedRunner:
 
         accuracy = loss = None
         tick = time.perf_counter()
+        begin_phase("evaluate")
         if self.evaluator is not None:
             self.server.sync_model()
             accuracy, loss = self.evaluator(self.server.model)
@@ -773,6 +822,8 @@ class FederatedRunner:
             client_steps=self.client_steps - steps_before,
         )
         self.history.add(result)
+        if monitor is not None:
+            monitor.on_round(self, result)
         return result
 
     def close(self) -> None:

@@ -43,7 +43,17 @@ from ..core.models import MLP
 from ..data import TensorDataset
 from ..faults import FaultPlan
 from ..hier import RootFedBuff, build_hier_async_federation, build_hier_federation
-from ..obs import MetricsRegistry, Tracer, use_tracer
+from ..obs import (
+    Alert,
+    HealthMonitor,
+    MetricsRegistry,
+    MetricsStream,
+    RunMonitor,
+    Tracer,
+    default_monitors,
+    lint_exposition,
+    use_tracer,
+)
 from .reporting import format_check, format_history
 
 __all__ = ["ChaosSettings", "ChaosResult", "run_chaos", "histories_bitwise_equal", "main"]
@@ -78,6 +88,13 @@ class ChaosSettings:
     #: "thread" / "process").  Only the synchronous edge-crash check actually
     #: changes execution under "process"; the async runs treat it as "thread".
     execution_backend: str = "thread"
+    #: serve a live ``/metrics`` + ``/healthz`` endpoint during the monitored
+    #: runs and self-scrape it once mid-run (``--serve``); the scrape's
+    #: exposition text must pass :func:`repro.obs.lint_exposition`
+    serve: bool = False
+    #: write the monitored runs' per-round metrics time series here as JSONL
+    #: (samples tagged ``baseline`` / ``churn``; ``--stream``)
+    stream_path: Optional[str] = None
 
     def boundary_schedule(self) -> Dict[int, Tuple[int, ...]]:
         """Which edges die at which flush boundaries in the bitwise check
@@ -110,6 +127,18 @@ class ChaosResult:
     #: full :meth:`repro.obs.MetricsRegistry.snapshot` of the churn run —
     #: the single source the fault/comm numbers above are derived from
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: :meth:`repro.obs.HealthReport.to_dict` per monitored run ("baseline" /
+    #: "churn"); the fault-free baseline must come back with zero alerts
+    health: Dict[str, object] = field(default_factory=dict)
+    #: whether the mid-run ``/metrics`` self-scrape happened (``None`` when
+    #: the endpoint was not served)
+    endpoint_scraped: Optional[bool] = None
+
+    @property
+    def baseline_health_ok(self) -> bool:
+        """Zero watchdog alerts on the fault-free monitored baseline."""
+        report = self.health.get("baseline")
+        return report is None or report.get("status") == "ok"  # type: ignore[union-attr]
 
     @property
     def ok(self) -> bool:
@@ -118,6 +147,8 @@ class ChaosResult:
             and self.bitwise_identical
             and self.sync_bitwise_identical
             and self.kills_recovered == self.kills_planned
+            and self.baseline_health_ok
+            and self.endpoint_scraped is not False
         )
 
     def render(self) -> str:
@@ -149,6 +180,36 @@ class ChaosResult:
             ),
             f"fault stats: {self.fault_stats}",
         ]
+        if self.health:
+            lines.append(
+                format_check(
+                    "fault-free baseline health (watchdog alerts)",
+                    "0 alerts",
+                    self.health.get("baseline", {}).get("status", "?"),  # type: ignore[union-attr]
+                    self.baseline_health_ok,
+                )
+            )
+            for run_name, report in sorted(self.health.items()):
+                alerts = report.get("alerts", [])  # type: ignore[union-attr]
+                summary = (
+                    f"health[{run_name}]: {report.get('status')} "  # type: ignore[union-attr]
+                    f"({report.get('samples')} samples, {len(alerts)} alerts)"  # type: ignore[union-attr]
+                )
+                lines.append(summary)
+                for alert in alerts:
+                    lines.append(
+                        f"  {str(alert.get('severity', '?')).upper():8s} "
+                        f"{alert.get('monitor')}: {alert.get('message')}"
+                    )
+        if self.endpoint_scraped is not None:
+            lines.append(
+                format_check(
+                    "live /metrics self-scrape (exposition lint)",
+                    "scraped, clean",
+                    "scraped" if self.endpoint_scraped else "MISSED",
+                    bool(self.endpoint_scraped),
+                )
+            )
         if "chaos" in self.histories:
             lines.append(format_history(self.histories["chaos"], title="churn run:"))
         return "\n".join(lines)
@@ -218,6 +279,52 @@ def _final_accuracy(history) -> float:
     return float(accs[-1]) if accs else 0.0
 
 
+class _EndpointScrape(HealthMonitor):
+    """Self-scrape the monitor's live ``/metrics`` once mid-run.
+
+    Registered as an extra watchdog so it fires at a round boundary while
+    the run is genuinely underway (after the first publish); the fetched
+    exposition text must pass :func:`repro.obs.lint_exposition`, and any
+    fetch/lint failure surfaces as a watchdog alert — which fails the
+    harness's zero-alert baseline check.
+    """
+
+    name = "endpoint_scrape"
+
+    def __init__(self, monitor: RunMonitor):
+        self._monitor = monitor
+        self.scraped = False
+        self.lint_errors: list = []
+
+    def check(self, sample):
+        # report.samples was already incremented for the current boundary, so
+        # >= 2 means the server holds the previous (published) snapshot.
+        if self.scraped or self._monitor.report.samples < 2:
+            return []
+        server = self._monitor.server
+        if server is None:
+            return []
+        import urllib.request
+
+        self.scraped = True
+        text = (
+            urllib.request.urlopen(server.url + "/metrics", timeout=10)
+            .read()
+            .decode("utf-8")
+        )
+        self.lint_errors = lint_exposition(text)
+        if self.lint_errors:
+            return [
+                Alert(
+                    self.name,
+                    "warning",
+                    f"exposition lint failed: {self.lint_errors[:3]}",
+                    round=sample.round,
+                )
+            ]
+        return []
+
+
 def run_chaos(
     settings: Optional[ChaosSettings] = None, tracer: Optional[Tracer] = None
 ) -> ChaosResult:
@@ -244,9 +351,24 @@ def run_chaos(
 def _run_chaos(settings: ChaosSettings) -> ChaosResult:
     datasets, test_dataset = _make_data(settings)
 
-    # ---- 1. fault-free baseline ------------------------------------------
+    # ---- 1. fault-free baseline (monitored) ------------------------------
+    # The watchdog set runs armed over the healthy baseline — the harness's
+    # false-positive check: a fault-free run must produce zero alerts.  With
+    # --serve the live endpoint is self-scraped mid-run and linted.
     baseline = _build(settings, "fedavg", settings.num_rounds, datasets, test_dataset)
-    baseline_history = baseline.run(settings.num_rounds)
+    baseline_monitor = RunMonitor(
+        monitors=default_monitors(),
+        stream=MetricsStream(settings.stream_path) if settings.stream_path else None,
+        serve=settings.serve,
+        tag="baseline",
+        harness="chaos",
+    )
+    scrape = None
+    if settings.serve:
+        scrape = _EndpointScrape(baseline_monitor)
+        baseline_monitor.monitors.append(scrape)
+    with baseline_monitor:
+        baseline_history = baseline.run(settings.num_rounds)
     baseline_acc = _final_accuracy(baseline_history)
 
     # ---- 2. convergence under churn --------------------------------------
@@ -263,7 +385,22 @@ def _run_chaos(settings: ChaosSettings) -> ChaosResult:
     )
     chaos = _build(settings, "fedavg", settings.num_rounds, datasets, test_dataset)
     chaos.enable_faults(plan)
-    chaos_history = chaos.run(settings.num_rounds)
+    # The churn run gets its own monitor (a fresh one — counter deltas are
+    # only monotone within one runner) appending to the same time-series
+    # stream; its faults are *expected* to trip the retry watchdog, which is
+    # recorded as evidence but does not gate the result.
+    churn_monitor = RunMonitor(
+        monitors=default_monitors(),
+        stream=(
+            MetricsStream(settings.stream_path, append=True)
+            if settings.stream_path
+            else None
+        ),
+        tag="churn",
+        harness="chaos",
+    )
+    with churn_monitor:
+        chaos_history = chaos.run(settings.num_rounds)
     chaos_acc = _final_accuracy(chaos_history)
     # All churn-run accounting flows through the registry; the result's
     # fault/kill numbers are read back from its snapshot rather than from
@@ -347,6 +484,11 @@ def _run_chaos(settings: ChaosSettings) -> ChaosResult:
             "sync_bitwise_killed": sync_killed_history,
         },
         metrics=metrics,
+        health={
+            "baseline": baseline_monitor.report.to_dict(),
+            "churn": churn_monitor.report.to_dict(),
+        },
+        endpoint_scraped=(scrape.scraped if scrape is not None else None),
     )
 
 
@@ -383,6 +525,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="write the harness's span trace as JSONL")
     parser.add_argument("--metrics", metavar="PATH", default=None,
                         help="write the churn run's metrics snapshot as JSON")
+    parser.add_argument("--stream", metavar="PATH", default=None,
+                        help="write the monitored runs' per-round metrics "
+                        "time series as JSONL (baseline + churn tagged)")
+    parser.add_argument("--serve", action="store_true",
+                        help="serve a live /metrics + /healthz endpoint "
+                        "during the monitored runs and self-scrape it once "
+                        "mid-run (the exposition text must lint clean)")
     args = parser.parse_args(argv)
     if args.smoke:
         settings = ChaosSettings(
@@ -395,12 +544,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             test_size=32,
             seed=args.seed,
             execution_backend=args.backend,
+            serve=args.serve,
+            stream_path=args.stream,
         )
     else:
         settings = ChaosSettings(
             seed=args.seed,
             num_rounds=args.rounds or ChaosSettings.num_rounds,
             execution_backend=args.backend,
+            serve=args.serve,
+            stream_path=args.stream,
         )
     tracer = Tracer() if args.trace else None
     result = run_chaos(settings, tracer=tracer)
@@ -414,6 +567,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         _Path(args.metrics).write_text(_json.dumps(result.metrics, indent=2, sort_keys=True))
         print(f"metrics: {args.metrics}")
+    if args.stream:
+        print(f"metrics series: {args.stream}")
     return 0 if result.ok else 1
 
 

@@ -3,10 +3,14 @@
 ``python -m repro.harness.obsreport trace.jsonl`` digests the JSONL export
 of a :class:`repro.obs.Tracer` into the questions one actually asks of a
 run — where did the time go per tier, which clients/edges were slowest,
-how much retry/backoff churn did the fault layer cause, and how many bytes
-crossed each hop — without loading the trace into Perfetto.  Pass
-``--metrics metrics.json`` (a :meth:`repro.obs.MetricsRegistry.snapshot`
-export) to append the registry's counters/gauges/histograms.
+how much retry/backoff churn did the fault layer cause, how many bytes
+crossed each hop, and which health alerts fired — without loading the
+trace into Perfetto.  Pass ``--metrics metrics.json`` (a
+:meth:`repro.obs.MetricsRegistry.snapshot` export) to append the
+registry's counters/gauges/histograms, ``--series stream.jsonl`` (a
+:class:`repro.obs.MetricsStream` export) for the per-round time series,
+and ``--perfetto out.json`` to convert the saved trace to Chrome
+``trace_event`` JSON without rerunning anything.
 
 All aggregation is over the plain record dicts documented in
 :mod:`repro.obs.trace`, so the report works on any trace regardless of
@@ -25,7 +29,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 from ..core.runner import PHASES
 from .reporting import format_table
 
-__all__ = ["load_trace", "render_report", "render_metrics", "main"]
+__all__ = ["load_trace", "render_report", "render_metrics", "render_series", "main"]
 
 
 def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
@@ -218,6 +222,31 @@ def _lifecycle_section(records: Sequence[Dict[str, Any]]) -> Optional[str]:
     )
 
 
+def _health_section(records: Sequence[Dict[str, Any]]) -> Optional[str]:
+    """Alert events emitted by :class:`repro.obs.RunMonitor` watchdogs."""
+    alerts = [
+        r for r in records
+        if r.get("type") == "event" and r.get("cat") == "health"
+        and r.get("name") == "alert"
+    ]
+    if not alerts:
+        return None
+    rows = [
+        [
+            rec.get("severity", "?"),
+            rec.get("monitor", "?"),
+            rec.get("round", "-"),
+            rec.get("message", ""),
+        ]
+        for rec in alerts
+    ]
+    return format_table(
+        ["severity", "monitor", "round", "message"],
+        rows,
+        title=f"Health alerts ({len(alerts)})",
+    )
+
+
 def render_report(records: Sequence[Dict[str, Any]], top: int = 5) -> str:
     """The full terminal report over one trace's records."""
     spans = sum(1 for r in records if r.get("type") == "span")
@@ -228,6 +257,7 @@ def render_report(records: Sequence[Dict[str, Any]], top: int = 5) -> str:
         _topk_section(records, top),
         _comm_section(records),
         _lifecycle_section(records),
+        _health_section(records),
     ):
         if section:
             sections.append(section)
@@ -248,6 +278,71 @@ def render_metrics(snapshot: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def render_series(samples: Sequence[Dict[str, Any]]) -> str:
+    """Digest a :class:`MetricsStream` JSONL export.
+
+    Samples are grouped by their ``tag`` (one monitored run each — counter
+    monotonicity only holds within a run); counters are summarised
+    first→last with the summed per-sample delta (which equals last−first
+    when every sample landed in the stream), gauges as min/max/last.
+    """
+    if not samples:
+        return "metrics series: empty stream"
+    tags = []
+    for sample in samples:
+        tag = sample.get("tag", "")
+        if tag not in tags:
+            tags.append(tag)
+    if len(tags) > 1:
+        return "\n\n".join(
+            (f"[tag={tag}]\n" if tag else "")
+            + render_series([s for s in samples if s.get("tag", "") == tag])
+            for tag in tags
+        )
+    first, last = samples[0], samples[-1]
+    span = float(last.get("elapsed_seconds", 0.0)) - float(first.get("elapsed_seconds", 0.0))
+    lines = [
+        f"metrics series: {len(samples)} samples over {span:.3f}s "
+        f"(seq {first.get('seq')}..{last.get('seq')})"
+    ]
+    counter_rows = []
+    keys = sorted(last.get("metrics", {}).get("counters", {}))
+    for key in keys:
+        start = first.get("metrics", {}).get("counters", {}).get(key, 0)
+        end = last.get("metrics", {}).get("counters", {}).get(key, 0)
+        total_delta = sum(
+            s.get("delta", {}).get("counters", {}).get(key, 0) for s in samples
+        )
+        counter_rows.append([key, start, end, total_delta])
+    if counter_rows:
+        lines.append(
+            format_table(
+                ["counter", "first", "last", "delta"],
+                counter_rows,
+                title="Counters over the stream",
+            )
+        )
+    gauge_rows = []
+    for key in sorted(last.get("metrics", {}).get("gauges", {})):
+        values = [
+            s["metrics"]["gauges"][key]
+            for s in samples
+            if key in s.get("metrics", {}).get("gauges", {})
+        ]
+        gauge_rows.append(
+            [key, round(min(values), 6), round(max(values), 6), round(values[-1], 6)]
+        )
+    if gauge_rows:
+        lines.append(
+            format_table(
+                ["gauge", "min", "max", "last"],
+                gauge_rows,
+                title="Gauges over the stream",
+            )
+        )
+    return "\n\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="obsreport: terminal report over an obs trace JSONL"
@@ -258,11 +353,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--metrics", metavar="PATH", default=None,
         help="also render a MetricsRegistry.write_snapshot JSON export",
     )
+    parser.add_argument(
+        "--series", metavar="PATH", default=None,
+        help="also render a MetricsStream time-series JSONL export",
+    )
+    parser.add_argument(
+        "--perfetto", metavar="OUT", default=None,
+        help="convert the trace to Chrome trace_event JSON at OUT (no rerun)",
+    )
     args = parser.parse_args(argv)
-    print(render_report(load_trace(args.trace), top=args.top))
+    records = load_trace(args.trace)
+    print(render_report(records, top=args.top))
     if args.metrics:
         print()
         print(render_metrics(json.loads(Path(args.metrics).read_text())))
+    if args.series:
+        from ..obs import load_series
+
+        print()
+        print(render_series(load_series(args.series)))
+    if args.perfetto:
+        from ..obs import json_default, records_to_perfetto
+
+        out = Path(args.perfetto)
+        out.write_text(json.dumps(records_to_perfetto(records), default=json_default))
+        print(f"\nperfetto trace written to {out}")
     return 0
 
 

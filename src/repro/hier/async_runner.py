@@ -55,7 +55,7 @@ from ..core.metrics import Evaluator
 from ..core.partial import unpack_partial
 from ..core.runner import PHASES, RoundResult, TrainingHistory
 from ..data import Dataset
-from ..obs import current_tracer
+from ..obs import current_monitor, current_tracer
 from ..privacy import PrivacyAccountant
 from ..simulator.device import A100, DeviceSpec, LocalUpdateCostModel
 from .edge import EdgeAggregator
@@ -608,6 +608,10 @@ class HierAsyncRunner:
         tracer = current_tracer()
         if tracer is not None:
             tracer.emit_span(phase, "phase", tick, now, lane=lane, vt0=vt, **labels)
+        if phase == "local_update" and "client" in labels:
+            monitor = current_monitor()
+            if monitor is not None:
+                monitor.observe_local_update(seconds, client=labels["client"])
 
     # -------------------------------------------------------------- combine
     def _combine_last_known(self) -> Optional[Tuple[int, ...]]:
@@ -701,6 +705,9 @@ class HierAsyncRunner:
         self._recovered_since_round = []
         self._round_timings = {phase: 0.0 for phase in PHASES}
         self.history.add(result)
+        monitor = current_monitor()
+        if monitor is not None:
+            monitor.on_round(self, result)
         if callback is not None:
             callback(result)
 

@@ -44,7 +44,7 @@ from ..core.exchange import PacketExchange
 from ..core.partial import ExactPartial, pack_partial
 from ..core.runner import PHASES
 from ..mp import resolve_workers
-from ..obs import current_tracer, timed_call
+from ..obs import current_monitor, current_tracer, timed_call
 from ..privacy import dispatch_fingerprint
 
 __all__ = ["EdgeAggregator"]
@@ -128,6 +128,7 @@ class EdgeAggregator:
                 f"step needs parent-side client state"
             )
         self._pool = None  # ProcessWorkerPool over this edge's shard
+        self.worker_telemetry = None  # banked metrics from retired pools
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_width = 0
         self._pending_steps: Dict[int, int] = {}
@@ -279,21 +280,38 @@ class EdgeAggregator:
             try:
                 self._pool.sync_parent()
             finally:
+                self._bank_pool_telemetry()
                 self._pool.close()
                 self._pool = None
 
+    def _bank_pool_telemetry(self) -> None:
+        """Fold the dying pool's worker metrics into a registry that outlives
+        it, so a fallback round doesn't silently drop worker telemetry."""
+        telemetry = getattr(self._pool, "telemetry", None)
+        if telemetry is None or not telemetry.snapshot()["counters"]:
+            return
+        if self.worker_telemetry is None:
+            from ..obs import MetricsRegistry
+
+            self.worker_telemetry = MetricsRegistry()
+        self.worker_telemetry.merge(telemetry)
+
     def _emit_worker_spans(self, ids, timings) -> None:
         tracer = current_tracer()
-        if tracer is None:
+        monitor = current_monitor()
+        if tracer is None and monitor is None:
             return
         for cid in ids:
             t = timings.get(cid)
             if t is not None:
-                tracer.emit_span(
-                    "local_update", "client", t[0], t[1],
-                    lane=f"client:{cid}", client=cid, edge=self.edge_id,
-                    backend="process",
-                )
+                if tracer is not None:
+                    tracer.emit_span(
+                        "local_update", "client", t[0], t[1],
+                        lane=f"client:{cid}", client=cid, edge=self.edge_id,
+                        backend="process",
+                    )
+                if monitor is not None:
+                    monitor.observe_local_update(t[1] - t[0], client=cid)
 
     def _update_clients_process(self, clients, payloads):
         """Run this (eager) shard's updates on the edge's process pool; see
@@ -317,6 +335,7 @@ class EdgeAggregator:
         # emitted afterwards from this thread in client order (see
         # FederatedRunner._update_clients) — order and results are unchanged.
         tracer = current_tracer()
+        monitor = current_monitor()
         if self.backend != "serial" and self.max_workers > 1 and len(clients) > 1:
             # Size by this call's participants, not the whole shard — degraded
             # rounds would over-provision.  Grow-only, like the flat runner.
@@ -329,29 +348,35 @@ class EdgeAggregator:
                     thread_name_prefix=f"hier-edge{self.edge_id}",
                 )
                 self._executor_width = needed
-            if tracer is None:
+            if tracer is None and monitor is None:
                 results = list(self._executor.map(lambda c: c.update(payloads[c.client_id]), clients))
                 return {c.client_id: r for c, r in zip(clients, results)}
             timed = list(
                 self._executor.map(lambda c: timed_call(c.update, payloads[c.client_id]), clients)
             )
             for client, (_, t0, t1) in zip(clients, timed):
+                if tracer is not None:
+                    tracer.emit_span(
+                        "local_update", "client", t0, t1,
+                        lane=f"client:{client.client_id}",
+                        client=client.client_id, edge=self.edge_id,
+                    )
+                if monitor is not None:
+                    monitor.observe_local_update(t1 - t0, client=client.client_id)
+            return {c.client_id: r for c, (r, _, _) in zip(clients, timed)}
+        if tracer is None and monitor is None:
+            return {c.client_id: c.update(payloads[c.client_id]) for c in clients}
+        uploads: Dict[int, Dict] = {}
+        for client in clients:
+            upload, t0, t1 = timed_call(client.update, payloads[client.client_id])
+            if tracer is not None:
                 tracer.emit_span(
                     "local_update", "client", t0, t1,
                     lane=f"client:{client.client_id}",
                     client=client.client_id, edge=self.edge_id,
                 )
-            return {c.client_id: r for c, (r, _, _) in zip(clients, timed)}
-        if tracer is None:
-            return {c.client_id: c.update(payloads[c.client_id]) for c in clients}
-        uploads: Dict[int, Dict] = {}
-        for client in clients:
-            upload, t0, t1 = timed_call(client.update, payloads[client.client_id])
-            tracer.emit_span(
-                "local_update", "client", t0, t1,
-                lane=f"client:{client.client_id}",
-                client=client.client_id, edge=self.edge_id,
-            )
+            if monitor is not None:
+                monitor.observe_local_update(t1 - t0, client=client.client_id)
             uploads[client.client_id] = upload
         return uploads
 
@@ -430,6 +455,7 @@ class EdgeAggregator:
         shard = list(self.shard)
         injector = self.communicator.injector if self.communicator is not None else None
         tracer = current_tracer()
+        monitor = current_monitor()
         lane = f"edge:{self.edge_id}"
 
         def end_phase(phase: str) -> None:
@@ -528,6 +554,8 @@ class EdgeAggregator:
                     lane=lane, edge=self.edge_id, round=round_idx,
                     wave=start // wave, clients=len(ids),
                 )
+            if monitor is not None:
+                monitor.on_wave(self, round_idx, start // wave)
 
         tick = time.perf_counter()
         summary, participants = self.summarize()

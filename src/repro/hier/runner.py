@@ -40,7 +40,7 @@ from ..core.metrics import Evaluator
 from ..core.registry import get_algorithm
 from ..core.runner import PHASES, RoundResult, TrainingHistory
 from ..data import Dataset
-from ..obs import current_tracer, timed_call
+from ..obs import current_monitor, current_tracer, timed_call
 from ..privacy import PrivacyAccountant
 from .edge import EdgeAggregator
 from .topology import Topology, build_topology, majority_labels, parse_topology
@@ -357,6 +357,9 @@ class HierRunner:
             client_steps=round_steps,
         )
         self.history.add(result)
+        monitor = current_monitor()
+        if monitor is not None:
+            monitor.on_round(self, result)
         return result
 
     def run(

@@ -38,6 +38,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..hier.topology import contiguous_shards
+from ..obs.metrics import MetricsRegistry
+from ..obs.profiler import current_profiler
 from .shm import ShmArena, ShmAttachment
 
 __all__ = ["ProcessWorkerPool", "payload_template"]
@@ -45,6 +47,17 @@ __all__ = ["ProcessWorkerPool", "payload_template"]
 #: Monotone pool counter — keeps arena names unique when one process builds
 #: several pools (runner + edges, or sequential runs).
 _POOL_SEQ = 0
+
+
+def _profile_requested() -> bool:
+    """Should spawned workers capture local-update profiles?
+
+    Read at pool-construction time from the context-local profiler: the
+    workers inherit the opt-in (their folded stacks come back through the
+    result channel), armed only when the profiler wants ``local_update``.
+    """
+    profiler = current_profiler()
+    return profiler is not None and profiler.wants("local_update")
 
 
 def payload_template(
@@ -102,6 +115,9 @@ class ProcessWorkerPool:
         self.mode = mode
         self.shards: Tuple[Tuple[int, ...], ...] = tuple(shards)
         self.num_workers = len(self.shards)
+        #: Worker-shipped metrics deltas, merged in worker-index order each
+        #: round — deterministic for a deterministic schedule.
+        self.telemetry = MetricsRegistry()
         self._clients = clients  # eager: {cid: parent-side BaseClient}
         self._store = store  # store: the parent-side ClientStateStore
         self._prefix = f"rpmp{os.getpid()}x{_POOL_SEQ}"
@@ -151,6 +167,7 @@ class ProcessWorkerPool:
             {
                 "mode": "eager",
                 "client_batch": int(client_batch),
+                "profile": _profile_requested(),
                 "clients": [
                     (
                         type(by_id[cid]),
@@ -192,6 +209,7 @@ class ProcessWorkerPool:
             {
                 "mode": "store",
                 "client_batch": int(client_batch),
+                "profile": _profile_requested(),
                 "factory": store.factory,
                 "num_clients": store.num_clients,
                 "live_cap": live_share,
@@ -247,7 +265,10 @@ class ProcessWorkerPool:
         steps: Dict[int, int] = {}
         timings: Dict[int, Tuple[float, float]] = {}
         for w in sent:
-            up_name, up_manifest, up_scalars, w_steps, w_timings = self._expect(w, "done")
+            up_name, up_manifest, up_scalars, w_steps, w_timings, w_telemetry = (
+                self._expect(w, "done")
+            )
+            self._absorb_telemetry(w, w_telemetry)
             views = self._attachment.view(up_name, up_manifest, copy=False)
             for flat_key, arr in views.items():
                 cid_str, key = flat_key.split("|", 1)
@@ -260,6 +281,24 @@ class ProcessWorkerPool:
         if missing:
             raise RuntimeError(f"process workers returned no upload for clients {missing}")
         return uploads, steps, timings
+
+    def _absorb_telemetry(self, w: int, telemetry: Optional[Mapping]) -> None:
+        """Fold one worker's round delta into the pool registry/profiler.
+
+        Called in worker-index order from :meth:`run_round`; registry
+        merging is order-deterministic, so two identical runs produce the
+        identical merged telemetry.
+        """
+        if not telemetry:
+            return
+        state = telemetry.get("state")
+        if state:
+            self.telemetry.merge(state)
+        folded = telemetry.get("profile")
+        if folded:
+            profiler = current_profiler()
+            if profiler is not None:
+                profiler.add_folded("local_update", folded, root=f"worker:{w}")
 
     # ----------------------------------------------------------- state traffic
     def sync_parent(self) -> None:

@@ -36,7 +36,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ShmArena", "ShmAttachment", "attach_shm"]
+__all__ = ["ShmArena", "ShmAttachment", "attach_shm", "live_arena_stats"]
 
 # (key, dtype string, shape, byte offset) — one entry per packed array.
 Manifest = List[Tuple[str, str, Tuple[int, ...], int]]
@@ -49,9 +49,37 @@ _HAS_TRACK = "track" in inspect.signature(shared_memory.SharedMemory).parameters
 # concurrent ones can't restore each other's no-op out of order.
 _ATTACH_LOCK = threading.Lock()
 
+# Process-local shm accounting for the obs layer (memory watermarks, worker
+# telemetry).  Guarded by its own lock — attaches/grows are per-generation
+# rare, so contention is negligible.
+_STATS_LOCK = threading.Lock()
+_LIVE_BYTES = 0
+_LIVE_SEGMENTS = 0
+_ATTACH_COUNT = 0
+
+
+def _account_segment(nbytes: int, delta_segments: int) -> None:
+    global _LIVE_BYTES, _LIVE_SEGMENTS
+    with _STATS_LOCK:
+        _LIVE_BYTES += nbytes
+        _LIVE_SEGMENTS += delta_segments
+
+
+def live_arena_stats() -> Dict[str, int]:
+    """Bytes/segments owned by this process's arenas, plus attach count."""
+    with _STATS_LOCK:
+        return {
+            "bytes": _LIVE_BYTES,
+            "segments": _LIVE_SEGMENTS,
+            "attaches": _ATTACH_COUNT,
+        }
+
 
 def attach_shm(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without adopting unlink responsibility."""
+    global _ATTACH_COUNT
+    with _STATS_LOCK:
+        _ATTACH_COUNT += 1
     if _HAS_TRACK:
         return shared_memory.SharedMemory(name=name, track=False)
     # CPython 3.11: attaching registers the segment with the (shared) resource
@@ -84,10 +112,16 @@ class ShmArena:
             raise RuntimeError("arena has no live segment; call pack() first")
         return self._shm.name
 
+    @property
+    def generation(self) -> int:
+        """How many times this arena has (re)created its segment."""
+        return self._generation
+
     def _ensure(self, nbytes: int) -> shared_memory.SharedMemory:
         if self._shm is not None and self._shm.size >= nbytes:
             return self._shm
         if self._shm is not None:
+            _account_segment(-self._shm.size, -1)
             self._shm.close()
             self._shm.unlink()
         self._generation += 1
@@ -96,6 +130,7 @@ class ShmArena:
             size=max(1, nbytes),
             name=f"{self._prefix}_g{self._generation}",
         )
+        _account_segment(self._shm.size, 1)
         return self._shm
 
     def pack(self, arrays: Sequence[Tuple[str, np.ndarray]]) -> Tuple[str, Manifest]:
@@ -116,6 +151,7 @@ class ShmArena:
 
     def close(self) -> None:
         if self._shm is not None:
+            _account_segment(-self._shm.size, -1)
             try:
                 self._shm.close()
                 self._shm.unlink()

@@ -39,6 +39,7 @@ __all__ = [
     "im2col",
     "col2im",
     "legacy_kernels",
+    "kernel_call_counts",
 ]
 
 
@@ -70,6 +71,24 @@ def _legacy_enabled() -> bool:
     return _LEGACY_STATE[0]
 
 
+# Process-local kernel-invocation counters for the obs layer (worker
+# telemetry).  Plain int increments: far below measurement noise next to the
+# GEMMs they count, and they never touch numerics.  Under thread-parallel
+# clients concurrent increments may race and undercount slightly; worker
+# processes (where these counters ship as telemetry) run single-threaded,
+# so their counts are exact and deterministic.
+_KERNEL_CALLS: dict = {}
+
+
+def _count_kernel(name: str) -> None:
+    _KERNEL_CALLS[name] = _KERNEL_CALLS.get(name, 0) + 1
+
+
+def kernel_call_counts() -> dict:
+    """Copy of this process's kernel-entry invocation counts."""
+    return dict(_KERNEL_CALLS)
+
+
 # --------------------------------------------------------------------- dense
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine transform ``x @ weight.T + bias``.
@@ -77,6 +96,7 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     ``x`` has shape ``(N, in_features)``; ``weight`` has shape
     ``(out_features, in_features)``; ``bias`` has shape ``(out_features,)``.
     """
+    _count_kernel("linear")
     out = x @ weight.transpose()
     if bias is not None:
         out = out + bias
@@ -263,6 +283,7 @@ def conv2d(
     ``x``: ``(N, C_in, H, W)``; ``weight``: ``(C_out, C_in, kh, kw)``;
     ``bias``: ``(C_out,)``.
     """
+    _count_kernel("conv2d")
     stride = _pair(stride)
     padding = _pair(padding)
     n, c_in, h, w = x.shape
@@ -404,6 +425,7 @@ def max_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
     back to im2col/col2im.  Both pick the same (first) element on ties, so
     results are identical.
     """
+    _count_kernel("max_pool2d")
     kernel = _pair(kernel_size)
     stride = _pair(stride if stride is not None else kernel_size)
     padding = _pair(padding)
@@ -501,6 +523,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") 
     Implemented with a fused backward (the classic ``softmax - onehot``
     gradient) so it is both fast and numerically stable.
     """
+    _count_kernel("cross_entropy")
     targets = np.asarray(targets, dtype=np.int64)
     z = logits.data
     n = z.shape[0]

@@ -1,27 +1,75 @@
-"""Unified observability: span tracing + metrics registry.
+"""Unified observability: span tracing, metrics, live monitoring, profiling.
 
 ``repro.obs`` is the one place a run's telemetry comes together:
 
 * :class:`Tracer` — structured spans and point events across every tier
   (rounds, waves, phases, per-client updates, per-edge ingest/summary,
   comm send/retry/backoff/dead-letter, fault injections, store
-  materialize/evict, checkpoint capture/restore), exportable as JSONL
-  and Chrome/Perfetto ``trace_event`` JSON.
-* :func:`current_tracer` / :func:`use_tracer` — the context-local handle
-  library code polls so no function ever takes a tracer parameter; when
-  no tracer is armed the cost is one ``ContextVar.get`` per site.
+  materialize/evict, checkpoint capture/restore, health alerts),
+  exportable as JSONL and Chrome/Perfetto ``trace_event`` JSON.
 * :class:`MetricsRegistry` — counters/gauges/histograms (streaming
   p50/p95/p99) labelled by algorithm/codec/tier, absorbing the scattered
   accounting (``phase_seconds``, ``CommLog``, ``FaultStats``, store
-  stats, per-tier ε) behind one :meth:`~MetricsRegistry.snapshot`.
+  stats, per-tier ε, process-worker telemetry) behind one
+  :meth:`~MetricsRegistry.snapshot`, with :meth:`~MetricsRegistry.diff`
+  and :meth:`~MetricsRegistry.merge` for time series and cross-process
+  aggregation.
+* :class:`RunMonitor` — live monitoring at round/wave boundaries:
+  JSONL time-series streaming (:class:`MetricsStream`), a Prometheus
+  ``/metrics`` + ``/healthz`` endpoint (:class:`MetricsServer`), and
+  health watchdogs (convergence, stragglers, retries/dead letters,
+  memory watermarks) producing structured :class:`Alert`\\ s in a
+  :class:`HealthReport`.
+* :class:`PhaseProfiler` — opt-in phase-scoped ``cProfile`` capture with
+  collapsed-stack (flame-graph) output, aggregating worker-process
+  profiles shipped through the pool's result channel.
 
-Tracing is strictly observational: an armed tracer never consumes run
-RNG and never reorders events, so traced runs are bitwise identical to
-untraced ones (regression-tested in ``tests/test_obs.py``).
+Every handle is context-local (:func:`current_tracer` /
+:func:`current_monitor` / :func:`current_profiler`): library code polls
+one ``ContextVar.get`` per site and no function ever takes a telemetry
+parameter.  All of it is strictly observational — armed or not, runs are
+bitwise identical (regression-tested in ``tests/test_obs.py`` and
+``tests/test_obs_live.py``).
 """
 
-from .trace import Tracer, current_tracer, set_tracer, timed_call, use_tracer
+from .trace import (
+    Tracer,
+    current_tracer,
+    records_to_perfetto,
+    set_tracer,
+    timed_call,
+    use_tracer,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_key
+from .export import (
+    MetricsServer,
+    MetricsStream,
+    json_default,
+    lint_exposition,
+    load_series,
+    render_prometheus,
+)
+from .health import (
+    Alert,
+    ConvergenceWatchdog,
+    HealthMonitor,
+    HealthReport,
+    MemoryWatchdog,
+    RetryWatchdog,
+    RunMonitor,
+    StragglerWatchdog,
+    current_monitor,
+    default_monitors,
+    set_monitor,
+    use_monitor,
+)
+from .profiler import (
+    PhaseProfiler,
+    collapse_profile,
+    current_profiler,
+    set_profiler,
+    use_profiler,
+)
 
 __all__ = [
     "Tracer",
@@ -29,9 +77,33 @@ __all__ = [
     "set_tracer",
     "use_tracer",
     "timed_call",
+    "records_to_perfetto",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "metric_key",
+    "MetricsServer",
+    "MetricsStream",
+    "json_default",
+    "lint_exposition",
+    "load_series",
+    "render_prometheus",
+    "Alert",
+    "ConvergenceWatchdog",
+    "HealthMonitor",
+    "HealthReport",
+    "MemoryWatchdog",
+    "RetryWatchdog",
+    "RunMonitor",
+    "StragglerWatchdog",
+    "current_monitor",
+    "default_monitors",
+    "set_monitor",
+    "use_monitor",
+    "PhaseProfiler",
+    "collapse_profile",
+    "current_profiler",
+    "set_profiler",
+    "use_profiler",
 ]

@@ -1,0 +1,394 @@
+"""Streaming metrics export: JSONL time series, Prometheus text, live endpoint.
+
+PR 7's registry was post-mortem: one final ``snapshot()`` after the run.
+This module turns the same snapshots into live telemetry with three
+building blocks, all strictly observational:
+
+* :func:`json_default` — the one shared ``json.dumps(default=...)`` hook
+  for every obs writer, so numpy scalars riding in spans or metric values
+  never raise ``TypeError`` at export time.
+* :func:`render_prometheus` — render a ``MetricsRegistry.snapshot()`` (or
+  a ``diff()``) as Prometheus text exposition format 0.0.4: counters as
+  ``*_total``, gauges verbatim, histograms as summaries with ``quantile``
+  labels.  :func:`lint_exposition` re-parses the output and is used by the
+  tests and the chaos harness's self-scrape to keep the format honest.
+* :class:`MetricsStream` / :class:`MetricsServer` — a periodic JSONL
+  time-series writer (cumulative snapshot + counter deltas per sample)
+  and an optional stdlib ``http.server`` endpoint serving ``/metrics``
+  and ``/healthz`` from a background daemon thread while a run is live.
+
+Nothing here imports the rest of ``repro`` — the registry hands in plain
+snapshot dicts, so export can never perturb a run.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "json_default",
+    "render_prometheus",
+    "lint_exposition",
+    "MetricsStream",
+    "MetricsServer",
+]
+
+
+def json_default(obj: Any) -> Any:
+    """Shared ``json.dumps(default=...)`` hook: numpy scalars/arrays → python.
+
+    Imports numpy lazily so the export layer itself stays dependency-free;
+    anything still unknown falls back to ``str`` rather than raising mid-run.
+    """
+    try:
+        import numpy as np
+
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+    except ImportError:  # pragma: no cover - numpy is a hard dep elsewhere
+        pass
+    if isinstance(obj, Path):
+        return str(obj)
+    return str(obj)
+
+
+def dumps(obj: Any, **kwargs: Any) -> str:
+    """``json.dumps`` with the shared numpy-safe ``default`` pre-wired."""
+    kwargs.setdefault("default", json_default)
+    return json.dumps(obj, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4)
+# ---------------------------------------------------------------------------
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(?:,|$)')
+_LABELS_BODY_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*,?$'
+)
+
+
+def _sanitize_metric_name(name: str) -> str:
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not name or not re.match(r"[a-zA-Z_:]", name[0]):
+        name = "_" + name
+    return name
+
+
+def _sanitize_label_name(name: str) -> str:
+    name = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not name or not re.match(r"[a-zA-Z_]", name[0]):
+        name = "_" + name
+    return name
+
+
+def _escape_label_value(value: Any) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _parse_flat_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a registry flat key ``name{k=v,...}`` back into name + labels."""
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return key, {}
+    labels: Dict[str, str] = {}
+    for pair in rest.rstrip("}").split(","):
+        if not pair:
+            continue
+        k, _, v = pair.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+def _format_value(value: Any) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_string(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_label_name(k)}="{_escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: Mapping[str, Any], namespace: str = "") -> str:
+    """Render a registry ``snapshot()`` dict as Prometheus text exposition.
+
+    Counters gain the conventional ``_total`` suffix, gauges export
+    verbatim, and histogram summaries become Prometheus *summary*
+    families (``quantile`` labels plus ``_sum``/``_count``).  Registry
+    level labels apply to every sample; series of one family are grouped
+    under a single ``# TYPE`` header as the format requires.
+    """
+    base_labels = dict(snapshot.get("labels") or {})
+    prefix = _sanitize_metric_name(namespace) + "_" if namespace else ""
+
+    # family name -> (type, [sample lines])
+    families: Dict[str, Tuple[str, List[str]]] = {}
+
+    def family(name: str, kind: str) -> List[str]:
+        fam = families.get(name)
+        if fam is None:
+            fam = families[name] = (kind, [])
+        return fam[1]
+
+    def sample(fam_lines: List[str], name: str, labels: Mapping[str, Any], value: Any) -> None:
+        merged = dict(base_labels)
+        merged.update(labels)
+        fam_lines.append(f"{name}{_label_string(merged)} {_format_value(value)}")
+
+    for key, value in (snapshot.get("counters") or {}).items():
+        raw_name, labels = _parse_flat_key(key)
+        name = prefix + _sanitize_metric_name(raw_name) + "_total"
+        sample(family(name, "counter"), name, labels, value)
+
+    for key, value in (snapshot.get("gauges") or {}).items():
+        raw_name, labels = _parse_flat_key(key)
+        name = prefix + _sanitize_metric_name(raw_name)
+        sample(family(name, "gauge"), name, labels, value)
+
+    for key, summ in (snapshot.get("histograms") or {}).items():
+        raw_name, labels = _parse_flat_key(key)
+        name = prefix + _sanitize_metric_name(raw_name)
+        lines = family(name, "summary")
+        for q, field in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            qv = summ.get(field)
+            if qv is not None:
+                sample(lines, name, {**labels, "quantile": q}, qv)
+        sample(family(name + "_sum", "__suffix__"), name + "_sum", labels, summ.get("sum", 0.0))
+        sample(family(name + "_count", "__suffix__"), name + "_count", labels, summ.get("count", 0))
+
+    out: List[str] = []
+    for name in sorted(families):
+        kind, lines = families[name]
+        if kind != "__suffix__":  # _sum/_count ride under the summary header
+            out.append(f"# TYPE {name} {kind}")
+        out.extend(lines)
+    return "\n".join(out) + "\n" if out else ""
+
+
+def lint_exposition(text: str) -> List[str]:
+    """Validate Prometheus text exposition; return a list of problems.
+
+    Checks metric-name / label-name charsets, label value quoting, sample
+    parseability, one ``# TYPE`` per family, and that every ``counter``
+    family's samples end in ``_total``.  An empty list means clean.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            _, _, name, kind = parts
+            if not METRIC_NAME_RE.match(name):
+                problems.append(f"line {lineno}: bad metric name {name!r}")
+            if kind not in ("counter", "gauge", "summary", "histogram", "untyped"):
+                problems.append(f"line {lineno}: unknown type {kind!r}")
+            if name in types:
+                problems.append(f"line {lineno}: duplicate TYPE for {name!r}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_LINE_RE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = m.group("name")
+        base = re.sub(r"_(sum|count)$", "", name)
+        kind = types.get(name) or types.get(base)
+        if kind is None:
+            problems.append(f"line {lineno}: sample {name!r} has no TYPE header")
+        elif kind == "counter" and not name.endswith("_total"):
+            problems.append(f"line {lineno}: counter sample {name!r} missing _total")
+        labels = m.group("labels")
+        if labels and not _LABELS_BODY_RE.match(labels):
+            problems.append(f"line {lineno}: malformed labels {labels!r}")
+        try:
+            float(m.group("value").replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            problems.append(f"line {lineno}: bad value {m.group('value')!r}")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# JSONL time series
+# ---------------------------------------------------------------------------
+
+
+class MetricsStream:
+    """Append-only JSONL time series of registry snapshots.
+
+    Each :meth:`append` writes one line carrying the sample sequence
+    number, wall-clock / monotonic-elapsed timestamps, caller metadata
+    (round index, run tag, ...), the cumulative snapshot, and — when the
+    caller hands one in — the counter/histogram delta since the previous
+    sample.  Lines flush immediately so a crashed run keeps every sample
+    written before the crash.
+    """
+
+    def __init__(self, path: Union[str, Path], append: bool = False) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("a" if append else "w")
+        self._t0 = time.perf_counter()
+        self.samples = 0
+
+    def append(
+        self,
+        snapshot: Mapping[str, Any],
+        delta: Optional[Mapping[str, Any]] = None,
+        **meta: Any,
+    ) -> None:
+        record: Dict[str, Any] = {
+            "seq": self.samples,
+            "time_unix": time.time(),
+            "elapsed_seconds": time.perf_counter() - self._t0,
+        }
+        record.update(meta)
+        record["metrics"] = snapshot
+        if delta is not None:
+            record["delta"] = delta
+        self._fh.write(dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.samples += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "MetricsStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_series(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a :class:`MetricsStream` JSONL file back into sample dicts."""
+    samples = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                samples.append(json.loads(line))
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# Live endpoint
+# ---------------------------------------------------------------------------
+
+
+class MetricsServer:
+    """Background ``/metrics`` + ``/healthz`` endpoint over stdlib http.server.
+
+    The run loop calls :meth:`publish` at each sample boundary; scrapers
+    see the latest snapshot rendered to Prometheus text and a JSON health
+    summary (HTTP 503 once any ``critical`` alert has fired).  ``port=0``
+    picks a free port — read it back from :attr:`port` / :attr:`url`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._exposition = "\n"
+        self._health: Dict[str, Any] = {"status": "ok", "alerts": []}
+        self._critical = False
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    with server._lock:
+                        body = server._exposition.encode()
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                    )
+                elif path == "/healthz":
+                    with server._lock:
+                        body = dumps(server._health, sort_keys=True).encode()
+                        status = 503 if server._critical else 200
+                    self.send_response(status)
+                    self.send_header("Content-Type", "application/json")
+                else:
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence per-request noise
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def publish(
+        self,
+        snapshot: Mapping[str, Any],
+        health: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        exposition = render_prometheus(snapshot)
+        with self._lock:
+            self._exposition = exposition
+            if health is not None:
+                self._health = dict(health)
+                self._critical = any(
+                    a.get("severity") == "critical"
+                    for a in self._health.get("alerts", [])
+                )
+
+    def close(self) -> None:
+        try:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        except Exception:
+            pass
+        self._thread.join(timeout=2.0)

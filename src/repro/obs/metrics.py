@@ -91,7 +91,11 @@ class Histogram:
                 self._samples[j] = value
 
     def percentile(self, p: float) -> Optional[float]:
-        """Estimate the ``p``-th percentile (0..100) from the reservoir."""
+        """Estimate the ``p``-th percentile (0..100) from the reservoir.
+
+        Exact whenever ``count <= _RESERVOIR_SIZE`` (the reservoir then
+        holds every observation); a uniform-sample estimate beyond that.
+        """
         if not self._samples:
             return None
         ordered = sorted(self._samples)
@@ -104,10 +108,52 @@ class Histogram:
             "sum": self.total,
             "min": self.min,
             "max": self.max,
+            "samples": len(self._samples),
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
+
+    # ------------------------------------------------------------- merge/state
+    def state_dict(self) -> Dict[str, Any]:
+        """Full mergeable state (exact aggregates + reservoir contents)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self._samples),
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state_dict` into this one.
+
+        Exact aggregates (count/sum/min/max) merge exactly.  Reservoirs
+        concatenate; past capacity the combined pool is sorted and
+        evenly strided down to ``_RESERVOIR_SIZE`` — a deterministic
+        quantile-preserving sketch, so merging worker deltas in a fixed
+        order always yields the identical reservoir (no RNG involved).
+        """
+        self.count += int(state["count"])
+        self.total += float(state["total"])
+        for bound in (state["min"], state["max"]):
+            if bound is not None:
+                bound = float(bound)
+                if self.min is None or bound < self.min:
+                    self.min = bound
+                if self.max is None or bound > self.max:
+                    self.max = bound
+        combined = self._samples + [float(v) for v in state["samples"]]
+        if len(combined) > _RESERVOIR_SIZE:
+            combined.sort()
+            n = len(combined)
+            combined = [
+                combined[(i * n) // _RESERVOIR_SIZE] for i in range(_RESERVOIR_SIZE)
+            ]
+        self._samples = combined
+
+    def merge(self, other: "Histogram") -> None:
+        self.merge_state(other.state_dict())
 
 
 class MetricsRegistry:
@@ -157,9 +203,82 @@ class MetricsRegistry:
         }
 
     def write_snapshot(self, path: Union[str, Path]) -> Path:
+        from .export import json_default
+
         path = Path(path)
-        path.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True))
+        path.write_text(
+            json.dumps(self.snapshot(), indent=2, sort_keys=True, default=json_default)
+        )
         return path
+
+    # ----------------------------------------------------------- merge / diff
+    def dump_state(self) -> Dict[str, Any]:
+        """Full mergeable state — unlike :meth:`snapshot`, histograms ship
+        their reservoir contents so a peer registry can fold them in
+        exactly (the worker → parent telemetry channel)."""
+        return {
+            "labels": dict(self.labels),
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.state_dict() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, other: Union["MetricsRegistry", Dict[str, Any]]) -> "MetricsRegistry":
+        """Fold another registry (or its :meth:`dump_state`) into this one.
+
+        Counters add, gauges take the incoming value (last write wins),
+        histograms merge their reservoirs deterministically.  Merging a
+        fixed sequence of states in a fixed order is fully deterministic,
+        which is what the process pool relies on when combining worker
+        deltas in worker-index order.
+        """
+        state = other.dump_state() if isinstance(other, MetricsRegistry) else other
+        for key, value in (state.get("counters") or {}).items():
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+            metric.inc(value)
+        for key, value in (state.get("gauges") or {}).items():
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = self._gauges[key] = Gauge()
+            gauge.set(value)
+        for key, hstate in (state.get("histograms") or {}).items():
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram()
+            hist.merge_state(hstate)
+        return self
+
+    def diff(self, previous: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """Delta of the current state against a previous :meth:`snapshot`.
+
+        Counters and histogram count/sum become per-interval deltas
+        (``previous=None`` means everything is new); gauges report their
+        current value — a delta of a last-written value has no meaning.
+        """
+        current = self.snapshot()
+        prev_counters = (previous or {}).get("counters") or {}
+        prev_hists = (previous or {}).get("histograms") or {}
+        counters = {
+            k: v - prev_counters.get(k, 0) for k, v in current["counters"].items()
+        }
+        histograms: Dict[str, Any] = {}
+        for k, summ in current["histograms"].items():
+            prev = prev_hists.get(k)
+            entry = dict(summ)
+            if prev is not None:
+                entry["count"] = summ["count"] - prev.get("count", 0)
+                entry["sum"] = summ["sum"] - prev.get("sum", 0.0)
+            histograms[k] = entry
+        return {
+            "labels": current["labels"],
+            "counters": counters,
+            "gauges": current["gauges"],
+            "histograms": histograms,
+        }
 
     # --------------------------------------------------------------- absorbs
     def absorb_phase_seconds(self, phase_seconds: Dict[str, float], tier: str) -> None:
@@ -201,6 +320,9 @@ class MetricsRegistry:
         self.gauge("store_materialize_us", tier=tier).set(stats.materialize_us)
         self.gauge("store_evict_us", tier=tier).set(stats.evict_us)
         self.gauge("store_nbytes", tier=tier).set(store.store_nbytes)
+        self.gauge("store_peak_nbytes", tier=tier).set(
+            getattr(stats, "peak_store_bytes", 0)
+        )
         self.gauge("store_live_count", tier=tier).set(store.live_count)
 
     def absorb_accountant(self, accountant, tier: str = "client") -> None:
@@ -211,6 +333,21 @@ class MetricsRegistry:
             hist.observe(entry["epsilon"])
         self.gauge("privacy_max_epsilon", tier=tier).set(accountant.max_epsilon_spent())
         self.gauge("privacy_clients_charged", tier=tier).set(len(summary))
+
+    def absorb_worker_telemetry(self, owner) -> None:
+        """Fold process-backend worker metrics owned by a runner or edge.
+
+        ``owner.worker_telemetry`` holds deltas banked when pools retired;
+        ``owner._pool.telemetry`` is the live pool's parent-merged registry.
+        Both are worker-labelled, so merging is collision-free.
+        """
+        banked = getattr(owner, "worker_telemetry", None)
+        if banked is not None:
+            self.merge(banked)
+        pool = getattr(owner, "_pool", None)
+        telemetry = getattr(pool, "telemetry", None) if pool is not None else None
+        if telemetry is not None:
+            self.merge(telemetry)
 
     def absorb_history(self, history) -> None:
         """Fold per-round :class:`RoundResult` aggregates."""
@@ -281,6 +418,13 @@ class MetricsRegistry:
             edge_store = getattr(edge, "_store", None)
             if edge_store is not None:
                 self.absorb_store(edge_store, tier=f"edge:{edge.edge_id}")
+
+        # Worker-side telemetry from the process backend: the live pool's
+        # parent-merged registry, plus deltas banked by _retire_pool after
+        # fallback rounds or shutdown tore a pool down.
+        self.absorb_worker_telemetry(runner)
+        for edge in getattr(runner, "edges", ()):
+            self.absorb_worker_telemetry(edge)
 
         accountant = getattr(runner, "accountant", None)
         if accountant is not None:

@@ -1,0 +1,195 @@
+"""Opt-in phase-scoped ``cProfile`` capture with collapsed-stack output.
+
+:class:`PhaseProfiler` mirrors the tracer/monitor pattern: library code
+calls :func:`current_profiler` (one ``ContextVar.get``) and wraps the
+phases the profiler asked for in ``begin(phase)``/``end(phase)`` pairs.
+Profiling adds interpreter overhead but never touches run state, RNG, or
+ordering — a profiled run stays bitwise identical.
+
+Output is the *collapsed stack* ("folded") format consumed by
+``flamegraph.pl``, speedscope, and most flame-graph viewers: one
+``frame;frame;frame value`` line per unique stack, values in integer
+microseconds.  ``cProfile`` records a caller→callee time graph rather
+than true stacks, so :func:`collapse_profile` reconstructs stacks by
+walking the graph from its roots and apportioning each function's
+cumulative time across callers proportionally (the same estimation
+``flameprof`` uses).  The attribution is approximate for functions
+reached via several paths; totals per function remain exact.
+
+The process backend ships each worker's folded stacks back over the
+result pipe (see ``mp/worker.py``); the parent folds them in under a
+``worker:N`` root frame via :meth:`PhaseProfiler.add_folded`, giving one
+cross-process flame graph per phase.
+"""
+
+from __future__ import annotations
+
+import cProfile
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "PhaseProfiler",
+    "collapse_profile",
+    "current_profiler",
+    "set_profiler",
+    "use_profiler",
+]
+
+_PROFILER: ContextVar[Optional["PhaseProfiler"]] = ContextVar(
+    "repro_profiler", default=None
+)
+
+
+def current_profiler() -> Optional["PhaseProfiler"]:
+    """The profiler armed for the current context, or ``None``."""
+    return _PROFILER.get()
+
+
+def set_profiler(profiler: Optional["PhaseProfiler"]):
+    """Arm ``profiler`` for the current context; returns the reset token."""
+    return _PROFILER.set(profiler)
+
+
+@contextmanager
+def use_profiler(profiler: Optional["PhaseProfiler"]) -> Iterator[Optional["PhaseProfiler"]]:
+    """Arm ``profiler`` for the duration of the ``with`` block."""
+    token = _PROFILER.set(profiler)
+    try:
+        yield profiler
+    finally:
+        _PROFILER.reset(token)
+
+
+def _frame_name(func: Tuple[str, int, str]) -> str:
+    filename, _lineno, name = func
+    if filename in ("~", "") or filename.startswith("<"):
+        return name.strip("<>") or "?"
+    return f"{filename.rsplit('/', 1)[-1]}:{name}"
+
+
+def collapse_profile(
+    profile: cProfile.Profile, max_depth: int = 64
+) -> Dict[str, float]:
+    """Estimate folded stacks (``frame;frame -> seconds``) from a profile.
+
+    Walks the caller graph from its roots, attributing each function's
+    self time to the current path and splitting the remainder across
+    callees proportionally to per-edge cumulative time.  Deterministic:
+    children are visited in sorted frame-name order, recursion back into
+    a function already on the path is cut (its time stays attributed to
+    the first occurrence).
+    """
+    profile.create_stats()
+    stats: Mapping = profile.stats  # {func: (cc, nc, tt, ct, callers)}
+    children: Dict[Tuple, list] = {}
+    roots = []
+    for func, (_cc, _nc, _tt, _ct, callers) in stats.items():
+        if not callers:
+            roots.append(func)
+        for caller, edge in callers.items():
+            children.setdefault(caller, []).append((func, float(edge[3])))
+
+    out: Dict[str, float] = {}
+
+    def walk(func, path: Tuple[str, ...], budget: float, on_path: frozenset) -> None:
+        if budget <= 0.0:
+            return
+        _cc, _nc, tt, ct, _callers = stats[func]
+        path = path + (_frame_name(func),)
+        key = ";".join(path)
+        self_share = budget * (tt / ct) if ct > 0 else budget
+        kids = [
+            (callee, edge)
+            for callee, edge in children.get(func, ())
+            if callee not in on_path and callee in stats
+        ]
+        child_total = sum(edge for _, edge in kids)
+        if len(path) >= max_depth or child_total <= 0.0:
+            out[key] = out.get(key, 0.0) + budget
+            return
+        out[key] = out.get(key, 0.0) + self_share
+        remainder = max(0.0, budget - self_share)
+        on_path = on_path | {func}
+        for callee, edge in sorted(kids, key=lambda kv: _frame_name(kv[0])):
+            walk(callee, path, remainder * (edge / child_total), on_path)
+
+    for func in sorted(roots, key=_frame_name):
+        ct = stats[func][3]
+        walk(func, (), float(ct), frozenset())
+    return out
+
+
+class PhaseProfiler:
+    """Accumulate one ``cProfile.Profile`` per requested run phase.
+
+    ``phases`` names which runner phases to capture (any of
+    ``broadcast``/``local_update``/``gather``/``aggregate``/``evaluate``);
+    only those pay profiling overhead.  One profile may be active at a
+    time per process (a ``cProfile`` constraint) — overlapping ``begin``
+    calls are ignored rather than raising.
+    """
+
+    def __init__(self, phases: Sequence[str] = ("local_update",)) -> None:
+        self.phases = frozenset(phases)
+        self._profiles: Dict[str, cProfile.Profile] = {}
+        self._folded: Dict[str, float] = {}
+        self._active: Optional[str] = None
+
+    def wants(self, phase: str) -> bool:
+        return phase in self.phases
+
+    def begin(self, phase: str) -> None:
+        if phase not in self.phases or self._active is not None:
+            return
+        profile = self._profiles.get(phase)
+        if profile is None:
+            profile = self._profiles[phase] = cProfile.Profile()
+        self._active = phase
+        profile.enable()
+
+    def end(self, phase: str) -> None:
+        if self._active != phase:
+            return
+        self._profiles[phase].disable()
+        self._active = None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        self.begin(name)
+        try:
+            yield
+        finally:
+            self.end(name)
+
+    def add_folded(
+        self, phase: str, folded: Mapping[str, float], root: Optional[str] = None
+    ) -> None:
+        """Fold pre-collapsed stacks (e.g. shipped by a worker process)
+        under ``phase`` (and an optional extra ``root`` frame)."""
+        for stack, value in folded.items():
+            key = f"{phase};{root};{stack}" if root else f"{phase};{stack}"
+            self._folded[key] = self._folded.get(key, 0.0) + float(value)
+
+    def collapsed(self) -> Dict[str, float]:
+        """All folded stacks, phase name as the root frame, values in seconds."""
+        out = dict(self._folded)
+        for phase, profile in self._profiles.items():
+            for stack, seconds in collapse_profile(profile).items():
+                key = f"{phase};{stack}"
+                out[key] = out.get(key, 0.0) + seconds
+        return out
+
+    def write_collapsed(self, path: Union[str, Path]) -> Path:
+        """Write ``stack value`` lines (integer microseconds), flamegraph-ready."""
+        path = Path(path)
+        lines = []
+        folded = self.collapsed()
+        for stack in sorted(folded):
+            micros = round(folded[stack] * 1e6)
+            if micros > 0:
+                lines.append(f"{stack} {micros}")
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path

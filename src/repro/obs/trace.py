@@ -33,12 +33,15 @@ from contextvars import ContextVar
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
+from .export import json_default
+
 __all__ = [
     "Tracer",
     "current_tracer",
     "set_tracer",
     "use_tracer",
     "timed_call",
+    "records_to_perfetto",
 ]
 
 _TRACER: ContextVar[Optional["Tracer"]] = ContextVar("repro_tracer", default=None)
@@ -175,7 +178,10 @@ class Tracer:
     # -------------------------------------------------------------- exports
     def to_jsonl(self) -> str:
         """One JSON object per line, in emission order."""
-        return "\n".join(json.dumps(rec, sort_keys=True) for rec in self._records)
+        return "\n".join(
+            json.dumps(rec, sort_keys=True, default=json_default)
+            for rec in self._records
+        )
 
     def write_jsonl(self, path: Union[str, Path]) -> Path:
         path = Path(path)
@@ -183,54 +189,61 @@ class Tracer:
         return path
 
     def to_perfetto(self) -> Dict[str, Any]:
-        """Chrome ``trace_event`` JSON (Perfetto-compatible).
-
-        Spans become ``"X"`` complete events (``ts``/``dur`` in
-        microseconds), point events become ``"i"`` instant events, and
-        each lane gets its own ``tid`` named via an ``"M"`` metadata
-        event so Perfetto renders one track per lane.
-        """
-        events: List[Dict[str, Any]] = []
-        tids: Dict[str, int] = {}
-
-        def tid_for(lane: str) -> int:
-            tid = tids.get(lane)
-            if tid is None:
-                tid = tids[lane] = len(tids) + 1
-                events.append(
-                    {
-                        "ph": "M",
-                        "name": "thread_name",
-                        "pid": 1,
-                        "tid": tid,
-                        "args": {"name": lane},
-                    }
-                )
-            return tid
-
-        reserved = {"type", "name", "cat", "lane", "t", "t0", "t1"}
-        for rec in self._records:
-            tid = tid_for(rec["lane"])
-            args = {k: v for k, v in rec.items() if k not in reserved}
-            base = {
-                "name": rec["name"],
-                "cat": rec["cat"],
-                "pid": 1,
-                "tid": tid,
-                "args": args,
-            }
-            if rec["type"] == "span":
-                base["ph"] = "X"
-                base["ts"] = rec["t0"] * 1e6
-                base["dur"] = max(0.0, (rec["t1"] - rec["t0"]) * 1e6)
-            else:
-                base["ph"] = "i"
-                base["ts"] = rec["t"] * 1e6
-                base["s"] = "t"
-            events.append(base)
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        """Chrome ``trace_event`` JSON — see :func:`records_to_perfetto`."""
+        return records_to_perfetto(self._records)
 
     def write_perfetto(self, path: Union[str, Path]) -> Path:
         path = Path(path)
-        path.write_text(json.dumps(self.to_perfetto()))
+        path.write_text(json.dumps(self.to_perfetto(), default=json_default))
         return path
+
+
+def records_to_perfetto(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert trace records (live or loaded from JSONL) to Chrome
+    ``trace_event`` JSON (Perfetto-compatible).
+
+    Spans become ``"X"`` complete events (``ts``/``dur`` in microseconds),
+    point events become ``"i"`` instant events, and each lane gets its own
+    ``tid`` named via an ``"M"`` metadata event so Perfetto renders one
+    track per lane.  Module-level so ``obsreport --perfetto`` can convert
+    a saved JSONL trace without rerunning anything.
+    """
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+
+    def tid_for(lane: str) -> int:
+        tid = tids.get(lane)
+        if tid is None:
+            tid = tids[lane] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+        return tid
+
+    reserved = {"type", "name", "cat", "lane", "t", "t0", "t1"}
+    for rec in records:
+        tid = tid_for(rec.get("lane", "main"))
+        args = {k: v for k, v in rec.items() if k not in reserved}
+        base = {
+            "name": rec["name"],
+            "cat": rec["cat"],
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        }
+        if rec["type"] == "span":
+            base["ph"] = "X"
+            base["ts"] = rec["t0"] * 1e6
+            base["dur"] = max(0.0, (rec["t1"] - rec["t0"]) * 1e6)
+        else:
+            base["ph"] = "i"
+            base["ts"] = rec["t"] * 1e6
+            base["s"] = "t"
+        events.append(base)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

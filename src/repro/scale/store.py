@@ -75,6 +75,9 @@ class StoreStats:
     #: benchmarks/bench_hotpath.py's "scale" section)
     materialize_us: float = 0.0
     evict_us: float = 0.0
+    #: high-water mark of ``store_nbytes`` (spilled-blob bytes) — the memory
+    #: watermark :class:`repro.obs.health.MemoryWatchdog` checks against
+    peak_store_bytes: int = 0
 
 
 class ClientStateStore:
@@ -163,6 +166,9 @@ class ClientStateStore:
         now = time.perf_counter()
         self.stats.evictions += 1
         self.stats.evict_us += (now - tick) * 1e6
+        self.stats.peak_store_bytes = max(
+            self.stats.peak_store_bytes, self.store_nbytes
+        )
         tracer = current_tracer()
         if tracer is not None:
             tracer.emit_span(
